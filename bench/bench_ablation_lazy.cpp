@@ -1,0 +1,55 @@
+// Ablation of the §2.3 lazy-measurement optimization.
+//
+// The paper: "this optimization reduces overhead by a factor of at least 1.8
+// and as much as 5.9, for the workloads that we tested." This harness runs
+// every Table-2 workload with and without the optimization and reports the
+// overhead ratio and the measurement-count ratio.
+#include <iostream>
+
+#include "../bench/common.h"
+#include "util/table.h"
+#include "workload/distributions.h"
+#include "workload/experiments.h"
+
+using namespace alps;
+using workload::ShareModel;
+
+int main() {
+    bench::print_header("§2.3 ablation — lazy measurement vs measuring every tick");
+
+    util::TextTable t({"Workload", "Q (ms)", "lazy ovh %", "eager ovh %",
+                       "ovh factor", "lazy reads", "eager reads", "read factor"});
+    double min_factor = 1e9;
+    double max_factor = 0.0;
+    for (const ShareModel model : workload::kAllModels) {
+        for (const int n : {5, 10, 20}) {
+            for (const int q : {10, 20, 40}) {
+                workload::SimRunConfig cfg;
+                cfg.shares = workload::make_shares(model, n);
+                cfg.quantum = util::msec(q);
+                cfg.measure_cycles = bench::measure_cycles();
+                cfg.lazy_measurement = true;
+                const auto lazy = workload::run_cpu_bound_experiment(cfg);
+                cfg.lazy_measurement = false;
+                const auto eager = workload::run_cpu_bound_experiment(cfg);
+                const double factor = eager.overhead_fraction / lazy.overhead_fraction;
+                min_factor = std::min(min_factor, factor);
+                max_factor = std::max(max_factor, factor);
+                t.add_row({std::string(workload::to_string(model)) + std::to_string(n),
+                           std::to_string(q),
+                           util::fmt(100.0 * lazy.overhead_fraction, 3),
+                           util::fmt(100.0 * eager.overhead_fraction, 3),
+                           util::fmt(factor, 2), std::to_string(lazy.measurements),
+                           std::to_string(eager.measurements),
+                           util::fmt(static_cast<double>(eager.measurements) /
+                                         static_cast<double>(lazy.measurements),
+                                     2)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nOverhead reduction factor range: " << util::fmt(min_factor, 2)
+              << "x - " << util::fmt(max_factor, 2)
+              << "x   (paper: 1.8x - 5.9x)\n";
+    return 0;
+}

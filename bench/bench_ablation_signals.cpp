@@ -1,0 +1,51 @@
+// Fidelity ablation: instant vs hardclock-tick SIGSTOP delivery.
+//
+// Hypothesis tested (and largely *refuted*): that the divergence between our
+// skewed-workload error trend and the paper's Figure 4 (ours shrinks as the
+// quantum grows; the paper's grows) is caused by our idealized instant
+// SIGSTOP delivery, vs a real kernel acting on the signal only at the next
+// hardclock tick (10 ms at hz=100).
+//
+// The measured result: tick-granular delivery barely moves the numbers. The
+// reason is structural — on a uniprocessor the ALPS driver holds the CPU
+// while it signals, so its target is never *running* when the SIGSTOP
+// arrives and the delivery grid rarely applies. Whatever drives the paper's
+// skewed trend (most plausibly FreeBSD's statclock-sampled rusage), it is
+// not stop-delivery latency; see EXPERIMENTS.md.
+#include <iostream>
+
+#include "../bench/common.h"
+#include "util/table.h"
+#include "workload/distributions.h"
+#include "workload/experiments.h"
+
+using namespace alps;
+using workload::ShareModel;
+
+int main() {
+    bench::print_header(
+        "Signal-delivery ablation — instant vs 10 ms hardclock-tick SIGSTOP");
+
+    util::TextTable t({"Workload", "Q (ms)", "instant err %", "tick-delivery err %"});
+    for (const ShareModel model : {ShareModel::kSkewed, ShareModel::kLinear}) {
+        for (const int n : {5, 10, 20}) {
+            for (const int q : {10, 20, 40}) {
+                workload::SimRunConfig cfg;
+                cfg.shares = workload::make_shares(model, n);
+                cfg.quantum = util::msec(q);
+                cfg.measure_cycles = bench::measure_cycles();
+                const auto ideal = workload::run_cpu_bound_experiment(cfg);
+                cfg.stop_latency_grid = util::msec(10);
+                const auto ticked = workload::run_cpu_bound_experiment(cfg);
+                t.add_row({std::string(workload::to_string(model)) + std::to_string(n),
+                           std::to_string(q),
+                           util::fmt(100.0 * ideal.mean_rms_error, 2),
+                           util::fmt(100.0 * ticked.mean_rms_error, 2)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nDelivery granularity changes little: on one CPU the target "
+                 "of an ALPS stop is never running when signalled.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 6: how ALPS reacts to a process performing I/O.
+//
+// Three processes A, B, C with shares 1:2:3 at a 10 ms quantum; after a
+// steady-state period, B starts "I/O": 240 ms of sleep per 80 ms of CPU.
+// Expected shape: before onset (and in B's active stretches) the shares are
+// 16.7/33.3/50.0; while B is blocked, ALPS redistributes its time 1:3, i.e.
+// A gets 25% and C 75%.
+#include <iostream>
+
+#include "../bench/common.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/experiments.h"
+
+using namespace alps;
+
+int main() {
+    bench::print_header("Figure 6 — I/O: redistribution while the 2-share process blocks");
+
+    workload::IoRunConfig cfg;
+    cfg.steady_cycles = bench::full_scale() ? 590 : 40;  // paper: onset near cycle 590
+    cfg.observe_cycles = bench::full_scale() ? 80 : 60;
+    const workload::IoRunResult r = workload::run_io_experiment(cfg);
+
+    std::cout << "\nI/O onset at cycle " << r.io_onset_cycle << "; share(%) per cycle:\n";
+    util::TextTable series({"Cycle", "A (1 share)", "B (2 shares, I/O)", "C (3 shares)"});
+    const std::size_t from =
+        r.io_onset_cycle > 12 ? static_cast<std::size_t>(r.io_onset_cycle) - 12 : 0;
+    for (std::size_t i = from; i < r.fractions.size(); ++i) {
+        series.add_row({std::to_string(r.cycle_index[i]),
+                        util::fmt(100.0 * r.fractions[i][0], 1),
+                        util::fmt(100.0 * r.fractions[i][1], 1),
+                        util::fmt(100.0 * r.fractions[i][2], 1)});
+    }
+    series.print(std::cout);
+
+    // Regime means, as the figure conveys.
+    util::RunningStats a_blocked, c_blocked, a_active, b_active, c_active;
+    for (std::size_t i = static_cast<std::size_t>(r.io_onset_cycle) + 2;
+         i < r.fractions.size(); ++i) {
+        const auto& f = r.fractions[i];
+        if (f[1] < 0.08) {
+            a_blocked.add(f[0]);
+            c_blocked.add(f[2]);
+        } else if (f[1] > 0.25) {
+            a_active.add(f[0]);
+            b_active.add(f[1]);
+            c_active.add(f[2]);
+        }
+    }
+    std::cout << "\nRegime means after onset:\n";
+    util::TextTable t({"Regime", "A (%)", "B (%)", "C (%)", "paper"});
+    t.add_row({"B active", util::fmt(100 * a_active.mean(), 1),
+               util::fmt(100 * b_active.mean(), 1), util::fmt(100 * c_active.mean(), 1),
+               "16.7 / 33.3 / 50.0"});
+    t.add_row({"B blocked", util::fmt(100 * a_blocked.mean(), 1), "~0",
+               util::fmt(100 * c_blocked.mean(), 1), "25.0 / 0 / 75.0"});
+    t.print(std::cout);
+    return 0;
+}

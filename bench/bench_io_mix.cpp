@@ -1,0 +1,131 @@
+// I/O-mix extension: how far does the §2.4 blocked-process heuristic carry?
+//
+// The paper demonstrates I/O handling with one blocking process out of three
+// (Figure 6). Here workloads mix several I/O duty cycles, and the measured
+// long-run allocation is compared against the demand-capped proportional-
+// share reference (metrics::waterfill) — the allocation an omniscient
+// scheduler would produce.
+//
+// Measured result: ALPS systematically *under-serves* I/O-bound clients
+// relative to that ideal. The paper's heuristic charges a full quantum of
+// allowance per blocked sample ("the process gave up its right to execute"),
+// including samples taken during sleeps the client would happily have
+// traded for CPU later; the paper itself notes the wake-up case "will have
+// effectively been penalized". The penalty compounds for small shares — a
+// 1-share client loses its entire per-cycle entitlement to a single blocked
+// sample — and for workloads where everyone blocks (scenario 3). Compute-
+// bound clients absorb the difference share-proportionally, so the paper's
+// headline demo (one blocker, Figure 6) still looks clean: its blocker's
+// demand exactly matched what the penalty left it.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "../bench/common.h"
+#include "alps/sim_adapter.h"
+#include "metrics/waterfill.h"
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/table.h"
+
+using namespace alps;
+
+namespace {
+
+struct Client {
+    util::Share share;
+    /// Zero: compute-bound. Otherwise: CPU duty cycle as burst/(burst+sleep).
+    util::Duration burst{0};
+    util::Duration sleep{0};
+
+    [[nodiscard]] double demand_cap() const {
+        if (burst == util::Duration::zero()) return 1.0;
+        return static_cast<double>(burst.count()) /
+               static_cast<double>((burst + sleep).count());
+    }
+};
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "I/O mix — measured allocation vs demand-capped proportional share");
+
+    const util::Duration wall = bench::full_scale() ? util::sec(240) : util::sec(80);
+
+    const std::vector<std::vector<Client>> scenarios{
+        // The paper's Figure 6 while B blocks (duty 80/320 = 25%... B active
+        // case is covered by bench_fig6_io; here B's duty is its cap).
+        {{1, {}, {}}, {2, util::msec(80), util::msec(240)}, {3, {}, {}}},
+        // Half the clients I/O-bound with distinct duties.
+        {{1, {}, {}},
+         {2, util::msec(10), util::msec(90)},
+         {3, {}, {}},
+         {4, util::msec(30), util::msec(70)},
+         {5, {}, {}},
+         {6, util::msec(5), util::msec(5)}},
+        // Every client I/O-bound: the machine should go partly idle and
+        // everyone should get exactly their demand.
+        {{1, util::msec(10), util::msec(40)},
+         {2, util::msec(20), util::msec(80)},
+         {3, util::msec(5), util::msec(45)}},
+    };
+
+    int scenario_no = 0;
+    for (const auto& clients : scenarios) {
+        sim::Engine engine;
+        os::Kernel kernel(engine);
+        core::SchedulerConfig cfg;
+        cfg.quantum = util::msec(10);
+        core::SimAlps alps(kernel, cfg);
+
+        std::vector<os::Pid> pids;
+        std::vector<util::Share> shares;
+        std::vector<double> caps;
+        for (const Client& c : clients) {
+            std::unique_ptr<os::Behavior> b;
+            if (c.burst == util::Duration::zero()) {
+                b = std::make_unique<os::CpuBoundBehavior>();
+            } else {
+                b = std::make_unique<os::PhasedIoBehavior>(c.burst, c.sleep);
+            }
+            const os::Pid pid = kernel.spawn("c", 0, std::move(b));
+            alps.manage(pid, c.share);
+            pids.push_back(pid);
+            shares.push_back(c.share);
+            caps.push_back(c.demand_cap());
+        }
+
+        // Settle one quarter, measure the rest.
+        engine.run_until(engine.now() + wall / 4);
+        std::vector<util::Duration> base;
+        for (const os::Pid p : pids) base.push_back(kernel.cpu_time(p));
+        const util::TimePoint t0 = kernel.now();
+        engine.run_until(engine.now() + wall);
+        const double window = util::to_sec(kernel.now() - t0);
+
+        const auto expected = metrics::waterfill(shares, caps);
+        std::cout << "\nScenario " << ++scenario_no << ":\n";
+        util::TextTable t({"Share", "Duty cap %", "Waterfill %", "Measured %",
+                           "abs diff"});
+        double worst = 0.0;
+        for (std::size_t i = 0; i < pids.size(); ++i) {
+            const double measured =
+                util::to_sec(kernel.cpu_time(pids[i]) - base[i]) / window;
+            worst = std::max(worst, std::abs(measured - expected[i]));
+            t.add_row({std::to_string(shares[i]), util::fmt(100 * caps[i], 1),
+                       util::fmt(100 * expected[i], 2), util::fmt(100 * measured, 2),
+                       util::fmt(100 * std::abs(measured - expected[i]), 2)});
+        }
+        t.print(std::cout);
+        std::cout << "worst absolute deviation: " << util::fmt(100 * worst, 2)
+                  << " percentage points\n";
+    }
+    std::cout << "\n'Waterfill' is the omniscient demand-capped ideal. The "
+                 "gaps on I/O-bound rows are the cost of the §2.4 one-"
+                 "quantum-per-blocked-sample penalty: cheap, stateless, and "
+                 "biased against blockers — especially small-share ones.\n";
+    return 0;
+}

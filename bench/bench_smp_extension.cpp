@@ -1,0 +1,120 @@
+// SMP extension study (beyond the paper, which evaluates a uniprocessor).
+//
+// ALPS's contract is proportional division of *consumed* CPU time. On a
+// multiprocessor with a single-threaded workload that contract interacts
+// with feasibility: a process with weight fraction w on m CPUs can use at
+// most 1/m of the machine's capacity. This harness measures, per CPU count
+// and share vector, the achieved proportions and the machine utilization.
+//
+// Expected shape: proportions exact everywhere; utilization 100% when every
+// process stays eligible (equal shares), dropping as eligibility gating
+// leaves CPUs idle — to ~(S / (m * s_max-normalized)) when a weight is
+// infeasible. In-kernel surplus-fair schedulers (Chandra et al., cited in
+// §1) redistribute that surplus instead; a user-level ALPS cannot, because
+// throttling is its only lever.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "../bench/common.h"
+#include "alps/sim_adapter.h"
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/table.h"
+
+using namespace alps;
+
+namespace {
+
+struct Outcome {
+    std::vector<double> fractions;
+    double utilization = 0.0;
+    double rms_error = 0.0;  // vs nominal share fractions
+};
+
+Outcome run(int ncpus, const std::vector<util::Share>& shares, util::Duration wall) {
+    sim::Engine engine;
+    os::KernelConfig kcfg;
+    kcfg.ncpus = ncpus;
+    os::Kernel kernel(engine, nullptr, kcfg);
+    core::SchedulerConfig scfg;
+    scfg.quantum = util::msec(10);
+    core::SimAlps alps(kernel, scfg);
+    std::vector<os::Pid> pids;
+    for (const auto s : shares) {
+        const os::Pid pid =
+            kernel.spawn("w", 0, std::make_unique<os::CpuBoundBehavior>());
+        alps.manage(pid, s);
+        pids.push_back(pid);
+    }
+    engine.run_until(engine.now() + wall);
+
+    Outcome out;
+    double total = 0.0;
+    for (const os::Pid p : pids) {
+        out.fractions.push_back(util::to_sec(kernel.cpu_time(p)));
+        total += out.fractions.back();
+    }
+    for (auto& f : out.fractions) f /= total;
+    out.utilization = total / (static_cast<double>(ncpus) * util::to_sec(wall));
+
+    const auto ideal = util::ideal_fractions(shares);
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        const double rel = (out.fractions[i] - ideal[i]) / ideal[i];
+        sum_sq += rel * rel;
+    }
+    out.rms_error = std::sqrt(sum_sq / static_cast<double>(shares.size()));
+    return out;
+}
+
+std::string shares_str(const std::vector<util::Share>& s) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < s.size(); ++i) out << (i ? ":" : "") << s[i];
+    return out.str();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("SMP extension — proportions vs utilization on m CPUs");
+
+    const util::Duration wall = bench::full_scale() ? util::sec(120) : util::sec(30);
+    const std::vector<std::vector<util::Share>> workloads{
+        {1, 2, 3}, {1, 1, 8}, {5, 5, 5, 5}, {1, 2, 3, 4, 5, 6}, {1, 1, 1, 1, 16}};
+
+    util::TextTable t({"Shares", "CPUs", "RMS err %", "Utilization %", "max feasible %"});
+    for (const auto& shares : workloads) {
+        for (const int m : {1, 2, 4}) {
+            const Outcome o = run(m, shares, wall);
+            // Strict ratios with each process capped at one CPU: scale until
+            // the largest weight saturates its CPU.
+            util::Share total = 0;
+            util::Share smax = 0;
+            for (const auto s : shares) {
+                total += s;
+                smax = std::max(smax, s);
+            }
+            const double cap = std::min(
+                1.0, static_cast<double>(total) /
+                         (static_cast<double>(smax) * static_cast<double>(m)));
+            t.add_row({shares_str(shares), std::to_string(m),
+                       util::fmt(100.0 * o.rms_error, 2),
+                       util::fmt(100.0 * o.utilization, 1),
+                       util::fmt(100.0 * std::min(
+                                             cap, static_cast<double>(shares.size()) /
+                                                      static_cast<double>(m)),
+                                 1)});
+        }
+    }
+    t.print(std::cout);
+    bench::maybe_write_csv("smp_extension", t);
+    std::cout << "\n'max feasible %' is the best any scheduler could do while "
+                 "holding the exact ratios with single-threaded processes.\n"
+                 "ALPS holds the ratios (err ~0) but utilization falls short of "
+                 "even that bound: eligibility gating idles CPUs mid-cycle.\n";
+    return 0;
+}

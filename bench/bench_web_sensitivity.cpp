@@ -1,0 +1,74 @@
+// Section-5 sensitivity study (beyond the paper).
+//
+// The paper runs the web experiment at one operating point: a 100 ms quantum
+// and a 1 s membership refresh. Why 100 ms — ten times the quantum of the
+// synthetic experiments? This harness sweeps both knobs.
+//
+// Expected shape: throughput ratios stay ~1:2:3 across quanta (the group's
+// *aggregate* consumption is what ALPS meters), while overhead scales with
+// tick rate times group size — at a 10 ms quantum ALPS samples ~150 worker
+// processes' /proc entries per second-of-quanta, which is exactly why the
+// paper runs this workload at 100 ms. The refresh period trades discovery
+// latency for scan cost; within seconds it barely matters because worker
+// pools churn slowly.
+#include <iostream>
+
+#include "../bench/common.h"
+#include "util/table.h"
+#include "web/experiment.h"
+
+using namespace alps;
+
+namespace {
+
+struct Row {
+    double r1, r2, r3, total, ovh;
+};
+
+Row run(util::Duration quantum, util::Duration refresh, util::Duration measure) {
+    web::WebExperimentConfig cfg;
+    cfg.use_alps = true;
+    cfg.quantum = quantum;
+    cfg.refresh_period = refresh;
+    cfg.warmup = util::sec(8);
+    cfg.measure = measure;
+    const auto r = web::run_web_experiment(cfg);
+    const double total = r.throughput_rps[0] + r.throughput_rps[1] + r.throughput_rps[2];
+    return {r.throughput_rps[0], r.throughput_rps[1], r.throughput_rps[2], total,
+            100.0 * r.alps_overhead_fraction};
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Section 5 sensitivity — quantum and refresh period");
+
+    const util::Duration measure = bench::full_scale() ? util::sec(90) : util::sec(30);
+
+    std::cout << "\nQuantum sweep (refresh fixed at 1 s):\n";
+    util::TextTable tq({"Quantum (ms)", "site1", "site2", "site3", "total req/s",
+                        "ALPS ovh %"});
+    for (const int q : {10, 25, 50, 100, 200, 400}) {
+        const Row r = run(util::msec(q), util::sec(1), measure);
+        tq.add_row({std::to_string(q), util::fmt(r.r1, 1), util::fmt(r.r2, 1),
+                    util::fmt(r.r3, 1), util::fmt(r.total, 1), util::fmt(r.ovh, 3)});
+    }
+    tq.print(std::cout);
+    bench::maybe_write_csv("web_sensitivity_quantum", tq);
+
+    std::cout << "\nRefresh-period sweep (quantum fixed at 100 ms):\n";
+    util::TextTable tr({"Refresh (ms)", "site1", "site2", "site3", "total req/s",
+                        "ALPS ovh %"});
+    for (const int ms : {250, 500, 1000, 2000, 5000}) {
+        const Row r = run(util::msec(100), util::msec(ms), measure);
+        tr.add_row({std::to_string(ms), util::fmt(r.r1, 1), util::fmt(r.r2, 1),
+                    util::fmt(r.r3, 1), util::fmt(r.total, 1), util::fmt(r.ovh, 3)});
+    }
+    tr.print(std::cout);
+    bench::maybe_write_csv("web_sensitivity_refresh", tr);
+
+    std::cout << "\nPaper's operating point: Q=100 ms, refresh=1 s, throughput "
+                 "{18, 35, 53}. Ratios should hold everywhere; overhead "
+                 "grows toward short quanta (3 sites x ~51 procs sampled).\n";
+    return 0;
+}

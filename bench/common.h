@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Each binary regenerates one table or figure of the paper (see DESIGN.md's
+// per-experiment index). By default the harnesses run at a reduced but
+// representative scale so the whole suite finishes in a couple of minutes;
+// set ALPS_BENCH_FULL=1 for the paper's full parameters (200 cycles × 3
+// repetitions, N up to 120, etc.).
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace alps::bench {
+
+/// True when ALPS_BENCH_FULL=1: run at the paper's full scale.
+inline bool full_scale() {
+    const char* v = std::getenv("ALPS_BENCH_FULL");
+    return v != nullptr && std::string(v) == "1";
+}
+
+/// Cycles to measure per accuracy run (paper: 200).
+inline int measure_cycles() { return full_scale() ? 200 : 60; }
+
+/// Repetitions per data point (paper: mean of 3 tests).
+inline int repetitions() { return full_scale() ? 3 : 1; }
+
+/// If ALPS_BENCH_CSV names a directory, also writes the table there as
+/// `<name>.csv` (for replotting).
+inline void maybe_write_csv(const std::string& name, const util::TextTable& table) {
+    const char* dir = std::getenv("ALPS_BENCH_CSV");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: cannot write " << path << "\n";
+        return;
+    }
+    out << table.render_csv();
+    std::cout << "(csv written to " << path << ")\n";
+}
+
+inline void print_header(const std::string& title) {
+    std::cout << "==============================================================\n"
+              << title << "\n"
+              << (full_scale() ? "(full paper scale: ALPS_BENCH_FULL=1)"
+                               : "(reduced scale; set ALPS_BENCH_FULL=1 for paper scale)")
+              << "\n"
+              << "==============================================================\n";
+}
+
+}  // namespace alps::bench

@@ -1,0 +1,87 @@
+// Two independent applications, each with its own ALPS (paper §4.1): ALPSs
+// do not coordinate, require no special privilege, and each apportions
+// whatever CPU the kernel happens to give its application.
+//
+// App "render" (shares 1:1:2) starts first and owns the whole machine; app
+// "batch" (shares 1:4) arrives later and the kernel splits the machine
+// roughly by process count — yet *within* each app the ratios stay exact.
+#include <array>
+#include <iostream>
+#include <memory>
+
+#include "alps/sim_adapter.h"
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/table.h"
+
+int main() {
+    using namespace alps;
+
+    sim::Engine engine;
+    os::Kernel kernel(engine);
+    core::SchedulerConfig cfg;
+    cfg.quantum = util::msec(10);
+
+    // App 1: "render", three workers 1:1:2.
+    core::SimAlps render(kernel, cfg, core::CostModel{}, "alps-render", 1);
+    std::array<os::Pid, 3> rpids{};
+    const util::Share rshares[] = {1, 1, 2};
+    for (std::size_t i = 0; i < 3; ++i) {
+        rpids[i] = kernel.spawn("render" + std::to_string(i), 1,
+                                std::make_unique<os::CpuBoundBehavior>());
+        render.manage(rpids[i], rshares[i]);
+    }
+
+    engine.run_until(engine.now() + util::sec(10));
+
+    // App 2 arrives: "batch", two workers 1:4, its own ALPS.
+    core::SimAlps batch(kernel, cfg, core::CostModel{}, "alps-batch", 2);
+    std::array<os::Pid, 2> bpids{};
+    const util::Share bshares[] = {1, 4};
+    for (std::size_t i = 0; i < 2; ++i) {
+        bpids[i] = kernel.spawn("batch" + std::to_string(i), 2,
+                                std::make_unique<os::CpuBoundBehavior>());
+        batch.manage(bpids[i], bshares[i]);
+    }
+    std::cout << ">>> t=10s: second application (own ALPS) joins.\n";
+
+    // Snapshot and run the contention phase.
+    std::array<util::Duration, 3> r0{};
+    std::array<util::Duration, 2> b0{};
+    for (std::size_t i = 0; i < 3; ++i) r0[i] = kernel.cpu_time(rpids[i]);
+    for (std::size_t i = 0; i < 2; ++i) b0[i] = kernel.cpu_time(bpids[i]);
+    engine.run_until(engine.now() + util::sec(30));
+
+    double rc[3], bc[2], rtot = 0, btot = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        rc[i] = util::to_sec(kernel.cpu_time(rpids[i]) - r0[i]);
+        rtot += rc[i];
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        bc[i] = util::to_sec(kernel.cpu_time(bpids[i]) - b0[i]);
+        btot += bc[i];
+    }
+
+    std::cout << "\nContention phase (30 s): kernel gave render "
+              << util::fmt(100.0 * rtot / (rtot + btot), 1) << "% and batch "
+              << util::fmt(100.0 * btot / (rtot + btot), 1)
+              << "% of the machine (per-process fairness, 3 vs 2 procs).\n\n";
+
+    util::TextTable t({"App", "Process", "Share", "Target % within app",
+                       "Received % within app"});
+    for (std::size_t i = 0; i < 3; ++i) {
+        t.add_row({"render", std::to_string(rpids[i]), std::to_string(rshares[i]),
+                   util::fmt(100.0 * static_cast<double>(rshares[i]) / 4.0, 1),
+                   util::fmt(100.0 * rc[i] / rtot, 1)});
+    }
+    for (std::size_t i = 0; i < 2; ++i) {
+        t.add_row({"batch", std::to_string(bpids[i]), std::to_string(bshares[i]),
+                   util::fmt(100.0 * static_cast<double>(bshares[i]) / 5.0, 1),
+                   util::fmt(100.0 * bc[i] / btot, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nEach ALPS is accurate within its own application, "
+                 "regardless of the other (paper Table 3).\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+// The paper's Section-5 motivation as a runnable example: a shared web host
+// with three tenants, each an Apache-prefork-style multi-process server, and
+// an administrator who wants CPU isolation between *users*, not processes.
+//
+// Usage: webserver_shares [s1 s2 s3]        (default shares 1 2 3)
+//
+// Runs the closed-loop workload twice on the simulated host — once under the
+// stock kernel scheduler, once with a group-principal ALPS at a 100 ms
+// quantum — and prints the per-tenant throughput.
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+#include "web/experiment.h"
+
+int main(int argc, char** argv) {
+    using namespace alps;
+
+    web::WebExperimentConfig cfg;
+    if (argc == 4) {
+        for (int i = 0; i < 3; ++i) {
+            cfg.shares[static_cast<std::size_t>(i)] = std::stol(argv[i + 1]);
+        }
+    }
+    cfg.warmup = util::sec(8);
+    cfg.measure = util::sec(40);
+
+    std::cout << "Three tenants, 325 closed-loop clients each, CPU-bound "
+                 "dynamic content.\n\nWithout ALPS (kernel scheduler only):\n";
+    cfg.use_alps = false;
+    const auto off = web::run_web_experiment(cfg);
+    cfg.use_alps = true;
+    const auto on = web::run_web_experiment(cfg);
+
+    util::TextTable t({"Tenant", "Share", "kernel-only req/s", "ALPS req/s",
+                       "ALPS resp (s)", "workers"});
+    for (std::size_t i = 0; i < 3; ++i) {
+        t.add_row({"user" + std::to_string(101 + i),
+                   std::to_string(cfg.shares[i]),
+                   util::fmt(off.throughput_rps[i], 1),
+                   util::fmt(on.throughput_rps[i], 1),
+                   util::fmt(on.mean_response_s[i], 1),
+                   std::to_string(on.workers[i])});
+    }
+    t.print(std::cout);
+    std::cout << "\nALPS scheduler overhead: "
+              << util::fmt(100.0 * on.alps_overhead_fraction, 3)
+              << "% of the CPU; host utilization "
+              << util::fmt(100.0 * on.cpu_utilization, 1) << "%.\n"
+              << "A tenant's buggy or malicious CGI code can no longer starve "
+                 "the others.\n";
+    return 0;
+}

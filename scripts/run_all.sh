@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the extension studies.
+#
+#   scripts/run_all.sh [--full]
+#
+# --full runs the benches at the paper's full scale (ALPS_BENCH_FULL=1);
+# outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [[ -x "$b" && -f "$b" ]] || continue
+    echo
+    ALPS_BENCH_FULL=$FULL "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,14 @@
+#include "alps/cost_model.h"
+
+namespace alps::core {
+
+util::Duration CostModel::tick_cost(const TickStats& stats) const {
+    double us = timer_event_us;
+    if (stats.measured > 0) {
+        us += measure_base_us + measure_per_proc_us * stats.measured;
+    }
+    us += signal_us * (stats.suspended + stats.resumed);
+    return util::from_us(us);
+}
+
+}  // namespace alps::core

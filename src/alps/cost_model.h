@@ -1,0 +1,28 @@
+// The cost of one ALPS invocation, per the paper's Table 1 measurements
+// (FreeBSD 4.8 on a 2.2 GHz Pentium 4):
+//
+//     Receive a timer event            9.02 µs
+//     Measure CPU time of n processes  1.1 + 17.4 n µs
+//     Signal a process                 0.97 µs
+//
+// The simulation charges the ALPS driver process this much CPU per tick, so
+// that the overhead figures (5, 8) and the scalability breakdown (Fig 9 /
+// §4.2) arise from ALPS competing for the CPU exactly as on the real host.
+#pragma once
+
+#include "alps/scheduler.h"
+#include "util/time.h"
+
+namespace alps::core {
+
+struct CostModel {
+    double timer_event_us = 9.02;      ///< per invocation
+    double measure_base_us = 1.1;      ///< per invocation that measures >= 1
+    double measure_per_proc_us = 17.4; ///< per entity measured
+    double signal_us = 0.97;           ///< per suspend/resume signal
+
+    /// CPU demand of one tick that performed the given operations.
+    [[nodiscard]] util::Duration tick_cost(const TickStats& stats) const;
+};
+
+}  // namespace alps::core

@@ -1,0 +1,136 @@
+#include "alps/group_control.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace alps::core {
+
+EntityId GroupProcessControl::add_principal(std::string name, std::optional<HostUid> uid) {
+    const EntityId id = next_id_++;
+    Principal pr;
+    pr.name = std::move(name);
+    pr.uid = uid;
+    principals_.emplace(id, std::move(pr));
+    return id;
+}
+
+GroupProcessControl::Principal& GroupProcessControl::get(EntityId id) {
+    auto it = principals_.find(id);
+    ALPS_EXPECT(it != principals_.end());
+    return it->second;
+}
+
+const GroupProcessControl::Principal& GroupProcessControl::get(EntityId id) const {
+    auto it = principals_.find(id);
+    ALPS_EXPECT(it != principals_.end());
+    return it->second;
+}
+
+void GroupProcessControl::join(Principal& pr, HostPid pid) {
+    Member m;
+    m.pid = pid;
+    // Baseline: consumption before joining is not charged to the principal.
+    m.last_cpu = host_.read_pid(pid).cpu_time;
+    pr.members.push_back(m);
+    // The whole principal is one scheduling unit: late joiners inherit its
+    // eligibility.
+    if (pr.suspended) host_.stop_pid(pid);
+}
+
+void GroupProcessControl::add_member(EntityId principal, HostPid pid) {
+    Principal& pr = get(principal);
+    const bool present = std::any_of(pr.members.begin(), pr.members.end(),
+                                     [&](const Member& m) { return m.pid == pid; });
+    ALPS_EXPECT(!present);
+    join(pr, pid);
+}
+
+void GroupProcessControl::remove_member(EntityId principal, HostPid pid) {
+    Principal& pr = get(principal);
+    auto it = std::find_if(pr.members.begin(), pr.members.end(),
+                           [&](const Member& m) { return m.pid == pid; });
+    ALPS_EXPECT(it != pr.members.end());
+    // Charge any unread consumption before letting go, so it is not lost.
+    const Sample s = host_.read_pid(pid);
+    if (s.alive) {
+        pr.cum += s.cpu_time - it->last_cpu;
+        if (pr.suspended) host_.cont_pid(pid);  // do not leave it stopped
+    }
+    pr.members.erase(it);
+}
+
+int GroupProcessControl::refresh(EntityId principal) {
+    Principal& pr = get(principal);
+    if (!pr.uid.has_value()) return 0;
+    const std::vector<HostPid> current = host_.pids_of_user(*pr.uid);
+
+    // Drop members that are gone (their charged consumption stays in cum).
+    std::erase_if(pr.members, [&](const Member& m) {
+        return std::find(current.begin(), current.end(), m.pid) == current.end();
+    });
+    // Join newcomers.
+    for (HostPid pid : current) {
+        const bool known = std::any_of(pr.members.begin(), pr.members.end(),
+                                       [&](const Member& m) { return m.pid == pid; });
+        if (!known) join(pr, pid);
+    }
+    return static_cast<int>(current.size());
+}
+
+int GroupProcessControl::refresh_all() {
+    int scanned = 0;
+    for (auto& [id, pr] : principals_) scanned += refresh(id);
+    return scanned;
+}
+
+std::vector<HostPid> GroupProcessControl::members(EntityId principal) const {
+    const Principal& pr = get(principal);
+    std::vector<HostPid> out;
+    out.reserve(pr.members.size());
+    for (const Member& m : pr.members) out.push_back(m.pid);
+    return out;
+}
+
+const std::string& GroupProcessControl::name(EntityId principal) const {
+    return get(principal).name;
+}
+
+Sample GroupProcessControl::read_progress(EntityId id) {
+    Principal& pr = get(id);
+    bool all_blocked = true;
+    std::vector<HostPid> dead;
+    for (Member& m : pr.members) {
+        const Sample s = host_.read_pid(m.pid);
+        if (!s.alive) {
+            dead.push_back(m.pid);
+            continue;
+        }
+        pr.cum += s.cpu_time - m.last_cpu;
+        m.last_cpu = s.cpu_time;
+        if (!s.blocked) all_blocked = false;
+    }
+    std::erase_if(pr.members, [&](const Member& m) {
+        return std::find(dead.begin(), dead.end(), m.pid) != dead.end();
+    });
+    Sample out;
+    out.cpu_time = pr.cum;
+    // An empty principal is not contending for the CPU either.
+    out.blocked = all_blocked;
+    out.alive = true;  // principals persist even with no processes
+    return out;
+}
+
+void GroupProcessControl::suspend(EntityId id) {
+    Principal& pr = get(id);
+    pr.suspended = true;
+    for (const Member& m : pr.members) host_.stop_pid(m.pid);
+}
+
+void GroupProcessControl::resume(EntityId id) {
+    Principal& pr = get(id);
+    pr.suspended = false;
+    for (const Member& m : pr.members) host_.cont_pid(m.pid);
+}
+
+}  // namespace alps::core

@@ -1,0 +1,50 @@
+// Minimal per-process surface of a host system, from the point of view of an
+// unprivileged user process. Both backends implement it:
+//   * alps::core::SimProcessHost  (sim_adapter.h) over the simulated kernel,
+//   * alps::posix::PosixProcessHost (posix/) over a real /proc + signals.
+//
+// ProcessControl implementations (single-process and group-principal) are
+// built on top of this, so the ALPS core is oblivious to the backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alps/process_control.h"
+
+namespace alps::core {
+
+using HostPid = std::int64_t;
+using HostUid = std::int64_t;
+
+class ProcessHost {
+public:
+    virtual ~ProcessHost() = default;
+
+    /// Cumulative CPU time + blocked flag for one process (getrusage + kvm
+    /// wchan). `alive=false` if the pid no longer exists.
+    virtual Sample read_pid(HostPid pid) = 0;
+
+    /// SIGSTOP / SIGCONT.
+    virtual void stop_pid(HostPid pid) = 0;
+    virtual void cont_pid(HostPid pid) = 0;
+
+    /// Live pids owned by a user (kvm_getprocs analogue), for group-principal
+    /// membership refresh.
+    virtual std::vector<HostPid> pids_of_user(HostUid uid) = 0;
+};
+
+/// The ordinary one-entity-per-process control: EntityId is the pid.
+class PidProcessControl final : public ProcessControl {
+public:
+    explicit PidProcessControl(ProcessHost& host) : host_(host) {}
+
+    Sample read_progress(EntityId id) override { return host_.read_pid(id); }
+    void suspend(EntityId id) override { host_.stop_pid(id); }
+    void resume(EntityId id) override { host_.cont_pid(id); }
+
+private:
+    ProcessHost& host_;
+};
+
+}  // namespace alps::core

@@ -1,0 +1,52 @@
+// The backend interface between the ALPS algorithm and the host system.
+//
+// ALPS (the paper, Section 2) needs exactly three capabilities, all available
+// to an unprivileged UNIX process:
+//   * READ-PROGRESS: a scheduled entity's cumulative CPU time and whether it
+//     is currently blocked (getrusage / kvm wait-channel);
+//   * suspend: make it ineligible to run (SIGSTOP);
+//   * resume: make it eligible again (SIGCONT).
+//
+// A scheduled entity is identified by an EntityId. It is usually one process,
+// but the Section-5 web-server deployment schedules *resource principals* —
+// all processes of a user — as one entity (see group_control.h).
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace alps::core {
+
+/// Identifies one scheduled entity (process or resource principal).
+using EntityId = std::int64_t;
+
+/// One progress observation.
+struct Sample {
+    /// Cumulative CPU time consumed by the entity since it was first seen.
+    /// Monotone non-decreasing.
+    util::Duration cpu_time{0};
+    /// True if the entity is currently blocked (sleeping on a wait channel).
+    bool blocked = false;
+    /// False once the entity no longer exists; the scheduler then drops it.
+    bool alive = true;
+};
+
+/// Host-system backend. Implementations exist for the simulated kernel
+/// (alps/sim_adapter.h) and for a real POSIX system (posix/).
+class ProcessControl {
+public:
+    virtual ~ProcessControl() = default;
+
+    /// Reads the entity's progress. This is the expensive operation the
+    /// lazy-measurement optimization (paper §2.3) minimizes.
+    virtual Sample read_progress(EntityId id) = 0;
+
+    /// Makes the entity ineligible to run (moves it to the ineligible group).
+    virtual void suspend(EntityId id) = 0;
+
+    /// Makes the entity eligible to run again.
+    virtual void resume(EntityId id) = 0;
+};
+
+}  // namespace alps::core

@@ -1,0 +1,230 @@
+#include "alps/scheduler.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::core {
+
+Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg)
+    : control_(control), cfg_(cfg) {
+    ALPS_EXPECT(cfg_.quantum > Duration::zero());
+    ALPS_EXPECT(cfg_.max_parallelism >= 1.0);
+}
+
+void Scheduler::add(EntityId id, Share share) {
+    ALPS_EXPECT(share > 0);
+    ALPS_EXPECT(!entities_.contains(id));
+    Entity e;
+    e.share = share;
+    e.allowance = static_cast<double>(share);  // paper: allowance_i <- share_i
+    e.eligible = false;                        // paper: state_i <- ineligible
+    e.update = count_;                         // due for its first measurement
+    const Sample s = control_.read_progress(id);
+    e.last_cpu = s.cpu_time;
+    e.have_baseline = true;
+    // Ineligible entities are suspended; it becomes eligible on the next
+    // tick, thanks to its positive allowance.
+    control_.suspend(id);
+    entities_.emplace(id, e);
+    total_shares_ += share;
+    // Keep the invariant sum(a_i)*Q == t_c: the newcomer brings its
+    // allowance into the cycle.
+    tc_ns_ += static_cast<double>(share) * static_cast<double>(cfg_.quantum.count());
+}
+
+void Scheduler::remove(EntityId id) {
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    Entity& e = it->second;
+    if (!e.eligible) control_.resume(id);  // leave nothing suspended behind
+    total_shares_ -= e.share;
+    tc_ns_ -= e.allowance * static_cast<double>(cfg_.quantum.count());
+    entities_.erase(it);
+}
+
+void Scheduler::set_quantum(Duration quantum) {
+    ALPS_EXPECT(quantum > Duration::zero());
+    if (quantum == cfg_.quantum) return;
+    const double scale = static_cast<double>(cfg_.quantum.count()) /
+                         static_cast<double>(quantum.count());
+    for (auto& [id, e] : entities_) {
+        e.allowance *= scale;  // same CPU entitlement, new denomination
+        e.update = count_;     // old postponements are no longer sound
+    }
+    cfg_.quantum = quantum;
+}
+
+void Scheduler::set_share(EntityId id, Share share) {
+    ALPS_EXPECT(share > 0);
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    total_shares_ += share - it->second.share;
+    it->second.share = share;
+}
+
+double Scheduler::allowance(EntityId id) const {
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    return it->second.allowance;
+}
+
+bool Scheduler::eligible(EntityId id) const {
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    return it->second.eligible;
+}
+
+Share Scheduler::share(EntityId id) const {
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    return it->second.share;
+}
+
+std::vector<EntityId> Scheduler::ids() const {
+    std::vector<EntityId> out;
+    out.reserve(entities_.size());
+    for (const auto& [id, e] : entities_) out.push_back(id);
+    return out;
+}
+
+void Scheduler::transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
+                           TickTrace* trace) {
+    if (e.eligible == make_eligible) return;
+    e.eligible = make_eligible;
+    if (make_eligible) {
+        control_.resume(id);
+        ++stats.resumed;
+        if (trace != nullptr) trace->resumed.push_back(id);
+    } else {
+        control_.suspend(id);
+        ++stats.suspended;
+        if (trace != nullptr) trace->suspended.push_back(id);
+    }
+}
+
+void Scheduler::release_all() {
+    for (auto& [id, e] : entities_) {
+        if (!e.eligible) {
+            control_.resume(id);
+            e.eligible = true;
+        }
+    }
+}
+
+TickStats Scheduler::tick() {
+    TickStats stats;
+    ++count_;  // paper: count <- count + 1
+    TickTrace trace;
+    TickTrace* tp = tick_observer_ ? &trace : nullptr;
+    if (entities_.empty()) {
+        if (tp != nullptr) {
+            trace.tick = count_;
+            tick_observer_(trace);
+        }
+        return stats;
+    }
+
+    const auto quantum_ns = static_cast<double>(cfg_.quantum.count());
+    std::vector<EntityId> dead;
+
+    // --- Measurement loop (Figure 3, first for-all) ---
+    for (auto& [id, e] : entities_) {
+        if (!e.eligible) continue;  // cannot have run: skip (free of charge)
+        if (cfg_.lazy_measurement && e.update > count_) continue;
+
+        const Sample s = control_.read_progress(id);
+        ++stats.measured;
+        ++total_measurements_;
+        if (tp != nullptr) trace.measured.push_back(id);
+        if (!s.alive) {
+            dead.push_back(id);
+            continue;
+        }
+        const Duration consumed = s.cpu_time - e.last_cpu;
+        ALPS_ENSURE(consumed >= Duration::zero());
+        e.last_cpu = s.cpu_time;
+        e.cycle_consumed += consumed;
+        e.allowance -= static_cast<double>(consumed.count()) / quantum_ns;
+        tc_ns_ -= static_cast<double>(consumed.count());
+
+        if (cfg_.io_accounting && s.blocked) {
+            // §2.4: the blocked process gave up one quantum's worth of its
+            // right to run; shorten the cycle by the same amount.
+            e.allowance -= 1.0;
+            tc_ns_ -= quantum_ns;
+        }
+    }
+
+    // Entities that vanished take their remaining allowance with them.
+    for (EntityId id : dead) {
+        auto it = entities_.find(id);
+        total_shares_ -= it->second.share;
+        tc_ns_ -= it->second.allowance * quantum_ns;
+        entities_.erase(it);
+    }
+    if (entities_.empty()) {
+        if (tp != nullptr) {
+            trace.tick = count_;
+            tick_observer_(trace);
+        }
+        return stats;
+    }
+
+    // --- Cycle completion (Figure 3, middle) ---
+    int cycles = 0;
+    if (tc_ns_ <= 0.0) {
+        cycles = 1;
+        tc_ns_ += static_cast<double>(total_shares_) * quantum_ns;
+        stats.cycle_completed = true;
+        emit_cycle_record();
+        ++cycles_done_;
+    }
+
+    // --- Allowance refresh and partition (Figure 3, second for-all) ---
+    for (auto& [id, e] : entities_) {
+        e.allowance += static_cast<double>(e.share * cycles);
+        transition(id, e, e.allowance > 0.0, stats, tp);
+        if (!cfg_.lazy_measurement) continue;
+        if (e.update <= count_) {
+            // §2.3: entity i cannot exhaust its allowance in fewer than
+            // ceil(allowance / parallelism) quanta, so skip measuring it
+            // until then.
+            const double quanta_until_due =
+                std::max(std::ceil(e.allowance / cfg_.max_parallelism), 1.0);
+            e.update = count_ + static_cast<std::uint64_t>(quanta_until_due);
+        }
+    }
+
+    if (tp != nullptr) {
+        trace.tick = count_;
+        trace.cycle_completed = stats.cycle_completed;
+        trace.cycle_time_remaining = cycle_time_remaining();
+        trace.entities.reserve(entities_.size());
+        trace.allowances.reserve(entities_.size());
+        for (const auto& [id, e] : entities_) {
+            trace.entities.push_back(id);
+            trace.allowances.push_back(e.allowance);
+        }
+        tick_observer_(trace);
+    }
+    return stats;
+}
+
+void Scheduler::emit_cycle_record() {
+    if (observer_) {
+        CycleRecord rec;
+        rec.index = cycles_done_;
+        rec.end_tick = count_;
+        rec.ids.reserve(entities_.size());
+        for (const auto& [id, e] : entities_) {
+            rec.ids.push_back(id);
+            rec.shares.push_back(e.share);
+            rec.consumed.push_back(e.cycle_consumed);
+        }
+        observer_(rec);
+    }
+    for (auto& [id, e] : entities_) e.cycle_consumed = Duration::zero();
+}
+
+}  // namespace alps::core

@@ -1,0 +1,182 @@
+// The ALPS scheduling algorithm (paper Figure 3).
+//
+// State model:
+//   * Each entity i has a share s_i, an allowance a_i (in quanta of CPU
+//     time it may still consume this cycle), and a state (eligible or
+//     ineligible). Eligible entities contend for the CPU under the kernel's
+//     native policy; ineligible ones are suspended.
+//   * Globally the scheduler keeps the total shares S and the remaining
+//     cycle time t_c. A cycle is S·Q of *consumed* CPU time — proportional
+//     share is guaranteed per cycle, on the "virtual processor" whose speed
+//     the kernel dictates (§2.1).
+//
+// Core invariant (verified by the test suite): at the end of every tick,
+//     Σ_i a_i · Q == t_c
+// Measurements subtract the same amount from both sides; the blocked-process
+// heuristic subtracts one quantum from both sides; a cycle completion adds
+// S (· Q) to both sides; membership changes adjust both sides together.
+//
+// Lazy measurement (§2.3): an entity with allowance a cannot exhaust it in
+// fewer than ⌈a⌉ quanta, so its next measurement is scheduled ⌈a⌉ ticks out.
+// Disable via SchedulerConfig::lazy_measurement to get the paper's
+// "unoptimized" comparison version.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "alps/process_control.h"
+#include "alps/trace.h"
+#include "util/shares.h"
+#include "util/time.h"
+
+namespace alps::core {
+
+using util::Duration;
+using util::Share;
+
+struct SchedulerConfig {
+    /// The ALPS quantum Q — the period between algorithm invocations and the
+    /// unit of allowance. The paper evaluates 10–40 ms (100 ms in §5).
+    Duration quantum = util::msec(10);
+    /// §2.3 optimization: postpone measuring entity i for ⌈a_i⌉ ticks.
+    bool lazy_measurement = true;
+    /// §2.4: charge blocked entities one quantum and shrink the cycle.
+    bool io_accounting = true;
+    /// Upper bound on how many quanta of CPU one entity can consume per tick.
+    /// 1 for a single process on one CPU (the paper's setting); a group
+    /// principal of k processes on an m-CPU host can burn min(k, m) — the
+    /// lazy-measurement postponement divides by this so it stays a sound
+    /// lower bound.
+    double max_parallelism = 1.0;
+};
+
+/// Everything the algorithm did during one tick; the simulation backend
+/// converts this to CPU cost via the Table-1 cost model.
+struct TickStats {
+    int measured = 0;    ///< entities whose progress was read
+    int suspended = 0;   ///< eligible -> ineligible transitions (signals)
+    int resumed = 0;     ///< ineligible -> eligible transitions (signals)
+    bool cycle_completed = false;
+};
+
+/// Per-cycle accounting record, for the accuracy evaluation (§3.1).
+struct CycleRecord {
+    std::uint64_t index = 0;       ///< cycle number, from 0
+    std::uint64_t end_tick = 0;    ///< tick count at which the cycle ended
+    /// Parallel arrays: entity, its share, and the CPU it consumed during
+    /// this cycle (as measured by ALPS).
+    std::vector<EntityId> ids;
+    std::vector<Share> shares;
+    std::vector<Duration> consumed;
+};
+
+struct SchedulerSnapshot;
+
+class Scheduler {
+public:
+    Scheduler(ProcessControl& control, SchedulerConfig cfg = {});
+
+    // ----- membership -----
+
+    /// Adds an entity with the given share (> 0). Per the paper, its
+    /// allowance starts at `share` and it starts ineligible; it becomes
+    /// eligible (and is resumed) on the next tick. The entity must currently
+    /// be runnable from the host's point of view; ALPS suspends it here so
+    /// that it cannot run before its first tick.
+    void add(EntityId id, Share share);
+
+    /// Removes an entity (resuming it if suspended — ALPS relinquishes
+    /// control). Its unused allowance leaves the cycle.
+    void remove(EntityId id);
+
+    /// Extension: changes an entity's share mid-flight. The entity's
+    /// remaining allowance is kept; future cycles use the new share.
+    void set_share(EntityId id, Share share);
+
+    /// Extension: changes the quantum mid-flight (the accuracy/overhead
+    /// knob, §2.1). Allowances are denominated in quanta, so they are
+    /// rescaled by old/new to keep every entity's remaining CPU entitlement
+    /// — and the Σ a_i·Q == t_c invariant — intact. All measurement
+    /// postponements are reset (they were computed under the old quantum).
+    void set_quantum(Duration quantum);
+
+    [[nodiscard]] bool contains(EntityId id) const { return entities_.contains(id); }
+    [[nodiscard]] std::size_t size() const { return entities_.size(); }
+
+    // ----- operation -----
+
+    /// One invocation of the Figure-3 algorithm. Call every quantum.
+    TickStats tick();
+
+    /// Hands every entity back to the kernel (resumes all suspended ones).
+    /// Used at teardown so no process is left SIGSTOPped.
+    void release_all();
+
+    // ----- observation -----
+
+    using CycleObserver = std::function<void(const CycleRecord&)>;
+    /// Called at the end of every cycle with that cycle's consumption.
+    void set_cycle_observer(CycleObserver obs) { observer_ = std::move(obs); }
+
+    using TickObserver = std::function<void(const TickTrace&)>;
+    /// Called after every tick with that tick's decisions (see trace.h).
+    /// Costs nothing when unset.
+    void set_tick_observer(TickObserver obs) { tick_observer_ = std::move(obs); }
+
+    [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+    [[nodiscard]] Share total_shares() const { return total_shares_; }
+    [[nodiscard]] Duration cycle_length() const {
+        return cfg_.quantum * total_shares_;
+    }
+    /// Remaining CPU time in the current cycle (t_c in the paper).
+    [[nodiscard]] Duration cycle_time_remaining() const {
+        return Duration{static_cast<std::int64_t>(tc_ns_)};
+    }
+    [[nodiscard]] std::uint64_t tick_count() const { return count_; }
+    [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_done_; }
+    [[nodiscard]] std::uint64_t total_measurements() const { return total_measurements_; }
+
+    /// Remaining allowance of an entity, in quanta.
+    [[nodiscard]] double allowance(EntityId id) const;
+    [[nodiscard]] bool eligible(EntityId id) const;
+    [[nodiscard]] Share share(EntityId id) const;
+    [[nodiscard]] std::vector<EntityId> ids() const;
+
+private:
+    friend SchedulerSnapshot snapshot(const Scheduler&);
+    friend void restore(Scheduler&, const SchedulerSnapshot&);
+
+    struct Entity {
+        Share share = 0;
+        double allowance = 0.0;         ///< in quanta
+        bool eligible = false;
+        std::uint64_t update = 0;       ///< next tick index at which to measure
+        Duration last_cpu{0};           ///< cumulative CPU at last measurement
+        Duration cycle_consumed{0};     ///< consumption logged this cycle
+        bool have_baseline = false;     ///< first read_progress done
+    };
+
+    /// Applies an eligibility transition through the backend.
+    void transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
+                    TickTrace* trace);
+
+    void emit_cycle_record();
+
+    ProcessControl& control_;
+    SchedulerConfig cfg_;
+
+    // std::map: deterministic iteration order (by id) for reproducible runs.
+    std::map<EntityId, Entity> entities_;
+    Share total_shares_ = 0;
+    double tc_ns_ = 0.0;  ///< remaining cycle time, in ns (t_c)
+    std::uint64_t count_ = 0;
+    std::uint64_t cycles_done_ = 0;
+    std::uint64_t total_measurements_ = 0;
+    CycleObserver observer_;
+    TickObserver tick_observer_;
+};
+
+}  // namespace alps::core

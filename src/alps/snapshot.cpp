@@ -1,0 +1,106 @@
+#include "alps/snapshot.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace alps::core {
+
+SchedulerSnapshot snapshot(const Scheduler& sched) {
+    SchedulerSnapshot snap;
+    snap.quantum = sched.cfg_.quantum;
+    snap.tc_ns = sched.tc_ns_;
+    snap.tick_count = sched.count_;
+    snap.entities.reserve(sched.entities_.size());
+    for (const auto& [id, e] : sched.entities_) {
+        snap.entities.push_back(
+            {id, e.share, e.allowance, e.eligible, e.last_cpu});
+    }
+    return snap;
+}
+
+void restore(Scheduler& sched, const SchedulerSnapshot& snap) {
+    ALPS_EXPECT(sched.entities_.empty());
+    ALPS_EXPECT(snap.quantum > util::Duration::zero());
+    sched.cfg_.quantum = snap.quantum;
+    sched.tc_ns_ = snap.tc_ns;
+    sched.count_ = snap.tick_count;
+    sched.total_shares_ = 0;
+    for (const auto& es : snap.entities) {
+        ALPS_EXPECT(es.share > 0);
+        Scheduler::Entity e;
+        e.share = es.share;
+        e.allowance = es.allowance;
+        e.eligible = es.eligible;
+        e.update = sched.count_;  // everyone is due at the next tick
+        e.have_baseline = true;
+        // Charge unsupervised consumption at the next tick — unless the
+        // host's counters went backwards (different boot): re-baseline.
+        const Sample now_sample = sched.control_.read_progress(es.id);
+        e.last_cpu = now_sample.cpu_time < es.last_cpu ? now_sample.cpu_time
+                                                       : es.last_cpu;
+        // Enforce the recorded eligibility on the backend.
+        if (es.eligible) {
+            sched.control_.resume(es.id);
+        } else {
+            sched.control_.suspend(es.id);
+        }
+        sched.total_shares_ += es.share;
+        sched.entities_.emplace(es.id, e);
+    }
+}
+
+void serialize(const SchedulerSnapshot& snap, std::ostream& out) {
+    // Full round-trip precision for the floating-point fields.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "alps-snapshot 1\n";
+    out << "quantum_ns " << snap.quantum.count() << "\n";
+    out << "tc_ns " << snap.tc_ns << "\n";
+    out << "tick_count " << snap.tick_count << "\n";
+    for (const auto& e : snap.entities) {
+        out << "entity " << e.id << ' ' << e.share << ' ' << e.allowance << ' '
+            << (e.eligible ? 1 : 0) << ' ' << e.last_cpu.count() << "\n";
+    }
+}
+
+std::optional<SchedulerSnapshot> deserialize(std::istream& in) {
+    std::string magic;
+    int version = 0;
+    if (!(in >> magic >> version) || magic != "alps-snapshot" || version != 1) {
+        return std::nullopt;
+    }
+    SchedulerSnapshot snap;
+    std::string key;
+    while (in >> key) {
+        if (key == "quantum_ns") {
+            std::int64_t ns = 0;
+            if (!(in >> ns) || ns <= 0) return std::nullopt;
+            snap.quantum = util::Duration{ns};
+        } else if (key == "tc_ns") {
+            if (!(in >> snap.tc_ns)) return std::nullopt;
+        } else if (key == "tick_count") {
+            if (!(in >> snap.tick_count)) return std::nullopt;
+        } else if (key == "entity") {
+            SchedulerSnapshot::Entity e;
+            int eligible = 0;
+            std::int64_t last_cpu_ns = 0;
+            if (!(in >> e.id >> e.share >> e.allowance >> eligible >> last_cpu_ns)) {
+                return std::nullopt;
+            }
+            if (e.share <= 0) return std::nullopt;
+            e.eligible = eligible != 0;
+            e.last_cpu = util::Duration{last_cpu_ns};
+            snap.entities.push_back(e);
+        } else {
+            return std::nullopt;  // unknown key: refuse rather than guess
+        }
+    }
+    if (snap.quantum <= util::Duration::zero()) return std::nullopt;
+    return snap;
+}
+
+}  // namespace alps::core

@@ -1,0 +1,55 @@
+// Scheduler state snapshot/restore (extension).
+//
+// A control daemon (alpsctl, or an application-embedded ALPS) may need to
+// restart without losing cycle accounting — otherwise every restart hands
+// back any debt over-consumers owe. A snapshot captures the global cycle
+// state and every entity's share/allowance/eligibility/consumption baseline;
+// restore() rebuilds a scheduler from it, charging whatever the entities
+// consumed while unsupervised (their cumulative CPU counters kept running).
+//
+// The text format is line-oriented (`key value` pairs, one entity per
+// `entity` line) so state can live in a file across process restarts.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "alps/scheduler.h"
+
+namespace alps::core {
+
+struct SchedulerSnapshot {
+    util::Duration quantum{0};
+    double tc_ns = 0.0;
+    std::uint64_t tick_count = 0;
+
+    struct Entity {
+        EntityId id = 0;
+        util::Share share = 0;
+        double allowance = 0.0;
+        bool eligible = false;
+        util::Duration last_cpu{0};
+
+        bool operator==(const Entity&) const = default;
+    };
+    std::vector<Entity> entities;
+
+    bool operator==(const SchedulerSnapshot&) const = default;
+};
+
+/// Captures the scheduler's state (between ticks).
+[[nodiscard]] SchedulerSnapshot snapshot(const Scheduler& sched);
+
+/// Rebuilds scheduler state into `sched`, which must be freshly constructed
+/// (no entities) with any config; the snapshot's quantum and cycle state
+/// replace it. Entities are suspended/resumed to match their recorded
+/// eligibility. If an entity's cumulative CPU went backwards (a different
+/// host boot), its baseline is refreshed instead of charging garbage.
+void restore(Scheduler& sched, const SchedulerSnapshot& snap);
+
+/// Text round-trip.
+void serialize(const SchedulerSnapshot& snap, std::ostream& out);
+[[nodiscard]] std::optional<SchedulerSnapshot> deserialize(std::istream& in);
+
+}  // namespace alps::core

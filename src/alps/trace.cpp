@@ -1,0 +1,42 @@
+#include "alps/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace alps::core {
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+    ALPS_EXPECT(capacity > 0);
+}
+
+void TraceLog::observe(TickTrace trace) {
+    if (traces_.size() >= capacity_) {
+        truncated_ = true;
+        return;
+    }
+    traces_.push_back(std::move(trace));
+}
+
+std::string TraceLog::to_csv() const {
+    std::ostringstream out;
+    out << "tick,entity,allowance,measured,suspended,resumed,cycle_completed,tc_ms\n";
+    const auto contains = [](const std::vector<EntityId>& v, EntityId id) {
+        return std::find(v.begin(), v.end(), id) != v.end();
+    };
+    for (const TickTrace& t : traces_) {
+        for (std::size_t i = 0; i < t.entities.size(); ++i) {
+            const EntityId id = t.entities[i];
+            out << t.tick << ',' << id << ',' << t.allowances[i] << ','
+                << (contains(t.measured, id) ? 1 : 0) << ','
+                << (contains(t.suspended, id) ? 1 : 0) << ','
+                << (contains(t.resumed, id) ? 1 : 0) << ','
+                << (t.cycle_completed ? 1 : 0) << ','
+                << util::to_ms(t.cycle_time_remaining) << '\n';
+        }
+    }
+    return out.str();
+}
+
+}  // namespace alps::core

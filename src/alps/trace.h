@@ -1,0 +1,52 @@
+// Tick-level tracing of the ALPS algorithm's decisions.
+//
+// When an observer is attached (Scheduler::set_tick_observer), every tick
+// emits a TickTrace: what was measured, what changed eligibility, and the
+// global cycle state. TraceLog collects these and can render them as CSV for
+// offline inspection. With no observer attached, tracing costs nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alps/process_control.h"
+#include "util/shares.h"
+#include "util/time.h"
+
+namespace alps::core {
+
+/// One tick's decisions (emitted after the Figure-3 pass completes).
+struct TickTrace {
+    std::uint64_t tick = 0;              ///< invocation index (count)
+    bool cycle_completed = false;
+    util::Duration cycle_time_remaining{0};  ///< t_c after the tick
+    std::vector<EntityId> measured;      ///< progress reads this tick
+    std::vector<EntityId> suspended;     ///< eligible -> ineligible
+    std::vector<EntityId> resumed;       ///< ineligible -> eligible
+    /// Post-tick allowance snapshot, parallel to `entities`.
+    std::vector<EntityId> entities;
+    std::vector<double> allowances;
+};
+
+/// Collects TickTraces; bounded so long experiments cannot exhaust memory.
+class TraceLog {
+public:
+    explicit TraceLog(std::size_t capacity = 100000);
+
+    void observe(TickTrace trace);
+
+    [[nodiscard]] const std::vector<TickTrace>& traces() const { return traces_; }
+    [[nodiscard]] std::size_t size() const { return traces_.size(); }
+    [[nodiscard]] bool truncated() const { return truncated_; }
+
+    /// CSV with one row per (tick, entity): tick, entity, allowance,
+    /// measured, suspended, resumed, cycle_completed, tc_ms.
+    [[nodiscard]] std::string to_csv() const;
+
+private:
+    std::size_t capacity_;
+    bool truncated_ = false;
+    std::vector<TickTrace> traces_;
+};
+
+}  // namespace alps::core

@@ -1,0 +1,54 @@
+#include "metrics/cycle_log.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace alps::metrics {
+
+core::Scheduler::CycleObserver CycleLog::observer() {
+    return [this](const core::CycleRecord& rec) { observe(rec); };
+}
+
+double CycleLog::cycle_rms_error(const core::CycleRecord& rec) {
+    double total = 0.0;
+    util::Share total_shares = 0;
+    for (std::size_t i = 0; i < rec.consumed.size(); ++i) {
+        total += static_cast<double>(rec.consumed[i].count());
+        total_shares += rec.shares[i];
+    }
+    if (total <= 0.0 || total_shares == 0) return 0.0;
+
+    std::vector<double> actual(rec.consumed.size());
+    std::vector<double> ideal(rec.consumed.size());
+    for (std::size_t i = 0; i < rec.consumed.size(); ++i) {
+        actual[i] = static_cast<double>(rec.consumed[i].count());
+        ideal[i] = total * static_cast<double>(rec.shares[i]) /
+                   static_cast<double>(total_shares);
+    }
+    return util::rms_relative_error(actual, ideal);
+}
+
+double CycleLog::mean_rms_relative_error(std::size_t warmup, std::size_t limit) const {
+    if (warmup >= records_.size()) return 0.0;
+    const std::size_t end =
+        limit == 0 ? records_.size() : std::min(records_.size(), warmup + limit);
+    util::RunningStats stats;
+    for (std::size_t i = warmup; i < end; ++i) {
+        stats.add(cycle_rms_error(records_[i]));
+    }
+    return stats.mean();
+}
+
+std::vector<double> CycleLog::cycle_fractions(const core::CycleRecord& rec) {
+    double total = 0.0;
+    for (const auto& c : rec.consumed) total += static_cast<double>(c.count());
+    std::vector<double> out(rec.consumed.size(), 0.0);
+    if (total <= 0.0) return out;
+    for (std::size_t i = 0; i < rec.consumed.size(); ++i) {
+        out[i] = static_cast<double>(rec.consumed[i].count()) / total;
+    }
+    return out;
+}
+
+}  // namespace alps::metrics

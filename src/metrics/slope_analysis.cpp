@@ -1,0 +1,53 @@
+#include "metrics/slope_analysis.h"
+
+#include "util/assert.h"
+
+namespace alps::metrics {
+
+double ConsumptionSeries::rate(util::TimePoint begin, util::TimePoint end) const {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const auto& p : points) {
+        if (p.when >= begin && p.when < end) {
+            xs.push_back(util::to_sec(p.when.since_epoch));
+            ys.push_back(util::to_sec(p.cumulative_cpu));
+        }
+    }
+    ALPS_EXPECT(xs.size() >= 2);
+    return util::linear_fit(xs, ys).slope;
+}
+
+std::size_t ConsumptionSeries::points_in(util::TimePoint begin, util::TimePoint end) const {
+    std::size_t n = 0;
+    for (const auto& p : points) {
+        if (p.when >= begin && p.when < end) ++n;
+    }
+    return n;
+}
+
+std::vector<PhaseShare> analyze_phase(const std::vector<const ConsumptionSeries*>& series,
+                                      const std::vector<util::Share>& shares,
+                                      util::TimePoint begin, util::TimePoint end) {
+    ALPS_EXPECT(series.size() == shares.size());
+    ALPS_EXPECT(!series.empty());
+
+    std::vector<PhaseShare> out(series.size());
+    double rate_sum = 0.0;
+    util::Share share_sum = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        out[i].rate = series[i]->rate(begin, end);
+        rate_sum += out[i].rate;
+        share_sum += shares[i];
+    }
+    ALPS_EXPECT(rate_sum > 0.0);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        out[i].fraction = out[i].rate / rate_sum;
+        out[i].target_fraction =
+            static_cast<double>(shares[i]) / static_cast<double>(share_sum);
+        out[i].relative_error =
+            std::abs(out[i].fraction - out[i].target_fraction) / out[i].target_fraction;
+    }
+    return out;
+}
+
+}  // namespace alps::metrics

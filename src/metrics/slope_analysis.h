@@ -1,0 +1,54 @@
+// The paper's Table-3 analysis machinery.
+//
+// Section 4.1 records, for each process, its cumulative CPU consumption at
+// each of its ALPS's cycle ends, then fits a line per experiment phase; the
+// slope is the process's CPU rate during that phase, and within each group
+// the rates should divide in proportion to the shares.
+#pragma once
+
+#include <vector>
+
+#include "util/shares.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace alps::metrics {
+
+/// One (wall time, cumulative CPU) observation for one process.
+struct ConsumptionPoint {
+    util::TimePoint when;
+    util::Duration cumulative_cpu;
+};
+
+/// Cumulative-consumption series for one process.
+struct ConsumptionSeries {
+    std::vector<ConsumptionPoint> points;
+
+    void add(util::TimePoint when, util::Duration cumulative_cpu) {
+        points.push_back({when, cumulative_cpu});
+    }
+
+    /// Least-squares CPU rate (CPU seconds per wall second) over the window
+    /// [begin, end). Requires >= 2 points in the window.
+    [[nodiscard]] double rate(util::TimePoint begin, util::TimePoint end) const;
+
+    /// Number of points in the window.
+    [[nodiscard]] std::size_t points_in(util::TimePoint begin, util::TimePoint end) const;
+};
+
+/// Per-process result of a phase analysis.
+struct PhaseShare {
+    double rate = 0.0;             ///< absolute CPU rate in the phase
+    double fraction = 0.0;         ///< rate / sum of group rates
+    double target_fraction = 0.0;  ///< share / group total shares
+    double relative_error = 0.0;   ///< |fraction - target| / target
+};
+
+/// For one group of processes with the given shares, computes each process's
+/// fraction of the group's CPU during [begin, end) and its relative error
+/// against the share-proportional target. Series and shares are parallel.
+[[nodiscard]] std::vector<PhaseShare> analyze_phase(
+    const std::vector<const ConsumptionSeries*>& series,
+    const std::vector<util::Share>& shares, util::TimePoint begin, util::TimePoint end);
+
+}  // namespace alps::metrics

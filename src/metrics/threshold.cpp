@@ -1,0 +1,23 @@
+#include "metrics/threshold.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::metrics {
+
+double breakdown_threshold(const util::LinearFit& fit) {
+    const double a = fit.slope;
+    const double b = fit.intercept;
+    ALPS_EXPECT(a > 0.0);
+    // a*N^2 + (a+b)*N + (b-100) = 0
+    const double p = a + b;
+    const double q = b - 100.0;
+    const double disc = p * p - 4.0 * a * q;
+    ALPS_ENSURE(disc >= 0.0);
+    const double root = (-p + std::sqrt(disc)) / (2.0 * a);
+    ALPS_ENSURE(root > 0.0);
+    return root;
+}
+
+}  // namespace alps::metrics

@@ -1,0 +1,20 @@
+// The §4.2 scalability-threshold model.
+//
+// ALPS breaks down once the CPU it needs per quantum exceeds the fair share a
+// kernel time-sharing scheduler would grant it: with N workload processes
+// (plus ALPS itself), that share is 1/(N+1) of the CPU. Given a linear fit of
+// ALPS overhead U_Q(N) = a·N + b (in percent), the predicted breakdown N*
+// solves
+//        U_Q(N*) = 100 / (N* + 1)
+// i.e. the positive root of  a·N² + (a + b)·N + (b − 100) = 0.
+#pragma once
+
+#include "util/stats.h"
+
+namespace alps::metrics {
+
+/// Solves U(N) = 100/(N+1) for the positive root. `fit` is overhead in
+/// percent as a function of N; requires a positive slope.
+[[nodiscard]] double breakdown_threshold(const util::LinearFit& fit);
+
+}  // namespace alps::metrics

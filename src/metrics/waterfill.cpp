@@ -1,0 +1,56 @@
+#include "metrics/waterfill.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace alps::metrics {
+
+std::vector<double> waterfill(std::span<const util::Share> weights,
+                              std::span<const double> demand_caps) {
+    ALPS_EXPECT(weights.size() == demand_caps.size());
+    const std::size_t n = weights.size();
+    std::vector<double> alloc(n, 0.0);
+    if (n == 0) return alloc;
+
+    double remaining = 1.0;
+    std::vector<bool> capped(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        ALPS_EXPECT(weights[i] > 0);
+        ALPS_EXPECT(demand_caps[i] >= 0.0 && demand_caps[i] <= 1.0);
+    }
+
+    // Each round, distribute the remaining CPU proportionally among the
+    // uncapped clients; clients whose cap binds are frozen at their cap and
+    // their overflow is redistributed next round. Terminates in <= n rounds.
+    for (std::size_t round = 0; round < n; ++round) {
+        double weight_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!capped[i]) weight_sum += static_cast<double>(weights[i]);
+        }
+        if (weight_sum == 0.0 || remaining <= 0.0) break;
+        const double level = remaining / weight_sum;
+
+        bool froze_any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (capped[i]) continue;
+            if (demand_caps[i] < static_cast<double>(weights[i]) * level) {
+                alloc[i] = demand_caps[i];
+                remaining -= demand_caps[i];
+                capped[i] = true;
+                froze_any = true;
+            }
+        }
+        if (!froze_any) {
+            // The level is feasible for everyone still unfrozen: final split.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!capped[i]) alloc[i] = static_cast<double>(weights[i]) * level;
+            }
+            return alloc;
+        }
+        // Recompute with the frozen clients' overflow returned to the pool.
+    }
+    return alloc;  // everyone capped (machine partly idle)
+}
+
+}  // namespace alps::metrics

@@ -1,0 +1,72 @@
+// Stock process behaviours used by tests and workloads.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "os/behavior.h"
+
+namespace alps::os {
+
+/// A compute-bound process: runs forever (the paper's synthetic workload).
+class CpuBoundBehavior final : public Behavior {
+public:
+    Action next_action(ProcContext) override { return RunAction{kRunForever}; }
+};
+
+/// Runs for a fixed total amount of CPU time, then exits.
+class FiniteCpuBehavior final : public Behavior {
+public:
+    explicit FiniteCpuBehavior(util::Duration total);
+    Action next_action(ProcContext) override;
+
+private:
+    util::Duration total_;
+    bool started_ = false;
+};
+
+/// Alternates CPU bursts and sleeps forever — the paper's I/O model
+/// (Section 3.3: process B runs 80 ms then sleeps 240 ms). An optional
+/// initial pure-CPU phase delays the onset of I/O, as in Figure 6 where
+/// process B starts I/O only after reaching steady state.
+class PhasedIoBehavior final : public Behavior {
+public:
+    PhasedIoBehavior(util::Duration burst, util::Duration sleep,
+                     util::Duration initial_cpu = util::Duration::zero());
+    Action next_action(ProcContext) override;
+
+private:
+    util::Duration burst_;
+    util::Duration sleep_;
+    util::Duration initial_cpu_;
+    enum class Phase { kInitial, kBurst, kSleep } phase_ = Phase::kInitial;
+};
+
+/// Plays a fixed list of actions, then exits (or repeats).
+class ScriptedBehavior final : public Behavior {
+public:
+    explicit ScriptedBehavior(std::vector<Action> script, bool repeat = false);
+    Action next_action(ProcContext) override;
+
+private:
+    std::vector<Action> script_;
+    std::size_t index_ = 0;
+    bool repeat_;
+};
+
+/// Adapts std::functions into a behaviour (ad-hoc test logic).
+class FunctionBehavior final : public Behavior {
+public:
+    using NextFn = std::function<Action(ProcContext)>;
+    using LazyFn = std::function<util::Duration(ProcContext)>;
+
+    explicit FunctionBehavior(NextFn next, LazyFn lazy = nullptr);
+    Action next_action(ProcContext ctx) override;
+    util::Duration lazy_run_duration(ProcContext ctx) override;
+
+private:
+    NextFn next_;
+    LazyFn lazy_;
+};
+
+}  // namespace alps::os

@@ -1,0 +1,138 @@
+#include "os/bsd_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::os {
+
+BsdPolicy::BsdPolicy(BsdPolicyConfig cfg) : cfg_(cfg) {
+    ALPS_EXPECT(cfg_.stat_tick > util::Duration::zero());
+    ALPS_EXPECT(cfg_.round_robin > util::Duration::zero());
+}
+
+int BsdPolicy::queue_index(const Proc& p) const {
+    // A freshly woken process still holds its kernel sleep priority (PWAIT
+    // class) until it returns to user mode.
+    const double pri = p.wake_boost ? cfg_.sleep_pri : p.usrpri;
+    const double span = cfg_.max_pri + 1.0;
+    int idx = static_cast<int>(pri / (span / kNumQueues));
+    return std::clamp(idx, 0, kNumQueues - 1);
+}
+
+void BsdPolicy::recompute_priority(Proc& p) const {
+    const double pri = cfg_.puser + p.estcpu / 4.0 + 2.0 * p.nice;
+    p.usrpri = std::clamp(pri, cfg_.puser, cfg_.max_pri);
+}
+
+double BsdPolicy::decay_factor(double loadavg) {
+    return (2.0 * loadavg) / (2.0 * loadavg + 1.0);
+}
+
+void BsdPolicy::add(Proc& p) {
+    p.estcpu = 0.0;
+    recompute_priority(p);
+}
+
+void BsdPolicy::remove(Proc& p) {
+    // A process can exit while queued (e.g. killed); make sure it is gone.
+    dequeue(p);
+}
+
+void BsdPolicy::enqueue(Proc& p) {
+    auto& q = queues_[static_cast<std::size_t>(queue_index(p))];
+    // Contract: never enqueue twice.
+    ALPS_EXPECT(std::find(q.begin(), q.end(), &p) == q.end());
+    q.push_back(&p);
+    ++runnable_;
+}
+
+void BsdPolicy::dequeue(Proc& p) {
+    for (auto& q : queues_) {
+        auto it = std::find(q.begin(), q.end(), &p);
+        if (it != q.end()) {
+            q.erase(it);
+            --runnable_;
+            return;
+        }
+    }
+}
+
+Proc* BsdPolicy::peek() {
+    for (auto& q : queues_) {
+        if (!q.empty()) return q.front();
+    }
+    return nullptr;
+}
+
+Proc* BsdPolicy::pop() {
+    for (auto& q : queues_) {
+        if (!q.empty()) {
+            Proc* p = q.front();
+            q.pop_front();
+            --runnable_;
+            return p;
+        }
+    }
+    return nullptr;
+}
+
+bool BsdPolicy::preempts(const Proc& cand, const Proc& running) const {
+    // Queue-granular comparison, as in the real dispatcher.
+    return queue_index(cand) < queue_index(running);
+}
+
+bool BsdPolicy::yields_to(const Proc& running, const Proc& cand) const {
+    // roundrobin(): at slice expiry, yield to an equal-or-better peer.
+    return queue_index(cand) <= queue_index(running);
+}
+
+void BsdPolicy::charge(Proc& p, util::Duration ran) {
+    ALPS_EXPECT(ran >= util::Duration::zero());
+    const double ticks =
+        static_cast<double>(ran.count()) / static_cast<double>(cfg_.stat_tick.count());
+    p.estcpu = std::min(p.estcpu + ticks, cfg_.estcpu_limit);
+    recompute_priority(p);
+}
+
+void BsdPolicy::on_wakeup(Proc& p, util::Duration slept) {
+    // updatepri(): one decay per whole second slept.
+    const auto seconds = slept / util::sec(1);
+    if (seconds >= 1) {
+        const double d = decay_factor(std::max(last_loadavg_, 0.0));
+        p.estcpu *= std::pow(d, static_cast<double>(seconds));
+        recompute_priority(p);
+    }
+}
+
+void BsdPolicy::second_tick(std::span<Proc* const> procs, double loadavg,
+                            util::TimePoint now) {
+    last_loadavg_ = loadavg;
+    const double d = decay_factor(loadavg);
+    for (Proc* p : procs) {
+        if (p->state == RunState::kZombie) continue;
+        // schedcpu skips processes idle for more than a second (p_slptime >
+        // 1); those are decayed wholesale at wakeup/SIGCONT. Short sleepers
+        // (e.g. the 10 ms ALPS timer sleep) decay here like runnable ones.
+        if (p->state == RunState::kSleeping && now - p->sleep_start > util::sec(1)) {
+            continue;
+        }
+        if (p->stopped && now - p->stop_start > util::sec(1)) continue;
+        const bool queued = p->state == RunState::kRunnable && !p->stopped;
+        const double new_estcpu =
+            std::min(d * p->estcpu + static_cast<double>(p->nice), cfg_.estcpu_limit);
+        if (new_estcpu == p->estcpu) continue;
+        const int old_index = queue_index(*p);
+        p->estcpu = new_estcpu;
+        recompute_priority(*p);
+        // Requeue only on an actual cross-queue move so that decay does not
+        // perturb FIFO order within a queue.
+        if (queued && queue_index(*p) != old_index) {
+            dequeue(*p);
+            enqueue(*p);
+        }
+    }
+}
+
+}  // namespace alps::os

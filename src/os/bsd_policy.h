@@ -1,0 +1,74 @@
+// The 4.4BSD time-sharing scheduler (the policy under FreeBSD 4.x, the
+// paper's host kernel), as a SchedPolicy.
+//
+// Model (McKusick et al., "The Design and Implementation of the 4.4BSD
+// Operating System", ch. 4):
+//   * p_estcpu: decaying average of recent CPU use, in statclock ticks
+//     (1 tick = 10 ms here). Incremented while running; once per second
+//     schedcpu() applies  estcpu <- estcpu * 2L/(2L+1) + nice  where L is the
+//     1-minute load average; clamped to ESTCPULIM.
+//   * p_usrpri = PUSER + estcpu/4 + 2*nice, clamped to [PUSER, 127]; lower is
+//     better.
+//   * Processes that slept >= 1 s get their estcpu decayed once per slept
+//     second at wakeup (updatepri) — this is the "interactive credit" the
+//     paper invokes to explain ALPS exceeding its theoretical scalability
+//     threshold at Q = 40 ms.
+//   * 32 run queues indexed by usrpri/4; FIFO within a queue; roundrobin()
+//     forces a switch among equal-priority peers every 100 ms.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "os/policy.h"
+
+namespace alps::os {
+
+struct BsdPolicyConfig {
+    /// Statclock period: one estcpu "tick" of CPU use.
+    util::Duration stat_tick = util::msec(10);
+    /// Round-robin interval (RR slice among equal-priority processes).
+    util::Duration round_robin = util::msec(100);
+    double puser = 50.0;      ///< base user priority (PUSER)
+    double max_pri = 127.0;   ///< worst priority
+    double estcpu_limit = 255.0;  ///< ESTCPULIM
+    /// Kernel sleep priority a woken process briefly holds (PWAIT class);
+    /// always beats user priorities, so sleepers preempt compute-bound work.
+    double sleep_pri = 32.0;
+};
+
+class BsdPolicy final : public SchedPolicy {
+public:
+    explicit BsdPolicy(BsdPolicyConfig cfg = {});
+
+    void add(Proc& p) override;
+    void remove(Proc& p) override;
+    void enqueue(Proc& p) override;
+    void dequeue(Proc& p) override;
+    Proc* peek() override;
+    Proc* pop() override;
+    [[nodiscard]] bool preempts(const Proc& cand, const Proc& running) const override;
+    [[nodiscard]] bool yields_to(const Proc& running, const Proc& cand) const override;
+    void charge(Proc& p, util::Duration ran) override;
+    void on_wakeup(Proc& p, util::Duration slept) override;
+    void second_tick(std::span<Proc* const> procs, double loadavg,
+                     util::TimePoint now) override;
+    [[nodiscard]] util::Duration slice() const override { return cfg_.round_robin; }
+
+    [[nodiscard]] const BsdPolicyConfig& config() const { return cfg_; }
+
+private:
+    static constexpr int kNumQueues = 32;
+
+    [[nodiscard]] int queue_index(const Proc& p) const;
+    void recompute_priority(Proc& p) const;
+    /// The schedcpu/updatepri decay factor 2L/(2L+1).
+    [[nodiscard]] static double decay_factor(double loadavg);
+
+    BsdPolicyConfig cfg_;
+    std::array<std::deque<Proc*>, kNumQueues> queues_;
+    std::size_t runnable_ = 0;
+    double last_loadavg_ = 0.0;  ///< load used for wakeup credit between ticks
+};
+
+}  // namespace alps::os

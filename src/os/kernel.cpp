@@ -1,0 +1,506 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "os/bsd_policy.h"
+#include "util/assert.h"
+
+namespace alps::os {
+
+using util::Duration;
+using util::TimePoint;
+
+Kernel::Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy, KernelConfig cfg)
+    : engine_(engine),
+      policy_(policy ? std::move(policy) : std::make_unique<BsdPolicy>()),
+      cfg_(cfg) {
+    ALPS_EXPECT(cfg_.ncpus >= 1);
+    ALPS_EXPECT(cfg_.schedcpu_period > Duration::zero());
+    ALPS_EXPECT(cfg_.loadavg_tau > Duration::zero());
+    running_.assign(static_cast<std::size_t>(cfg_.ncpus), nullptr);
+    decision_events_.assign(static_cast<std::size_t>(cfg_.ncpus), 0);
+    last_on_cpu_.assign(static_cast<std::size_t>(cfg_.ncpus), kNoPid);
+    engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
+}
+
+Kernel::~Kernel() = default;
+
+// ----------------------------------------------------------------------------
+// Process table
+
+Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice) {
+    ALPS_EXPECT(behavior != nullptr);
+    const Pid pid = next_pid_++;
+    auto owned = std::make_unique<Proc>();
+    Proc& p = *owned;
+    p.pid = pid;
+    p.name = std::move(name);
+    p.uid = uid;
+    p.nice = nice;
+    p.state = RunState::kRunnable;
+    p.behavior = std::move(behavior);
+    p.last_charge = now();
+    table_.emplace(pid, std::move(owned));
+    ordered_.push_back(&p);
+    policy_->add(p);
+
+    const Action first = p.behavior->next_action({*this, pid});
+    apply_action(p, first);
+    schedule();
+    return pid;
+}
+
+void Kernel::reap(Pid pid) {
+    Proc& p = proc_mut(pid);
+    ALPS_EXPECT(p.state == RunState::kZombie);
+    ordered_.erase(std::find(ordered_.begin(), ordered_.end(), &p));
+    table_.erase(pid);
+}
+
+Proc& Kernel::proc_mut(Pid pid) {
+    auto it = table_.find(pid);
+    ALPS_EXPECT(it != table_.end());
+    return *it->second;
+}
+
+const Proc& Kernel::proc(Pid pid) const {
+    auto it = table_.find(pid);
+    ALPS_EXPECT(it != table_.end());
+    return *it->second;
+}
+
+bool Kernel::alive(Pid pid) const {
+    auto it = table_.find(pid);
+    return it != table_.end() && it->second->state != RunState::kZombie;
+}
+
+bool Kernel::exists(Pid pid) const { return table_.contains(pid); }
+
+Duration Kernel::cpu_time(Pid pid) const {
+    const Proc& p = proc(pid);
+    Duration t = p.cpu_consumed;
+    if (p.on_cpu >= 0) t += now() - p.last_charge;
+    return t;
+}
+
+bool Kernel::is_blocked(Pid pid) const { return proc(pid).blocked(); }
+
+std::vector<Pid> Kernel::pids_of_uid(Uid uid) const {
+    std::vector<Pid> out;
+    for (const Proc* p : ordered_) {
+        if (p->uid == uid && p->state != RunState::kZombie) out.push_back(p->pid);
+    }
+    return out;
+}
+
+std::vector<Pid> Kernel::live_pids() const {
+    std::vector<Pid> out;
+    for (const Proc* p : ordered_) {
+        if (p->state != RunState::kZombie) out.push_back(p->pid);
+    }
+    return out;
+}
+
+util::Duration Kernel::busy_time() const {
+    Duration t = busy_;
+    for (const Proc* p : running_) {
+        if (p != nullptr) t += now() - p->last_charge;
+    }
+    return t;
+}
+
+Pid Kernel::running_pid_on(int cpu) const {
+    ALPS_EXPECT(cpu >= 0 && cpu < cfg_.ncpus);
+    const Proc* p = running_[static_cast<std::size_t>(cpu)];
+    return p != nullptr ? p->pid : kNoPid;
+}
+
+std::size_t Kernel::eligible_count() const {
+    std::size_t n = 0;
+    for (const Proc* p : ordered_) {
+        if (p->eligible()) ++n;
+    }
+    return n;
+}
+
+// ----------------------------------------------------------------------------
+// Signals and wakeups
+
+void Kernel::send_signal(Pid pid, Signal sig) {
+    Proc& p = proc_mut(pid);
+    if (p.state == RunState::kZombie) return;
+    switch (sig) {
+        case Signal::kStop:
+            if (p.stopped || p.pending_stop_event != 0) return;
+            // A running process only acts on the stop when it next enters
+            // the kernel — at the next hardclock tick under the latency
+            // model (see KernelConfig::stop_latency_grid).
+            if (cfg_.stop_latency_grid > Duration::zero() && p.on_cpu >= 0) {
+                const auto grid = cfg_.stop_latency_grid.count();
+                const auto boundary = (now().since_epoch.count() / grid + 1) * grid;
+                p.pending_stop_event = engine_.schedule_at(
+                    TimePoint{Duration{boundary}}, [this, pid] {
+                        Proc& target = proc_mut(pid);
+                        target.pending_stop_event = 0;
+                        if (target.state == RunState::kZombie || target.stopped) return;
+                        apply_stop(target);
+                        schedule();
+                    });
+                return;
+            }
+            apply_stop(p);
+            break;
+        case Signal::kCont:
+            // A continue overrides a stop still in flight.
+            if (p.pending_stop_event != 0) {
+                engine_.cancel(p.pending_stop_event);
+                p.pending_stop_event = 0;
+            }
+            if (!p.stopped) return;
+            p.stopped = false;
+            // 4.4BSD setrunnable(): estcpu was frozen while stopped (schedcpu
+            // skips stopped processes); updatepri now credits whole seconds
+            // of stop time, exactly like a long sleep.
+            policy_->on_wakeup(p, now() - p.stop_start);
+            if (p.state == RunState::kRunnable) {
+                p.enqueue_time = now();
+                policy_->enqueue(p);
+            }
+            break;
+        case Signal::kKill:
+            do_exit(p);
+            break;
+    }
+    schedule();
+}
+
+void Kernel::apply_stop(Proc& p) {
+    p.stopped = true;
+    p.stop_start = now();
+    if (p.state == RunState::kRunnable && p.on_cpu < 0) {
+        policy_->dequeue(p);
+    }
+    // A running process is descheduled by the dispatcher (it is no longer
+    // eligible()); a sleeper keeps sleeping, as under job control.
+}
+
+void Kernel::wakeup_channel(WaitChannel chan) {
+    ALPS_EXPECT(chan != nullptr);
+    // Creation-order iteration keeps wake order deterministic.
+    for (Proc* p : ordered_) {
+        if (p->state == RunState::kSleeping && p->wchan == chan) {
+            if (p->sleep_event != 0) {
+                engine_.cancel(p->sleep_event);
+                p->sleep_event = 0;
+            }
+            do_wake(*p);
+        }
+    }
+    schedule();
+}
+
+void Kernel::timer_wake(Pid pid) {
+    Proc& p = proc_mut(pid);
+    p.sleep_event = 0;
+    ALPS_ENSURE(p.state == RunState::kSleeping);
+    do_wake(p);
+    schedule();
+}
+
+void Kernel::do_wake(Proc& p) {
+    ALPS_EXPECT(p.state == RunState::kSleeping);
+    const Duration slept = now() - p.sleep_start;
+    policy_->on_wakeup(p, slept);
+    p.state = RunState::kRunnable;
+    p.wchan = nullptr;
+    if (!p.stopped) {
+        // The waker leaves the kernel at its sleep priority: it preempts any
+        // user-mode process until its own first dispatch.
+        p.wake_boost = true;
+        p.enqueue_time = now();
+        policy_->enqueue(p);
+    }
+}
+
+void Kernel::do_exit(Proc& p) {
+    ALPS_EXPECT(p.state != RunState::kZombie);
+    if (p.on_cpu >= 0) {
+        charge_running(p.on_cpu);
+        vacate(p.on_cpu);
+    } else if (p.state == RunState::kRunnable && !p.stopped) {
+        policy_->dequeue(p);
+    }
+    if (p.sleep_event != 0) {
+        engine_.cancel(p.sleep_event);
+        p.sleep_event = 0;
+    }
+    if (p.pending_stop_event != 0) {
+        engine_.cancel(p.pending_stop_event);
+        p.pending_stop_event = 0;
+    }
+    p.state = RunState::kZombie;
+    p.wchan = nullptr;
+    policy_->remove(p);
+}
+
+// ----------------------------------------------------------------------------
+// Phases
+
+void Kernel::complete_phase(Proc& p) {
+    const Action a = p.behavior->next_action({*this, p.pid});
+    apply_action(p, a);
+}
+
+void Kernel::apply_action(Proc& p, const Action& a) {
+    if (const auto* run = std::get_if<RunAction>(&a)) {
+        if (run->lazy) {
+            p.phase_lazy_pending = true;
+            p.run_remaining = Duration::zero();
+        } else {
+            ALPS_EXPECT(run->duration > Duration::zero());
+            p.phase_lazy_pending = false;
+            p.run_remaining = run->duration;
+        }
+        // Phase transitions happen either on a CPU (p simply continues with
+        // the new demand) or at spawn (p is runnable but not yet queued).
+        if (p.on_cpu < 0) {
+            ALPS_ENSURE(p.state == RunState::kRunnable && !p.stopped);
+            p.enqueue_time = now();
+            policy_->enqueue(p);
+        }
+        return;
+    }
+    if (const auto* sl = std::get_if<SleepAction>(&a)) {
+        ALPS_EXPECT(sl->duration >= Duration::zero());
+        begin_sleep(p, /*timed=*/true, now() + sl->duration, sl->wchan);
+        return;
+    }
+    if (const auto* su = std::get_if<SleepUntilAction>(&a)) {
+        begin_sleep(p, /*timed=*/true, std::max(su->deadline, now()), su->wchan);
+        return;
+    }
+    if (const auto* bl = std::get_if<BlockAction>(&a)) {
+        ALPS_EXPECT(bl->wchan != nullptr);
+        begin_sleep(p, /*timed=*/false, TimePoint{}, bl->wchan);
+        return;
+    }
+    ALPS_ENSURE(std::holds_alternative<ExitAction>(a));
+    do_exit(p);
+}
+
+void Kernel::begin_sleep(Proc& p, bool timed, TimePoint wake_at, WaitChannel chan) {
+    if (p.on_cpu >= 0) {
+        // charge_running() already ran (a phase completes only after a
+        // charge), so just vacate the CPU.
+        vacate(p.on_cpu);
+    }
+    p.state = RunState::kSleeping;
+    p.wchan = chan;
+    p.sleep_start = now();
+    ++p.voluntary_sleeps;
+    if (timed) {
+        const Pid pid = p.pid;
+        p.sleep_event = engine_.schedule_at(wake_at, [this, pid] { timer_wake(pid); });
+    }
+}
+
+// ----------------------------------------------------------------------------
+// The dispatcher
+
+void Kernel::charge_running(int cpu) {
+    Proc& p = *running_[static_cast<std::size_t>(cpu)];
+    const Duration ran = now() - p.last_charge;
+    ALPS_ENSURE(ran >= Duration::zero());
+    if (ran > Duration::zero()) {
+        p.cpu_consumed += ran;
+        busy_ += ran;
+        if (p.run_remaining != kRunForever) {
+            ALPS_ENSURE(p.run_remaining >= ran);
+            p.run_remaining -= ran;
+        }
+        policy_->charge(p, ran);
+    }
+    p.last_charge = now();
+}
+
+void Kernel::resolve_phase(int cpu) {
+    // Bounded: a behaviour may chain a few zero-length phases (the ALPS
+    // driver's no-op invocation) but not spin forever.
+    int guard = 0;
+    while (running_[static_cast<std::size_t>(cpu)] != nullptr) {
+        Proc& p = *running_[static_cast<std::size_t>(cpu)];
+        if (p.phase_lazy_pending) {
+            ALPS_ENSURE(++guard < 64);
+            p.phase_lazy_pending = false;
+            const Duration d = p.behavior->lazy_run_duration({*this, p.pid});
+            ALPS_EXPECT(d >= Duration::zero());
+            p.run_remaining = d;
+        } else if (p.run_remaining == Duration::zero()) {
+            ALPS_ENSURE(++guard < 64);
+            complete_phase(p);  // may sleep/exit -> vacates the CPU
+        } else {
+            return;  // has real work
+        }
+    }
+}
+
+void Kernel::dispatch(Proc& p, int cpu) {
+    ALPS_EXPECT(p.state == RunState::kRunnable && !p.stopped);
+    ALPS_EXPECT(running_[static_cast<std::size_t>(cpu)] == nullptr);
+    p.state = RunState::kRunning;
+    p.on_cpu = cpu;
+    running_[static_cast<std::size_t>(cpu)] = &p;
+    p.last_charge = now();
+    p.slice_end = now() + policy_->slice();
+    ++p.dispatches;
+    if (p.pid != last_on_cpu_[static_cast<std::size_t>(cpu)]) {
+        ++context_switches_;
+        last_on_cpu_[static_cast<std::size_t>(cpu)] = p.pid;
+    }
+    if (p.wake_boost) {
+        // The boost covered kernel exit; from here the process runs at user
+        // priority. Re-evaluate preemption: past its scalability threshold,
+        // this is where an overloaded ALPS loses the CPU to the workload
+        // before doing any of its work (paper §4.2).
+        p.wake_boost = false;
+        resched_ = true;
+    }
+}
+
+void Kernel::vacate(int cpu) {
+    Proc* p = running_[static_cast<std::size_t>(cpu)];
+    ALPS_EXPECT(p != nullptr);
+    if (p->state == RunState::kRunning) p->state = RunState::kRunnable;
+    p->on_cpu = -1;
+    running_[static_cast<std::size_t>(cpu)] = nullptr;
+}
+
+void Kernel::arm_decision_timer(int cpu) {
+    auto& ev = decision_events_[static_cast<std::size_t>(cpu)];
+    if (ev != 0) {
+        engine_.cancel(ev);
+        ev = 0;
+    }
+    const Proc* p = running_[static_cast<std::size_t>(cpu)];
+    if (p == nullptr) return;
+    TimePoint next = p->slice_end;
+    if (p->run_remaining != kRunForever) {
+        next = std::min(next, now() + p->run_remaining);
+    }
+    ev = engine_.schedule_at(next, [this] { schedule(); });
+}
+
+void Kernel::schedule() {
+    if (in_schedule_) {
+        resched_ = true;
+        return;
+    }
+    in_schedule_ = true;
+    do {
+        resched_ = false;
+
+        // 1. Account for every running process and handle phase completion.
+        for (int c = 0; c < cfg_.ncpus; ++c) {
+            if (running_[static_cast<std::size_t>(c)] == nullptr) continue;
+            charge_running(c);
+            Proc* p = running_[static_cast<std::size_t>(c)];
+            if (!p->phase_lazy_pending && p->run_remaining == Duration::zero()) {
+                resolve_phase(c);  // finished its work; transition
+            }
+        }
+
+        // A signal may have stopped (or a hook killed) a process on a CPU.
+        for (int c = 0; c < cfg_.ncpus; ++c) {
+            Proc* p = running_[static_cast<std::size_t>(c)];
+            if (p != nullptr && (p->stopped || p->state == RunState::kZombie)) {
+                const bool was_zombie = p->state == RunState::kZombie;
+                vacate(c);
+                if (was_zombie) p->state = RunState::kZombie;
+            }
+        }
+
+        // 2. Preemption and round-robin decisions, one queue head at a time.
+        Proc* cand = policy_->peek();
+        if (cand != nullptr) {
+            // Find the most preemptable runner: the one every other
+            // preemptable runner would itself preempt.
+            int victim = -1;
+            for (int c = 0; c < cfg_.ncpus; ++c) {
+                Proc* p = running_[static_cast<std::size_t>(c)];
+                if (p == nullptr) continue;
+                const bool slice_over = now() >= p->slice_end;
+                const bool takeable = policy_->preempts(*cand, *p) ||
+                                      (slice_over && policy_->yields_to(*p, *cand));
+                if (!takeable) continue;
+                if (victim < 0 ||
+                    policy_->preempts(*running_[static_cast<std::size_t>(victim)], *p)) {
+                    victim = c;
+                }
+            }
+            if (victim >= 0) {
+                Proc* v = running_[static_cast<std::size_t>(victim)];
+                vacate(victim);
+                v->enqueue_time = now();
+                policy_->enqueue(*v);
+                resched_ = true;  // re-evaluate after the fill below
+            }
+        }
+        // Runners that exhausted a slice unopposed get a fresh one.
+        for (int c = 0; c < cfg_.ncpus; ++c) {
+            Proc* p = running_[static_cast<std::size_t>(c)];
+            if (p != nullptr && now() >= p->slice_end) {
+                p->slice_end = now() + policy_->slice();
+            }
+        }
+
+        // 3. Fill idle CPUs.
+        for (int c = 0; c < cfg_.ncpus; ++c) {
+            if (running_[static_cast<std::size_t>(c)] != nullptr) continue;
+            Proc* next = policy_->pop();
+            if (next == nullptr) break;
+            dispatch(*next, c);
+        }
+
+        // 4. Once the picks are stable, resolve lazy/zero-length phases.
+        // This is deliberately *after* the post-wakeup preemption re-check so
+        // that a process that loses the CPU at user priority has not yet
+        // done its work (the ALPS driver's tick must be delayed, not
+        // time-shifted).
+        if (!resched_) {
+            for (int c = 0; c < cfg_.ncpus; ++c) {
+                if (running_[static_cast<std::size_t>(c)] == nullptr) continue;
+                resolve_phase(c);
+                if (running_[static_cast<std::size_t>(c)] == nullptr) {
+                    resched_ = true;  // it left; refill on the next pass
+                }
+            }
+        }
+
+        // 5. Arm the next scheduling decisions.
+        for (int c = 0; c < cfg_.ncpus; ++c) arm_decision_timer(c);
+    } while (resched_);
+    in_schedule_ = false;
+}
+
+// ----------------------------------------------------------------------------
+// Housekeeping
+
+void Kernel::second_tick() {
+    // Load average first (an EWMA of the eligible-process count), then let
+    // the policy decay its usage estimates with it.
+    const double alpha =
+        std::exp(-util::to_sec(cfg_.schedcpu_period) / util::to_sec(cfg_.loadavg_tau));
+    loadavg_ = loadavg_ * alpha + static_cast<double>(eligible_count()) * (1.0 - alpha);
+
+    // Charge on-CPU processes so their estcpu is current before the decay.
+    for (int c = 0; c < cfg_.ncpus; ++c) {
+        if (running_[static_cast<std::size_t>(c)] != nullptr) charge_running(c);
+    }
+    policy_->second_tick(ordered_, loadavg_, now());
+
+    engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
+    schedule();
+}
+
+}  // namespace alps::os

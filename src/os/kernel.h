@@ -1,0 +1,171 @@
+// The simulated UNIX kernel: a machine with one or more CPUs, a pluggable
+// time-sharing policy, signals, sleep/wakeup, and per-process accounting.
+//
+// This is the substrate the paper's experiments run on (in place of the
+// authors' FreeBSD 4.8 host). It deliberately exposes only what an
+// *unprivileged user process* could see or do on such a system, because that
+// is the paper's whole premise:
+//   * read a process's accumulated CPU time        -> cpu_time()       (getrusage / kvm)
+//   * read a process's wait channel (blocked?)     -> is_blocked()     (kvm wchan)
+//   * list a user's processes                      -> pids_of_uid()    (kvm_getprocs)
+//   * stop / continue / kill a process             -> send_signal()    (kill(2))
+//   * sleep until an instant                       -> SleepUntilAction (nanosleep)
+// Everything else — which process runs when — belongs to the kernel policy.
+//
+// SMP model (ncpus > 1): a single global run queue feeding all CPUs, exactly
+// like FreeBSD 4.x's SMP scheduler. The paper evaluates on a uniprocessor;
+// multi-CPU runs back the repository's SMP extension experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "os/behavior.h"
+#include "os/policy.h"
+#include "os/proc.h"
+#include "os/types.h"
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace alps::os {
+
+struct KernelConfig {
+    /// Number of CPUs (the paper's host has one).
+    int ncpus = 1;
+    /// Period of the schedcpu housekeeping (estcpu decay, load average).
+    util::Duration schedcpu_period = util::sec(1);
+    /// Time constant of the load-average EWMA (4.4BSD's 1-minute average).
+    util::Duration loadavg_tau = util::sec(60);
+    /// Signal-delivery latency model. Zero (default) delivers SIGSTOP to a
+    /// *running* process instantly — the idealization. A real kernel only
+    /// acts on the signal when the process next enters the kernel, i.e. at
+    /// the next hardclock tick: set this to the tick period (10 ms on
+    /// FreeBSD 4.8 at hz=100) to model that. Stops of non-running processes
+    /// and SIGCONT/SIGKILL are immediate either way.
+    util::Duration stop_latency_grid{0};
+};
+
+class Kernel {
+public:
+    /// The kernel drives (and is driven by) the given event engine. The
+    /// policy defaults to the 4.4BSD scheduler when null.
+    Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy = nullptr,
+           KernelConfig cfg = {});
+    ~Kernel();
+
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    // ----- process lifecycle -----
+
+    /// Creates a process; its behaviour's first action takes effect
+    /// immediately. Returns the new pid.
+    Pid spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice = 0);
+
+    /// Removes a zombie from the process table.
+    void reap(Pid pid);
+
+    // ----- the user-visible control surface -----
+
+    void send_signal(Pid pid, Signal sig);
+
+    /// Wakes every process blocked on `chan` (BSD wakeup()).
+    void wakeup_channel(WaitChannel chan);
+
+    /// True while the pid names a live (non-zombie) process.
+    [[nodiscard]] bool alive(Pid pid) const;
+    /// True while the pid is in the process table at all (incl. zombies).
+    [[nodiscard]] bool exists(Pid pid) const;
+
+    /// Total CPU time consumed, including the in-progress stretch — what
+    /// getrusage()/kvm reports.
+    [[nodiscard]] util::Duration cpu_time(Pid pid) const;
+
+    /// The paper's §2.4 test: is the process sleeping on a wait channel?
+    [[nodiscard]] bool is_blocked(Pid pid) const;
+
+    /// Live pids owned by `uid`, in creation order (kvm_getprocs analogue).
+    [[nodiscard]] std::vector<Pid> pids_of_uid(Uid uid) const;
+
+    /// All live pids, in creation order.
+    [[nodiscard]] std::vector<Pid> live_pids() const;
+
+    // ----- introspection (tests, metrics) -----
+
+    [[nodiscard]] const Proc& proc(Pid pid) const;
+    [[nodiscard]] util::TimePoint now() const { return engine_.now(); }
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] const SchedPolicy& policy() const { return *policy_; }
+    [[nodiscard]] SchedPolicy& policy() { return *policy_; }
+    [[nodiscard]] int ncpus() const { return cfg_.ncpus; }
+
+    /// Aggregate CPU busy time summed over CPUs, incl. in-progress.
+    [[nodiscard]] util::Duration busy_time() const;
+    [[nodiscard]] std::uint64_t context_switches() const { return context_switches_; }
+    [[nodiscard]] double loadavg() const { return loadavg_; }
+    /// Pid of the process on CPU 0 (kNoPid when idle).
+    [[nodiscard]] Pid running_pid() const { return running_pid_on(0); }
+    /// Pid of the process on the given CPU (kNoPid when idle).
+    [[nodiscard]] Pid running_pid_on(int cpu) const;
+
+private:
+    Proc& proc_mut(Pid pid);
+
+    /// The dispatcher: one global pass that charges, completes phases, and
+    /// (re)fills every CPU. Re-entrant calls (from behaviour hooks) defer to
+    /// the outermost invocation's loop.
+    void schedule();
+
+    /// Charges CPU `cpu`'s process for [last_charge, now].
+    void charge_running(int cpu);
+
+    /// While CPU `cpu` has a process, resolve lazy run demands and
+    /// zero-length phases until it has real work, or it left the CPU.
+    void resolve_phase(int cpu);
+
+    /// Fetches and applies the process's next action (phase transition).
+    void complete_phase(Proc& p);
+    void apply_action(Proc& p, const Action& a);
+
+    /// Puts the stop into effect (dequeue / mark; the dispatcher deschedules
+    /// a running target).
+    void apply_stop(Proc& p);
+
+    void begin_sleep(Proc& p, bool timed, util::TimePoint wake_at, WaitChannel chan);
+    void timer_wake(Pid pid);
+    /// Transitions a sleeper to runnable (respecting the stopped flag).
+    void do_wake(Proc& p);
+    void do_exit(Proc& p);
+    void dispatch(Proc& p, int cpu);
+    /// Takes the process off its CPU (state handling is the caller's job).
+    void vacate(int cpu);
+    void arm_decision_timer(int cpu);
+    void second_tick();
+
+    /// Count of processes that want the CPU (running + queued).
+    [[nodiscard]] std::size_t eligible_count() const;
+
+    sim::Engine& engine_;
+    std::unique_ptr<SchedPolicy> policy_;
+    KernelConfig cfg_;
+
+    Pid next_pid_ = 1;
+    std::unordered_map<Pid, std::unique_ptr<Proc>> table_;
+    std::vector<Proc*> ordered_;  ///< creation order, live + zombie
+
+    std::vector<Proc*> running_;            ///< per-CPU occupant (or null)
+    std::vector<sim::EventId> decision_events_;  ///< per-CPU decision timer
+    std::vector<Pid> last_on_cpu_;          ///< per-CPU, for switch counting
+
+    bool in_schedule_ = false;
+    bool resched_ = false;
+
+    util::Duration busy_{0};
+    std::uint64_t context_switches_ = 0;
+    double loadavg_ = 0.0;
+};
+
+}  // namespace alps::os

@@ -1,0 +1,68 @@
+// The simulated process control block.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "os/behavior.h"
+#include "os/types.h"
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace alps::os {
+
+/// Process control block. Owned by the Kernel; scheduling policies receive
+/// references and may read/update the scheduling fields.
+struct Proc {
+    Pid pid = kNoPid;
+    std::string name;
+    Uid uid = 0;
+    int nice = 0;
+
+    RunState state = RunState::kRunnable;
+    /// Job-control stop flag, orthogonal to `state` (a process stopped while
+    /// sleeping keeps sleeping; its timer may expire while stopped).
+    bool stopped = false;
+    /// One-shot wakeup boost: a process waking from tsleep() holds its
+    /// *kernel* sleep priority (better than any user priority) until it is
+    /// dispatched and returns to user mode — so sleepers preempt compute-
+    /// bound processes immediately, exactly as under 4.4BSD. Cleared at
+    /// dispatch; the dispatcher then re-checks preemption at user priority.
+    bool wake_boost = false;
+
+    // --- 4.4BSD scheduling fields (maintained by BsdPolicy) ---
+    double estcpu = 0.0;  ///< decaying estimate of recent CPU use, in stat ticks
+    double usrpri = 0.0;  ///< user-mode priority; lower is better
+
+    // --- accounting (the simulated getrusage) ---
+    util::Duration cpu_consumed{0};  ///< total CPU time ever consumed
+    std::uint64_t dispatches = 0;    ///< times placed on a CPU
+    std::uint64_t voluntary_sleeps = 0;
+    int on_cpu = -1;                 ///< CPU index while running, else -1
+
+    // --- current phase ---
+    util::Duration run_remaining{0};  ///< CPU left in the current run phase
+    bool phase_lazy_pending = false;  ///< lazy run demand not yet computed
+    WaitChannel wchan = nullptr;      ///< wait channel while sleeping
+    sim::EventId sleep_event = 0;     ///< pending timer wake, if any
+    sim::EventId pending_stop_event = 0;  ///< deferred SIGSTOP delivery, if any
+
+    // --- bookkeeping for the scheduler ---
+    util::TimePoint last_charge{};    ///< start of the current on-CPU stretch
+    util::TimePoint slice_end{};      ///< round-robin deadline for this stretch
+    util::TimePoint sleep_start{};    ///< when the current/last sleep began
+    util::TimePoint stop_start{};     ///< when the current stop began
+    util::TimePoint enqueue_time{};   ///< when last made runnable
+
+    std::unique_ptr<Behavior> behavior;
+
+    /// Eligible for the run queues: wants the CPU and is not job-stopped.
+    [[nodiscard]] bool eligible() const {
+        return (state == RunState::kRunnable || state == RunState::kRunning) && !stopped;
+    }
+
+    /// The ALPS blocked-process test (paper §2.4): sleeping on a wait channel.
+    [[nodiscard]] bool blocked() const { return state == RunState::kSleeping; }
+};
+
+}  // namespace alps::os

@@ -1,0 +1,72 @@
+#include "posix/cgroup.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/assert.h"
+
+namespace alps::posix {
+
+namespace {
+
+constexpr const char* kCpuRoot = "/sys/fs/cgroup/cpu";
+
+bool write_file(const std::string& path, const std::string& value) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << value;
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool CpuCgroup::available() {
+    // Probe: the controller directory must exist and be writable by us.
+    struct stat st{};
+    if (::stat((std::string(kCpuRoot) + "/cpu.shares").c_str(), &st) != 0) return false;
+    const std::string probe = std::string(kCpuRoot) + "/alps-probe";
+    if (::mkdir(probe.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    ::rmdir(probe.c_str());
+    return true;
+}
+
+CpuCgroup::CpuCgroup(const std::string& name, long shares) {
+    ALPS_EXPECT(!name.empty() && name.find('/') == std::string::npos);
+    ALPS_EXPECT(shares >= 2);  // kernel minimum for cpu.shares
+    path_ = std::string(kCpuRoot) + "/" + name;
+    if (::mkdir(path_.c_str(), 0755) != 0 && errno != EEXIST) {
+        throw std::system_error(errno, std::generic_category(), "mkdir " + path_);
+    }
+    if (!set_shares(shares)) {
+        ::rmdir(path_.c_str());
+        throw std::system_error(EIO, std::generic_category(),
+                                "write cpu.shares in " + path_);
+    }
+}
+
+CpuCgroup::~CpuCgroup() {
+    // Evacuate member processes to the root group so rmdir succeeds.
+    std::ifstream tasks(path_ + "/tasks");
+    std::string pid;
+    while (std::getline(tasks, pid)) {
+        write_file(std::string(kCpuRoot) + "/tasks", pid);
+    }
+    tasks.close();
+    ::rmdir(path_.c_str());
+}
+
+bool CpuCgroup::attach(pid_t pid) {
+    return write_file(path_ + "/tasks", std::to_string(pid));
+}
+
+bool CpuCgroup::set_shares(long shares) {
+    return write_file(path_ + "/cpu.shares", std::to_string(shares));
+}
+
+}  // namespace alps::posix

@@ -1,0 +1,59 @@
+#include "posix/host.h"
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "posix/proc_stat.h"
+
+namespace alps::posix {
+
+core::Sample PosixProcessHost::read_pid(core::HostPid pid) {
+    core::Sample s;
+    const auto stat = read_proc_stat(pid);
+    if (!stat || state_is_dead(stat->state)) {
+        s.alive = false;
+        return s;
+    }
+    s.alive = true;
+    s.blocked = state_is_blocked(stat->state);
+    // Prefer the nanosecond-precise schedstat; fall back to the clock-tick
+    // utime+stime (10 ms granularity) if the kernel lacks schedstats.
+    if (const auto ns = read_schedstat(pid)) {
+        s.cpu_time = *ns;
+    } else {
+        s.cpu_time = ticks_to_duration(stat->utime_ticks + stat->stime_ticks);
+    }
+    return s;
+}
+
+void PosixProcessHost::stop_pid(core::HostPid pid) {
+    ::kill(static_cast<pid_t>(pid), SIGSTOP);
+}
+
+void PosixProcessHost::cont_pid(core::HostPid pid) {
+    ::kill(static_cast<pid_t>(pid), SIGCONT);
+}
+
+std::vector<core::HostPid> PosixProcessHost::pids_of_user(core::HostUid uid) {
+    std::vector<core::HostPid> out;
+    DIR* dir = ::opendir("/proc");
+    if (dir == nullptr) return out;
+    while (const dirent* entry = ::readdir(dir)) {
+        const char* name = entry->d_name;
+        char* end = nullptr;
+        const long pid = std::strtol(name, &end, 10);
+        if (end == name || *end != '\0' || pid <= 0) continue;
+        struct stat st{};
+        const std::string path = std::string("/proc/") + name;
+        if (::stat(path.c_str(), &st) != 0) continue;
+        if (static_cast<core::HostUid>(st.st_uid) == uid) out.push_back(pid);
+    }
+    ::closedir(dir);
+    return out;
+}
+
+}  // namespace alps::posix

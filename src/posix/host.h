@@ -1,0 +1,18 @@
+// ProcessHost over a real Linux system: /proc for progress, signals for
+// control. Everything here is doable by an unprivileged user on their own
+// processes — the paper's deployment constraint.
+#pragma once
+
+#include "alps/host.h"
+
+namespace alps::posix {
+
+class PosixProcessHost final : public core::ProcessHost {
+public:
+    core::Sample read_pid(core::HostPid pid) override;
+    void stop_pid(core::HostPid pid) override;
+    void cont_pid(core::HostPid pid) override;
+    std::vector<core::HostPid> pids_of_user(core::HostUid uid) override;
+};
+
+}  // namespace alps::posix

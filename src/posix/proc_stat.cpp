@@ -1,0 +1,99 @@
+#include "posix/proc_stat.h"
+
+#include <unistd.h>
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace alps::posix {
+
+namespace {
+
+std::optional<std::string> slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) return std::nullopt;
+    return ss.str();
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+    const auto* begin = token.data();
+    const auto* end = token.data() + token.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc{} && ptr == end;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n')) ++i;
+        std::size_t j = i;
+        while (j < s.size() && s[j] != ' ' && s[j] != '\n') ++j;
+        if (j > i) out.push_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::optional<ProcStat> parse_proc_stat(std::string_view content) {
+    // Layout: "<pid> (<comm>) <state> <ppid> ... "; comm may contain spaces
+    // and ')' so split at the last ')'.
+    const std::size_t open = content.find('(');
+    const std::size_t close = content.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+        return std::nullopt;
+    }
+
+    ProcStat st;
+    if (!parse_number(
+            std::string_view(content.substr(0, open > 0 ? open - 1 : 0)), st.pid)) {
+        // pid is the first token before " ("
+        const auto head = split_ws(content.substr(0, open));
+        if (head.empty() || !parse_number(head[0], st.pid)) return std::nullopt;
+    }
+    st.comm = std::string(content.substr(open + 1, close - open - 1));
+
+    const auto rest = split_ws(content.substr(close + 1));
+    // rest[0] = state; utime/stime are stat fields 14/15, i.e. rest[11]/[12].
+    if (rest.size() < 13 || rest[0].size() != 1) return std::nullopt;
+    st.state = rest[0][0];
+    if (!parse_number(rest[11], st.utime_ticks)) return std::nullopt;
+    if (!parse_number(rest[12], st.stime_ticks)) return std::nullopt;
+    return st;
+}
+
+std::optional<util::Duration> parse_schedstat(std::string_view content) {
+    const auto tokens = split_ws(content);
+    if (tokens.empty()) return std::nullopt;
+    std::uint64_t ns = 0;
+    if (!parse_number(tokens[0], ns)) return std::nullopt;
+    return util::Duration{static_cast<std::int64_t>(ns)};
+}
+
+std::optional<ProcStat> read_proc_stat(std::int64_t pid) {
+    const auto content = slurp("/proc/" + std::to_string(pid) + "/stat");
+    if (!content) return std::nullopt;
+    return parse_proc_stat(*content);
+}
+
+std::optional<util::Duration> read_schedstat(std::int64_t pid) {
+    const auto content = slurp("/proc/" + std::to_string(pid) + "/schedstat");
+    if (!content) return std::nullopt;
+    return parse_schedstat(*content);
+}
+
+util::Duration ticks_to_duration(std::uint64_t ticks) {
+    static const long hz = ::sysconf(_SC_CLK_TCK);
+    const double sec = static_cast<double>(ticks) / static_cast<double>(hz > 0 ? hz : 100);
+    return util::Duration{static_cast<std::int64_t>(sec * 1e9)};
+}
+
+}  // namespace alps::posix

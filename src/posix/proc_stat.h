@@ -1,0 +1,55 @@
+// /proc/<pid>/stat and /proc/<pid>/schedstat readers.
+//
+// On the paper's FreeBSD host, ALPS reads per-process CPU time and the wait
+// channel through kvm. The Linux equivalents:
+//   * /proc/<pid>/schedstat field 1: exact on-CPU time in nanoseconds;
+//   * /proc/<pid>/stat field 3: the state letter ('R' runnable, 'S'/'D'
+//     sleeping — the paper's "blocked" test) and fields 14/15 (utime+stime
+//     in clock ticks, the coarse fallback when schedstat is unavailable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/time.h"
+
+namespace alps::posix {
+
+struct ProcStat {
+    std::int64_t pid = 0;
+    std::string comm;
+    char state = '?';
+    std::uint64_t utime_ticks = 0;
+    std::uint64_t stime_ticks = 0;
+};
+
+/// Parses the contents of /proc/<pid>/stat. Handles comm values containing
+/// spaces and parentheses (splits at the *last* ')'). Returns nullopt on
+/// malformed input.
+[[nodiscard]] std::optional<ProcStat> parse_proc_stat(std::string_view content);
+
+/// Parses /proc/<pid>/schedstat ("<oncpu_ns> <wait_ns> <slices>"); returns
+/// the on-CPU time.
+[[nodiscard]] std::optional<util::Duration> parse_schedstat(std::string_view content);
+
+/// Reads and parses the files for a live pid; nullopt if the process is gone.
+[[nodiscard]] std::optional<ProcStat> read_proc_stat(std::int64_t pid);
+[[nodiscard]] std::optional<util::Duration> read_schedstat(std::int64_t pid);
+
+/// Converts clock ticks (USER_HZ) to a duration.
+[[nodiscard]] util::Duration ticks_to_duration(std::uint64_t ticks);
+
+/// The paper's §2.4 blocked test on a state letter: sleeping (interruptible
+/// or not). 'T' (job-control stop) is not "blocked" — ALPS put it there.
+[[nodiscard]] constexpr bool state_is_blocked(char state) {
+    return state == 'S' || state == 'D';
+}
+
+/// True for states that mean the process no longer runs (zombie/dead).
+[[nodiscard]] constexpr bool state_is_dead(char state) {
+    return state == 'Z' || state == 'X';
+}
+
+}  // namespace alps::posix

@@ -1,0 +1,83 @@
+#include "posix/spawn.h"
+
+#include <sched.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace alps::posix {
+
+namespace {
+
+[[noreturn]] void busy_loop_forever() {
+    volatile std::uint64_t counter = 0;
+    for (;;) counter = counter + 1;
+}
+
+util::Duration thread_cpu_now() {
+    timespec ts{};
+    ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return util::sec(ts.tv_sec) + util::nsec(ts.tv_nsec);
+}
+
+[[noreturn]] void phased_loop_forever(util::Duration busy, util::Duration asleep) {
+    volatile std::uint64_t counter = 0;
+    for (;;) {
+        const util::Duration until = thread_cpu_now() + busy;
+        while (thread_cpu_now() < until) counter = counter + 1;
+        timespec ts{};
+        ts.tv_sec = asleep.count() / 1'000'000'000;
+        ts.tv_nsec = asleep.count() % 1'000'000'000;
+        ::nanosleep(&ts, nullptr);
+    }
+}
+
+pid_t do_fork() {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw std::system_error(errno, std::generic_category(), "fork");
+    }
+    return pid;
+}
+
+}  // namespace
+
+pid_t spawn_busy_child() {
+    const pid_t pid = do_fork();
+    if (pid == 0) busy_loop_forever();
+    return pid;
+}
+
+pid_t spawn_phased_child(util::Duration busy, util::Duration asleep) {
+    const pid_t pid = do_fork();
+    if (pid == 0) phased_loop_forever(busy, asleep);
+    return pid;
+}
+
+void kill_children(std::span<const pid_t> pids) {
+    for (pid_t pid : pids) {
+        if (pid <= 0) continue;
+        // SIGKILL terminates even a stopped child; the SIGCONT is belt and
+        // braces for kernels that defer the kill of a stopped process.
+        ::kill(pid, SIGKILL);
+        ::kill(pid, SIGCONT);
+    }
+    for (pid_t pid : pids) {
+        if (pid <= 0) continue;
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+}
+
+bool pin_to_cpu(pid_t pid, int cpu) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<std::size_t>(cpu), &set);
+    return ::sched_setaffinity(pid, sizeof set, &set) == 0;
+}
+
+}  // namespace alps::posix

@@ -1,0 +1,53 @@
+// Helpers for spawning the synthetic workload children used by the examples,
+// the POSIX integration tests, and the Table-1 microbenchmark.
+#pragma once
+
+#include <sys/types.h>
+
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace alps::posix {
+
+/// Forks a child that spins forever (the paper's compute-bound workload).
+/// Returns the child's pid; throws std::system_error on failure.
+[[nodiscard]] pid_t spawn_busy_child();
+
+/// Forks a child that alternates `busy` of CPU (measured on its thread CPU
+/// clock) with `asleep` of nanosleep — the §3.3 I/O simulator.
+[[nodiscard]] pid_t spawn_phased_child(util::Duration busy, util::Duration asleep);
+
+/// SIGKILLs and reaps every child in the list (best effort).
+void kill_children(std::span<const pid_t> pids);
+
+/// Pins a process to one CPU (mimics the paper's uniprocessor host).
+/// Returns false if the affinity call failed.
+bool pin_to_cpu(pid_t pid, int cpu);
+
+/// RAII bundle of children: kills and reaps them on destruction.
+class ChildSet {
+public:
+    ChildSet() = default;
+    ~ChildSet() { kill_children(pids_); }
+
+    ChildSet(const ChildSet&) = delete;
+    ChildSet& operator=(const ChildSet&) = delete;
+
+    pid_t add_busy() {
+        pids_.push_back(spawn_busy_child());
+        return pids_.back();
+    }
+    pid_t add_phased(util::Duration busy, util::Duration asleep) {
+        pids_.push_back(spawn_phased_child(busy, asleep));
+        return pids_.back();
+    }
+
+    [[nodiscard]] const std::vector<pid_t>& pids() const { return pids_; }
+
+private:
+    std::vector<pid_t> pids_;
+};
+
+}  // namespace alps::posix

@@ -1,0 +1,75 @@
+#include "sched/lottery_policy.h"
+
+#include "util/assert.h"
+
+namespace alps::sched {
+
+LotteryPolicy::LotteryPolicy(util::Duration quantum, std::uint64_t seed)
+    : quantum_(quantum), rng_(seed) {
+    ALPS_EXPECT(quantum > util::Duration::zero());
+}
+
+void LotteryPolicy::set_tickets(os::Pid pid, std::int64_t tickets) {
+    ALPS_EXPECT(tickets > 0);
+    tickets_[pid] = tickets;
+}
+
+void LotteryPolicy::add(os::Proc& p) { tickets_.try_emplace(p.pid, 1); }
+
+void LotteryPolicy::remove(os::Proc& p) {
+    dequeue(p);
+    tickets_.erase(p.pid);
+}
+
+void LotteryPolicy::enqueue(os::Proc& p) {
+    ALPS_EXPECT(!queued_.contains(p.pid));
+    queued_.emplace(p.pid, &p);
+    drawn_ = nullptr;  // the lottery pool changed
+}
+
+void LotteryPolicy::dequeue(os::Proc& p) {
+    if (queued_.erase(p.pid) > 0) drawn_ = nullptr;
+}
+
+void LotteryPolicy::ensure_drawn() {
+    if (drawn_ != nullptr || queued_.empty()) return;
+    std::int64_t total = 0;
+    for (const auto& [pid, p] : queued_) total += tickets_.at(pid);
+    std::int64_t winner = rng_.uniform_int(0, total - 1);
+    for (const auto& [pid, p] : queued_) {
+        winner -= tickets_.at(pid);
+        if (winner < 0) {
+            drawn_ = p;
+            return;
+        }
+    }
+    ALPS_ENSURE(false);  // unreachable: tickets sum to total
+}
+
+os::Proc* LotteryPolicy::peek() {
+    ensure_drawn();
+    return drawn_;
+}
+
+os::Proc* LotteryPolicy::pop() {
+    ensure_drawn();
+    os::Proc* winner = drawn_;
+    if (winner != nullptr) dequeue(*winner);
+    return winner;
+}
+
+bool LotteryPolicy::preempts(const os::Proc&, const os::Proc&) const {
+    return false;  // strictly quantum-driven
+}
+
+bool LotteryPolicy::yields_to(const os::Proc&, const os::Proc&) const {
+    return true;  // always re-draw at quantum expiry
+}
+
+void LotteryPolicy::charge(os::Proc&, util::Duration) {}
+
+void LotteryPolicy::on_wakeup(os::Proc&, util::Duration) {}
+
+void LotteryPolicy::second_tick(std::span<os::Proc* const>, double, util::TimePoint) {}
+
+}  // namespace alps::sched

@@ -1,0 +1,48 @@
+// Lottery scheduling (Waldspurger & Weihl, 1994) as an in-kernel policy:
+// each quantum, a ticket-weighted random drawing picks the next process.
+// Probabilistically proportional-share; the baseline bench contrasts its
+// (higher-variance) accuracy with stride and with user-level ALPS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "os/policy.h"
+#include "util/rng.h"
+
+namespace alps::sched {
+
+class LotteryPolicy final : public os::SchedPolicy {
+public:
+    explicit LotteryPolicy(util::Duration quantum = util::msec(10),
+                           std::uint64_t seed = 42);
+
+    /// Assigns tickets (default 1).
+    void set_tickets(os::Pid pid, std::int64_t tickets);
+
+    void add(os::Proc& p) override;
+    void remove(os::Proc& p) override;
+    void enqueue(os::Proc& p) override;
+    void dequeue(os::Proc& p) override;
+    os::Proc* peek() override;
+    os::Proc* pop() override;
+    [[nodiscard]] bool preempts(const os::Proc& cand, const os::Proc& running) const override;
+    [[nodiscard]] bool yields_to(const os::Proc& running, const os::Proc& cand) const override;
+    void charge(os::Proc& p, util::Duration ran) override;
+    void on_wakeup(os::Proc& p, util::Duration slept) override;
+    void second_tick(std::span<os::Proc* const> procs, double loadavg, util::TimePoint now) override;
+    [[nodiscard]] util::Duration slice() const override { return quantum_; }
+
+private:
+    /// Draws a winner if none is cached. peek() must be stable until the
+    /// queue changes, so the drawing is memoized.
+    void ensure_drawn();
+
+    util::Duration quantum_;
+    util::Rng rng_;
+    std::map<os::Pid, std::int64_t> tickets_;
+    std::map<os::Pid, os::Proc*> queued_;
+    os::Proc* drawn_ = nullptr;
+};
+
+}  // namespace alps::sched

@@ -1,0 +1,106 @@
+#include "sched/stride_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace alps::sched {
+
+StridePolicy::StridePolicy(util::Duration quantum) : quantum_(quantum) {
+    ALPS_EXPECT(quantum > util::Duration::zero());
+}
+
+StridePolicy::State& StridePolicy::state(os::Pid pid) { return states_[pid]; }
+
+void StridePolicy::set_tickets(os::Pid pid, std::int64_t tickets) {
+    ALPS_EXPECT(tickets > 0);
+    state(pid).tickets = tickets;
+}
+
+double StridePolicy::pass_of(os::Pid pid) const {
+    auto it = states_.find(pid);
+    ALPS_EXPECT(it != states_.end());
+    return it->second.pass;
+}
+
+void StridePolicy::add(os::Proc& p) {
+    State& s = state(p.pid);
+    // Join at the current virtual time so newcomers neither monopolize nor
+    // starve.
+    s.pass = std::max(s.pass, vtime_);
+}
+
+void StridePolicy::remove(os::Proc& p) {
+    dequeue(p);
+    states_.erase(p.pid);
+}
+
+void StridePolicy::enqueue(os::Proc& p) {
+    State& s = state(p.pid);
+    ALPS_EXPECT(!s.queued);
+    // Re-join at current virtual time after a sleep (no banked credit).
+    s.pass = std::max(s.pass, vtime_);
+    s.queued = true;
+    queued_.emplace(p.pid, &p);
+}
+
+void StridePolicy::dequeue(os::Proc& p) {
+    auto it = states_.find(p.pid);
+    if (it == states_.end() || !it->second.queued) return;
+    it->second.queued = false;
+    queued_.erase(p.pid);
+}
+
+os::Proc* StridePolicy::peek() {
+    os::Proc* best = nullptr;
+    double best_pass = std::numeric_limits<double>::max();
+    for (const auto& [pid, p] : queued_) {
+        const double pass = states_.at(pid).pass;
+        if (pass < best_pass) {
+            best_pass = pass;
+            best = p;
+        }
+    }
+    return best;
+}
+
+os::Proc* StridePolicy::pop() {
+    os::Proc* best = peek();
+    if (best != nullptr) dequeue(*best);
+    return best;
+}
+
+bool StridePolicy::preempts(const os::Proc& cand, const os::Proc& running) const {
+    // Stride is quantum-driven: decisions happen at quantum boundaries. A
+    // waker only preempts if the running process has already overrun the
+    // candidate's pass by a full stride (keeps the sim responsive without
+    // churning).
+    const auto c = states_.find(cand.pid);
+    const auto r = states_.find(running.pid);
+    ALPS_EXPECT(c != states_.end() && r != states_.end());
+    return c->second.pass + stride_of(c->second) < r->second.pass;
+}
+
+bool StridePolicy::yields_to(const os::Proc& running, const os::Proc& cand) const {
+    const auto c = states_.find(cand.pid);
+    const auto r = states_.find(running.pid);
+    ALPS_EXPECT(c != states_.end() && r != states_.end());
+    return c->second.pass <= r->second.pass;
+}
+
+void StridePolicy::charge(os::Proc& p, util::Duration ran) {
+    State& s = state(p.pid);
+    // The pass at which someone is being given the CPU is the best proxy for
+    // global virtual time; joiners and wakers enter there.
+    vtime_ = std::max(vtime_, s.pass);
+    const double quanta =
+        static_cast<double>(ran.count()) / static_cast<double>(quantum_.count());
+    s.pass += stride_of(s) * quanta;
+}
+
+void StridePolicy::on_wakeup(os::Proc&, util::Duration) {}
+
+void StridePolicy::second_tick(std::span<os::Proc* const>, double, util::TimePoint) {}
+
+}  // namespace alps::sched

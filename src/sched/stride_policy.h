@@ -1,0 +1,65 @@
+// Stride scheduling (Waldspurger & Weihl, 1995) as an *in-kernel* policy.
+//
+// This is the class of scheduler the paper positions ALPS against: previous
+// proportional-share work "designed to replace the kernel scheduler" (§1).
+// The baseline bench runs the same workloads under an in-kernel stride
+// scheduler to show what ALPS's user-level approach gives up (and that it
+// gives up little).
+//
+// Each process has `tickets`; stride = kStride1 / tickets; the runnable
+// process with the least pass value runs for one quantum and its pass
+// advances by stride × (time used / quantum).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "os/policy.h"
+
+namespace alps::sched {
+
+class StridePolicy final : public os::SchedPolicy {
+public:
+    explicit StridePolicy(util::Duration quantum = util::msec(10));
+
+    /// Assigns tickets (default 1). May be called before or after the pid is
+    /// added; takes effect at the next charge.
+    void set_tickets(os::Pid pid, std::int64_t tickets);
+
+    void add(os::Proc& p) override;
+    void remove(os::Proc& p) override;
+    void enqueue(os::Proc& p) override;
+    void dequeue(os::Proc& p) override;
+    os::Proc* peek() override;
+    os::Proc* pop() override;
+    [[nodiscard]] bool preempts(const os::Proc& cand, const os::Proc& running) const override;
+    [[nodiscard]] bool yields_to(const os::Proc& running, const os::Proc& cand) const override;
+    void charge(os::Proc& p, util::Duration ran) override;
+    void on_wakeup(os::Proc& p, util::Duration slept) override;
+    void second_tick(std::span<os::Proc* const> procs, double loadavg, util::TimePoint now) override;
+    [[nodiscard]] util::Duration slice() const override { return quantum_; }
+
+    [[nodiscard]] double pass_of(os::Pid pid) const;
+
+private:
+    static constexpr double kStride1 = 1 << 20;
+
+    struct State {
+        std::int64_t tickets = 1;
+        double pass = 0.0;
+        bool queued = false;
+    };
+
+    [[nodiscard]] double stride_of(const State& s) const { return kStride1 / static_cast<double>(s.tickets); }
+    State& state(os::Pid pid);
+
+    util::Duration quantum_;
+    std::map<os::Pid, State> states_;
+    std::map<os::Pid, os::Proc*> queued_;  // deterministic order
+    /// Global virtual time: the pass of the most recently charged process.
+    /// Joiners and wakers enter at this point, so they neither reclaim time
+    /// they were absent for nor starve the incumbents.
+    double vtime_ = 0.0;
+};
+
+}  // namespace alps::sched

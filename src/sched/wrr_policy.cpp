@@ -1,0 +1,114 @@
+#include "sched/wrr_policy.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace alps::sched {
+
+WrrPolicy::WrrPolicy(util::Duration quantum) : quantum_(quantum) {
+    ALPS_EXPECT(quantum > util::Duration::zero());
+}
+
+WrrPolicy::State& WrrPolicy::state(os::Pid pid) { return states_[pid]; }
+
+void WrrPolicy::set_tickets(os::Pid pid, std::int64_t tickets) {
+    ALPS_EXPECT(tickets > 0);
+    state(pid).tickets = tickets;
+}
+
+void WrrPolicy::add(os::Proc& p) {
+    states_.try_emplace(p.pid);
+    if (std::find(rotation_.begin(), rotation_.end(), p.pid) == rotation_.end()) {
+        rotation_.push_back(p.pid);
+    }
+}
+
+void WrrPolicy::remove(os::Proc& p) {
+    dequeue(p);
+    const auto it = std::find(rotation_.begin(), rotation_.end(), p.pid);
+    if (it != rotation_.end()) {
+        const auto idx = static_cast<std::size_t>(it - rotation_.begin());
+        rotation_.erase(it);
+        if (cursor_ > idx) --cursor_;
+        if (!rotation_.empty()) cursor_ %= rotation_.size();
+    }
+    states_.erase(p.pid);
+}
+
+void WrrPolicy::enqueue(os::Proc& p) {
+    State& s = state(p.pid);
+    ALPS_EXPECT(!s.queued);
+    s.queued = true;
+    queued_.emplace(p.pid, &p);
+}
+
+void WrrPolicy::dequeue(os::Proc& p) {
+    auto it = states_.find(p.pid);
+    if (it == states_.end() || !it->second.queued) return;
+    it->second.queued = false;
+    queued_.erase(p.pid);
+}
+
+std::optional<std::size_t> WrrPolicy::next_turn_index() const {
+    if (queued_.empty() || rotation_.empty()) return std::nullopt;
+    // The client under the cursor keeps its turn while it is queued with
+    // quanta left; otherwise the turn passes clockwise to the next queued
+    // client.
+    {
+        const os::Pid pid = rotation_[cursor_];
+        const auto it = states_.find(pid);
+        if (it != states_.end() && it->second.queued && it->second.remaining > 0.0) {
+            return cursor_;
+        }
+    }
+    for (std::size_t step = 1; step <= rotation_.size(); ++step) {
+        const std::size_t idx = (cursor_ + step) % rotation_.size();
+        const auto it = states_.find(rotation_[idx]);
+        if (it != states_.end() && it->second.queued) return idx;
+    }
+    return std::nullopt;
+}
+
+os::Proc* WrrPolicy::peek() {
+    const auto idx = next_turn_index();
+    return idx ? queued_.at(rotation_[*idx]) : nullptr;
+}
+
+os::Proc* WrrPolicy::pop() {
+    const auto idx = next_turn_index();
+    if (!idx) return nullptr;
+    const os::Pid pid = rotation_[*idx];
+    State& s = state(pid);
+    if (*idx != cursor_ || s.remaining <= 0.0) {
+        // A new turn begins.
+        cursor_ = *idx;
+        s.remaining = static_cast<double>(s.tickets);
+    }
+    os::Proc* p = queued_.at(pid);
+    dequeue(*p);
+    return p;
+}
+
+bool WrrPolicy::preempts(const os::Proc&, const os::Proc&) const {
+    return false;  // strict rotation
+}
+
+bool WrrPolicy::yields_to(const os::Proc& running, const os::Proc&) const {
+    // Yield only when the running client's turn is exhausted.
+    const auto it = states_.find(running.pid);
+    ALPS_EXPECT(it != states_.end());
+    return it->second.remaining <= 0.0;
+}
+
+void WrrPolicy::charge(os::Proc& p, util::Duration ran) {
+    State& s = state(p.pid);
+    s.remaining -= static_cast<double>(ran.count()) /
+                   static_cast<double>(quantum_.count());
+}
+
+void WrrPolicy::on_wakeup(os::Proc&, util::Duration) {}
+
+void WrrPolicy::second_tick(std::span<os::Proc* const>, double, util::TimePoint) {}
+
+}  // namespace alps::sched

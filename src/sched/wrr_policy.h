@@ -1,0 +1,58 @@
+// Weighted round-robin as an in-kernel policy: each runnable client runs
+// `tickets` consecutive quanta per rotation. The classic low-cost
+// proportional-share scheme — exact over a full rotation, but *bursty*: a
+// large-ticket client monopolizes the CPU for its whole allocation, so
+// short-horizon fairness degrades with the ticket spread. The baseline
+// bench contrasts this burstiness with stride's smoothness and with ALPS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "os/policy.h"
+
+namespace alps::sched {
+
+class WrrPolicy final : public os::SchedPolicy {
+public:
+    explicit WrrPolicy(util::Duration quantum = util::msec(10));
+
+    /// Assigns tickets (default 1): consecutive quanta per rotation.
+    void set_tickets(os::Pid pid, std::int64_t tickets);
+
+    void add(os::Proc& p) override;
+    void remove(os::Proc& p) override;
+    void enqueue(os::Proc& p) override;
+    void dequeue(os::Proc& p) override;
+    os::Proc* peek() override;
+    os::Proc* pop() override;
+    [[nodiscard]] bool preempts(const os::Proc& cand, const os::Proc& running) const override;
+    [[nodiscard]] bool yields_to(const os::Proc& running, const os::Proc& cand) const override;
+    void charge(os::Proc& p, util::Duration ran) override;
+    void on_wakeup(os::Proc& p, util::Duration slept) override;
+    void second_tick(std::span<os::Proc* const> procs, double loadavg,
+                     util::TimePoint now) override;
+    [[nodiscard]] util::Duration slice() const override { return quantum_; }
+
+private:
+    struct State {
+        std::int64_t tickets = 1;
+        double remaining = 0.0;  ///< quanta left in the current rotation turn
+        bool queued = false;
+    };
+
+    State& state(os::Pid pid);
+    /// Rotation index whose turn it is (or would be), without mutating any
+    /// turn state; nullopt when nothing is queued.
+    [[nodiscard]] std::optional<std::size_t> next_turn_index() const;
+
+    util::Duration quantum_;
+    std::map<os::Pid, State> states_;
+    std::vector<os::Pid> rotation_;  ///< all known pids, rotation order
+    std::map<os::Pid, os::Proc*> queued_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace alps::sched

@@ -1,0 +1,62 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace alps::sim {
+
+EventId Engine::schedule_at(TimePoint t, Callback cb) {
+    ALPS_EXPECT(t >= now_);
+    ALPS_EXPECT(cb != nullptr);
+    const EventId id = next_id_++;
+    queue_.push(QueueEntry{t, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+}
+
+EventId Engine::schedule_after(Duration d, Callback cb) {
+    ALPS_EXPECT(d >= Duration::zero());
+    return schedule_at(now_ + d, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Engine::pop_live(QueueEntry& out) {
+    while (!queue_.empty()) {
+        QueueEntry e = queue_.top();
+        if (callbacks_.contains(e.id)) {
+            out = e;
+            return true;
+        }
+        queue_.pop();  // cancelled; discard lazily
+    }
+    return false;
+}
+
+bool Engine::step() {
+    QueueEntry e;
+    if (!pop_live(e)) return false;
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    ALPS_ENSURE(e.time >= now_);
+    now_ = e.time;
+    cb();
+    return true;
+}
+
+void Engine::run_until(TimePoint t) {
+    ALPS_EXPECT(t >= now_);
+    QueueEntry e;
+    while (pop_live(e) && e.time <= t) {
+        step();
+    }
+    now_ = t;
+}
+
+void Engine::run() {
+    while (step()) {
+    }
+}
+
+}  // namespace alps::sim

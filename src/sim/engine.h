@@ -1,0 +1,86 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event queue with a virtual clock. Determinism rules:
+//  * events at equal timestamps fire in scheduling (FIFO) order;
+//  * all randomness comes from seeded util::Rng streams owned by the caller.
+//
+// The kernel simulator (src/os) runs entirely on top of this engine: there is
+// no tick — CPU consumption is charged in bulk between scheduling points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/time.h"
+
+namespace alps::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Identifies a scheduled event so it can be cancelled. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+class Engine {
+public:
+    using Callback = std::function<void()>;
+
+    /// Current simulated time.
+    [[nodiscard]] TimePoint now() const { return now_; }
+
+    /// Schedules `cb` to run at absolute time `t` (>= now). Returns a handle
+    /// usable with cancel().
+    EventId schedule_at(TimePoint t, Callback cb);
+
+    /// Schedules `cb` to run `d` (>= 0) from now.
+    EventId schedule_after(Duration d, Callback cb);
+
+    /// Cancels a pending event. Returns false if the event already fired or
+    /// was already cancelled (both are benign).
+    bool cancel(EventId id);
+
+    /// True if an event with this id is still pending.
+    [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(id); }
+
+    /// Number of pending (non-cancelled) events.
+    [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+
+    /// Runs the single earliest event. Returns false if the queue is empty.
+    bool step();
+
+    /// Runs events until the queue is empty or the next event is after `t`,
+    /// then advances the clock to exactly `t`.
+    void run_until(TimePoint t);
+
+    /// Runs until the event queue drains. Intended for tests; most simulations
+    /// are driven by run_until with a horizon.
+    void run();
+
+private:
+    struct QueueEntry {
+        TimePoint time;
+        std::uint64_t seq;  // tie-break: FIFO among same-time events
+        EventId id;
+        // Min-heap by (time, seq).
+        friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    /// Pops entries until one refers to a live (not cancelled) callback.
+    /// Returns false when the queue is exhausted.
+    bool pop_live(QueueEntry& out);
+
+    TimePoint now_{};
+    std::uint64_t next_id_ = 1;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+    std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace alps::sim

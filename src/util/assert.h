@@ -1,0 +1,42 @@
+// Contract checking in the spirit of the C++ Core Guidelines' Expects/Ensures.
+//
+// Violations throw alps::util::ContractViolation (rather than aborting) so
+// that unit tests can assert on misuse of the public API.  The checks are
+// always on: every predicate used in this codebase is O(1) and the library is
+// a scheduler, not an inner numeric kernel.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace alps::util {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file +
+                            ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace alps::util
+
+/// Precondition check: argument/state requirements at function entry.
+#define ALPS_EXPECT(cond)                                                            \
+    do {                                                                             \
+        if (!(cond)) ::alps::util::detail::contract_fail("precondition", #cond,      \
+                                                         __FILE__, __LINE__);        \
+    } while (false)
+
+/// Postcondition / internal invariant check.
+#define ALPS_ENSURE(cond)                                                            \
+    do {                                                                             \
+        if (!(cond)) ::alps::util::detail::contract_fail("invariant", #cond,         \
+                                                         __FILE__, __LINE__);        \
+    } while (false)

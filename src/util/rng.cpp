@@ -1,0 +1,72 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace alps::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::next_double() {
+    // 53 random bits scaled into [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    ALPS_EXPECT(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % range);
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+    return Duration{uniform_int(lo.count(), hi.count())};
+}
+
+Duration Rng::exponential(Duration mean) {
+    ALPS_EXPECT(mean.count() > 0);
+    // Inverse CDF; 1 - u in (0, 1] so log() never sees zero.
+    const double u = 1.0 - next_double();
+    const double draw = -std::log(u) * static_cast<double>(mean.count());
+    return Duration{static_cast<std::int64_t>(draw)};
+}
+
+Rng Rng::split() { return Rng{next_u64()}; }
+
+}  // namespace alps::util

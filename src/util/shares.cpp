@@ -1,0 +1,46 @@
+#include "util/shares.h"
+
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace alps::util {
+
+Share shares_gcd(std::span<const Share> shares) {
+    Share g = 0;
+    for (Share s : shares) {
+        ALPS_EXPECT(s > 0);
+        g = std::gcd(g, s);
+    }
+    return g;
+}
+
+std::vector<Share> scale_by_gcd(std::span<const Share> shares) {
+    const Share g = shares_gcd(shares);
+    std::vector<Share> out(shares.begin(), shares.end());
+    if (g > 1) {
+        for (Share& s : out) s /= g;
+    }
+    return out;
+}
+
+Share total_shares(std::span<const Share> shares) {
+    Share total = 0;
+    for (Share s : shares) {
+        ALPS_EXPECT(s > 0);
+        total += s;
+    }
+    return total;
+}
+
+std::vector<double> ideal_fractions(std::span<const Share> shares) {
+    const Share total = total_shares(shares);
+    std::vector<double> out;
+    out.reserve(shares.size());
+    for (Share s : shares) {
+        out.push_back(static_cast<double>(s) / static_cast<double>(total));
+    }
+    return out;
+}
+
+}  // namespace alps::util

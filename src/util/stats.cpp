@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::util {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+    ALPS_EXPECT(n_ > 0);
+    return min_;
+}
+
+double RunningStats::max() const {
+    ALPS_EXPECT(n_ > 0);
+    return max_;
+}
+
+double rms(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double sum_sq = 0.0;
+    for (double v : values) sum_sq += v * v;
+    return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double rms_relative_error(std::span<const double> actual, std::span<const double> ideal) {
+    ALPS_EXPECT(actual.size() == ideal.size());
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (ideal[i] == 0.0) continue;
+        const double rel = (actual[i] - ideal[i]) / ideal[i];
+        sum_sq += rel * rel;
+        ++n;
+    }
+    return n == 0 ? 0.0 : std::sqrt(sum_sq / static_cast<double>(n));
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+    ALPS_EXPECT(x.size() == y.size());
+    ALPS_EXPECT(x.size() >= 2);
+    const auto n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    ALPS_EXPECT(sxx > 0.0);
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+double mean(std::span<const double> values) {
+    if (values.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : values) s += v;
+    return s / static_cast<double>(values.size());
+}
+
+}  // namespace alps::util

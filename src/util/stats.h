@@ -1,0 +1,60 @@
+// Statistics helpers used by the evaluation harness: running moments, the
+// paper's RMS-relative-error accuracy metric, and least-squares regression
+// (used both for Table 3's slope analysis and for fitting the overhead lines
+// U_Q(N) in Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alps::util {
+
+/// Single-pass running mean/variance (Welford).
+class RunningStats {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const;
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Root mean square of a set of values.
+[[nodiscard]] double rms(std::span<const double> values);
+
+/// The paper's per-cycle accuracy metric (Section 3.1): the RMS over
+/// processes of the relative error between actual and ideal CPU time,
+/// expressed as a fraction (multiply by 100 for %).
+///
+/// `actual[i]` and `ideal[i]` are the CPU time consumed / due for process i
+/// in one cycle, in any common unit. Entries with ideal == 0 are skipped.
+[[nodiscard]] double rms_relative_error(std::span<const double> actual,
+                                        std::span<const double> ideal);
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+};
+
+/// Least-squares line through (x[i], y[i]). Requires >= 2 points with
+/// non-degenerate x spread.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+/// Mean of a sequence (0 when empty).
+[[nodiscard]] double mean(std::span<const double> values);
+
+}  // namespace alps::util

@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for the benchmark harnesses.
+//
+// Every figure/table bench prints (a) a human-readable fixed-width table that
+// mirrors the paper's presentation and (b) optional CSV for replotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace alps::util {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Appends one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with columns padded to their widest cell.
+    [[nodiscard]] std::string render() const;
+
+    /// Renders as CSV (no quoting: cells in this codebase never contain
+    /// commas or newlines; enforced by a contract check in add_row).
+    [[nodiscard]] std::string render_csv() const;
+
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+}  // namespace alps::util

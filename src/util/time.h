@@ -1,0 +1,57 @@
+// Strong time types shared by the simulator, the ALPS core, and the POSIX
+// backend.
+//
+// All durations are signed 64-bit nanoseconds (std::chrono::nanoseconds);
+// simulated instants are a distinct strong type (TimePoint) so that wall-clock
+// values cannot be mixed with simulated ones by accident.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+
+namespace alps::util {
+
+/// Canonical duration type for the whole library (signed 64-bit ns).
+using Duration = std::chrono::nanoseconds;
+
+constexpr Duration nsec(std::int64_t n) { return Duration{n}; }
+constexpr Duration usec(std::int64_t n) { return Duration{n * 1'000}; }
+constexpr Duration msec(std::int64_t n) { return Duration{n * 1'000'000}; }
+constexpr Duration sec(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+
+/// Duration as fractional seconds / milliseconds / microseconds.
+constexpr double to_sec(Duration d) { return static_cast<double>(d.count()) * 1e-9; }
+constexpr double to_ms(Duration d) { return static_cast<double>(d.count()) * 1e-6; }
+constexpr double to_us(Duration d) { return static_cast<double>(d.count()) * 1e-3; }
+
+/// Build a duration from fractional microseconds (used by the ALPS cost
+/// model, whose coefficients come from the paper's Table 1 in µs).
+constexpr Duration from_us(double us) {
+    return Duration{static_cast<std::int64_t>(us * 1e3)};
+}
+
+/// An instant on a scheduler's (simulated or monotonic) clock, as a duration
+/// since that clock's epoch.
+struct TimePoint {
+    Duration since_epoch{0};
+
+    friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+    friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+        return TimePoint{t.since_epoch + d};
+    }
+    friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+    friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+        return TimePoint{t.since_epoch - d};
+    }
+    friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+        return a.since_epoch - b.since_epoch;
+    }
+    constexpr TimePoint& operator+=(Duration d) {
+        since_epoch += d;
+        return *this;
+    }
+};
+
+}  // namespace alps::util

@@ -1,0 +1,43 @@
+#include "web/clients.h"
+
+#include "util/assert.h"
+
+namespace alps::web {
+
+struct ClientPool::State {
+    sim::Engine& engine;
+    WebSite& site;
+    ClientConfig cfg;
+    util::Rng rng;
+    bool stopped = false;
+};
+
+ClientPool::ClientPool(sim::Engine& engine, WebSite& site, ClientConfig cfg)
+    : state_(std::make_shared<State>(State{engine, site, cfg, util::Rng(cfg.seed)})) {
+    ALPS_EXPECT(cfg.count > 0);
+    ALPS_EXPECT(cfg.think_mean > util::Duration::zero());
+    for (int i = 0; i < cfg.count; ++i) {
+        think_then_submit(state_, state_->rng.uniform_duration(util::Duration::zero(),
+                                                               cfg.think_mean));
+    }
+}
+
+ClientPool::~ClientPool() { state_->stopped = true; }
+
+const ClientConfig& ClientPool::config() const { return state_->cfg; }
+
+void ClientPool::think_then_submit(const std::shared_ptr<State>& st, util::Duration delay) {
+    st->engine.schedule_after(delay, [st] { submit(st); });
+}
+
+void ClientPool::submit(const std::shared_ptr<State>& st) {
+    if (st->stopped) return;
+    // The completion callback runs inside a worker's phase transition; it
+    // only schedules the next think timer, never touches the kernel.
+    st->site.submit([st](util::Duration) {
+        if (st->stopped) return;
+        think_then_submit(st, st->rng.exponential(st->cfg.think_mean));
+    });
+}
+
+}  // namespace alps::web

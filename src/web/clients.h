@@ -1,0 +1,48 @@
+// Closed-loop client population for one site (the paper's 325 simultaneous
+// clients per bulletin-board site, driven from separate workstations — so
+// they consume no CPU on the web host; they exist purely as events).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "web/site.h"
+
+namespace alps::web {
+
+struct ClientConfig {
+    int count = 325;
+    /// Mean think time between receiving a response and the next request
+    /// (exponential).
+    util::Duration think_mean = util::sec(3);
+    std::uint64_t seed = 11;
+};
+
+class ClientPool {
+public:
+    /// Starts `count` clients; each submits its first request at a random
+    /// offset within one think time (avoids a synchronized stampede).
+    ClientPool(sim::Engine& engine, WebSite& site, ClientConfig cfg);
+
+    /// Stops the loop: pending timers and completions become no-ops, so the
+    /// pool may be destroyed while the simulation keeps running.
+    ~ClientPool();
+
+    ClientPool(const ClientPool&) = delete;
+    ClientPool& operator=(const ClientPool&) = delete;
+
+    [[nodiscard]] const ClientConfig& config() const;
+
+private:
+    // Shared with the in-flight callbacks so destruction is safe while
+    // requests/timers are pending.
+    struct State;
+    static void think_then_submit(const std::shared_ptr<State>& st, util::Duration delay);
+    static void submit(const std::shared_ptr<State>& st);
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace alps::web

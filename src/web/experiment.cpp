@@ -1,0 +1,85 @@
+#include "web/experiment.h"
+
+#include <memory>
+#include <string>
+
+#include "alps/sim_adapter.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace alps::web {
+
+using util::Duration;
+using util::TimePoint;
+
+WebExperimentResult run_web_experiment(const WebExperimentConfig& cfg) {
+    ALPS_EXPECT(cfg.warmup >= Duration::zero());
+    ALPS_EXPECT(cfg.measure > Duration::zero());
+
+    sim::Engine engine;
+    os::Kernel kernel(engine);
+
+    std::array<std::unique_ptr<WebSite>, 3> sites;
+    std::array<std::unique_ptr<ClientPool>, 3> clients;
+    for (int i = 0; i < 3; ++i) {
+        SiteConfig sc = cfg.site;
+        // The paper's sites serve the RUBBoS bulletin board; unless the
+        // caller specified a mix, use the read/submission blend.
+        if (sc.classes.empty()) sc.classes = bulletin_board_mix();
+        sc.name = "site" + std::to_string(i);
+        sc.uid = 101 + i;
+        sc.seed = cfg.site.seed + static_cast<std::uint64_t>(i) * 1000003;
+        sites[static_cast<std::size_t>(i)] = std::make_unique<WebSite>(kernel, sc);
+
+        ClientConfig cc = cfg.clients;
+        cc.seed = cfg.clients.seed + static_cast<std::uint64_t>(i) * 7919;
+        clients[static_cast<std::size_t>(i)] = std::make_unique<ClientPool>(
+            engine, *sites[static_cast<std::size_t>(i)], cc);
+    }
+
+    std::unique_ptr<core::SimGroupAlps> alps;
+    if (cfg.use_alps) {
+        core::SchedulerConfig scfg;
+        scfg.quantum = cfg.quantum;
+        alps = std::make_unique<core::SimGroupAlps>(kernel, scfg, core::CostModel{},
+                                                    cfg.refresh_period);
+        for (int i = 0; i < 3; ++i) {
+            alps->manage_user("user" + std::to_string(101 + i),
+                              101 + i, cfg.shares[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    engine.run_until(TimePoint{} + cfg.warmup);
+    std::array<std::uint64_t, 3> completed0{};
+    std::array<Duration, 3> resp0{};
+    for (std::size_t i = 0; i < 3; ++i) {
+        completed0[i] = sites[i]->completed();
+        resp0[i] = sites[i]->total_response_time();
+    }
+    const Duration busy0 = kernel.busy_time();
+    const Duration alps0 = alps ? alps->overhead_cpu() : Duration::zero();
+
+    engine.run_until(TimePoint{} + cfg.warmup + cfg.measure);
+
+    WebExperimentResult res;
+    const double window_s = util::to_sec(cfg.measure);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const std::uint64_t done = sites[i]->completed() - completed0[i];
+        res.completed[i] = done;
+        res.throughput_rps[i] = static_cast<double>(done) / window_s;
+        res.mean_response_s[i] =
+            done > 0 ? util::to_sec(sites[i]->total_response_time() - resp0[i]) /
+                           static_cast<double>(done)
+                     : 0.0;
+        res.workers[i] = sites[i]->worker_count();
+    }
+    res.cpu_utilization = util::to_sec(kernel.busy_time() - busy0) / window_s;
+    if (alps) {
+        res.alps_overhead_fraction =
+            util::to_sec(alps->overhead_cpu() - alps0) / window_s;
+    }
+    return res;
+}
+
+}  // namespace alps::web

@@ -1,0 +1,38 @@
+// The Section-5 shared-web-server experiment: three bulletin-board sites on
+// one host, first under the kernel scheduler alone, then under a group-
+// principal ALPS with shares {1, 2, 3} and a 100 ms quantum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/shares.h"
+#include "util/time.h"
+#include "web/clients.h"
+#include "web/site.h"
+
+namespace alps::web {
+
+struct WebExperimentConfig {
+    bool use_alps = true;
+    std::array<util::Share, 3> shares{1, 2, 3};
+    util::Duration quantum = util::msec(100);        // the paper's §5 setting
+    util::Duration refresh_period = util::sec(1);    // membership update cadence
+    util::Duration warmup = util::sec(8);
+    util::Duration measure = util::sec(40);
+    SiteConfig site;       ///< template; name/uid/seed are set per site
+    ClientConfig clients;  ///< per-site client population
+};
+
+struct WebExperimentResult {
+    std::array<double, 3> throughput_rps{};     ///< completed/s in the window
+    std::array<double, 3> mean_response_s{};
+    std::array<std::uint64_t, 3> completed{};
+    std::array<int, 3> workers{};               ///< pool size at the end
+    double alps_overhead_fraction = 0.0;        ///< 0 when use_alps = false
+    double cpu_utilization = 0.0;               ///< host busy fraction
+};
+
+[[nodiscard]] WebExperimentResult run_web_experiment(const WebExperimentConfig& cfg);
+
+}  // namespace alps::web

@@ -1,0 +1,201 @@
+#include "web/site.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "os/behaviors.h"
+#include "util/assert.h"
+
+namespace alps::web {
+
+using util::Duration;
+using util::TimePoint;
+
+// ----------------------------------------------------------------------------
+// Worker
+
+/// One Apache child. The phase machine walks a request through its class's
+/// CPU/DB stages, idling on its own wait channel between requests so the
+/// site can wake exactly one worker per submission.
+class WebSite::WorkerBehavior final : public os::Behavior {
+public:
+    explicit WorkerBehavior(WebSite& site) : site_(site) {}
+
+    os::Action next_action(os::ProcContext ctx) override {
+        for (;;) {
+            if (!request_) {
+                // Between requests: the master's retirement point, and the
+                // only place a worker goes idle.
+                if (site_.retire_pending_ > 0) {
+                    --site_.retire_pending_;
+                    --site_.workers_alive_;
+                    return os::ExitAction{};
+                }
+                if (site_.queue_.empty()) {
+                    site_.idle_.push_back(this);
+                    return os::BlockAction{this};
+                }
+                request_ = std::move(site_.queue_.front());
+                site_.queue_.pop_front();
+                phase_index_ = 0;
+            }
+            const auto& phases = site_.classes_[request_->klass].phases;
+            if (phase_index_ < phases.size()) {
+                const RequestPhase& ph = phases[phase_index_++];
+                if (ph.db) return os::SleepAction{site_.draw(ph.mean), this};
+                return os::RunAction{site_.draw(ph.mean)};
+            }
+            site_.record_completion(ctx.kernel.now(), *request_);
+            request_.reset();
+        }
+    }
+
+private:
+    WebSite& site_;
+    std::size_t phase_index_ = 0;
+    std::optional<Request> request_;
+};
+
+// ----------------------------------------------------------------------------
+// Master
+
+/// The Apache parent: wakes up every master_period, pays a little CPU, and
+/// regulates the worker pool like prefork's idle-spare maintenance.
+class WebSite::MasterBehavior final : public os::Behavior {
+public:
+    explicit MasterBehavior(WebSite& site) : site_(site) {}
+
+    os::Action next_action(os::ProcContext) override {
+        if (just_ran_) {
+            just_ran_ = false;
+            site_.regulate();
+            return os::SleepAction{site_.cfg_.master_period, this};
+        }
+        just_ran_ = true;
+        return os::RunAction{site_.cfg_.master_cpu};
+    }
+
+private:
+    WebSite& site_;
+    bool just_ran_ = false;
+};
+
+// ----------------------------------------------------------------------------
+// WebSite
+
+std::vector<RequestClass> bulletin_board_mix(double submission_fraction) {
+    ALPS_EXPECT(submission_fraction >= 0.0 && submission_fraction < 1.0);
+    std::vector<RequestClass> mix;
+    // "Read a story": parse the PHP, fetch story + comments, render the page.
+    mix.push_back({"read-story", 1.0 - submission_fraction,
+                   {{false, util::msec(4)}, {true, util::msec(50)},
+                    {false, util::msec(6)}}});
+    // "Submit a comment": parse, validate-and-insert (two DB round trips
+    // with validation CPU in between), render the confirmation.
+    mix.push_back({"submit-comment", submission_fraction,
+                   {{false, util::msec(3)}, {true, util::msec(30)},
+                    {false, util::msec(2)}, {true, util::msec(30)},
+                    {false, util::msec(2)}}});
+    return mix;
+}
+
+WebSite::WebSite(os::Kernel& kernel, SiteConfig cfg)
+    : kernel_(kernel), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+    ALPS_EXPECT(cfg_.max_workers >= 1);
+    ALPS_EXPECT(cfg_.initial_workers >= 1);
+    ALPS_EXPECT(cfg_.initial_workers <= cfg_.max_workers);
+
+    if (cfg_.classes.empty()) {
+        classes_.push_back({"request", 1.0,
+                            {{false, cfg_.parse_cpu},
+                             {true, cfg_.db_time},
+                             {false, cfg_.render_cpu}}});
+    } else {
+        classes_ = cfg_.classes;
+    }
+    for (const RequestClass& rc : classes_) {
+        ALPS_EXPECT(rc.weight > 0.0);
+        ALPS_EXPECT(!rc.phases.empty());
+        for (const RequestPhase& ph : rc.phases) {
+            ALPS_EXPECT(ph.mean > util::Duration::zero());
+        }
+        weight_total_ += rc.weight;
+    }
+    completed_by_class_.assign(classes_.size(), 0);
+
+    for (int i = 0; i < cfg_.initial_workers; ++i) spawn_worker();
+    master_pid_ = kernel_.spawn(cfg_.name + "-master", cfg_.uid,
+                                std::make_unique<MasterBehavior>(*this));
+}
+
+WebSite::~WebSite() = default;
+
+void WebSite::spawn_worker() {
+    ++workers_alive_;
+    ++workers_spawned_;
+    kernel_.spawn(cfg_.name + "-w" + std::to_string(workers_spawned_), cfg_.uid,
+                  std::make_unique<WorkerBehavior>(*this));
+}
+
+void WebSite::regulate() {
+    const int idle = static_cast<int>(idle_.size()) - retire_pending_;
+    if (idle < cfg_.min_spare && workers_alive_ < cfg_.max_workers) {
+        const int want = std::min(cfg_.spawn_batch, cfg_.max_workers - workers_alive_);
+        for (int i = 0; i < want; ++i) spawn_worker();
+    } else if (idle > cfg_.max_spare && workers_alive_ > cfg_.initial_workers) {
+        // Retire surplus idlers: wake them; they exit at take_or_block().
+        int surplus = std::min(idle - cfg_.max_spare,
+                               workers_alive_ - cfg_.initial_workers);
+        while (surplus-- > 0 && !idle_.empty()) {
+            ++retire_pending_;
+            const os::WaitChannel chan = idle_.back();
+            idle_.pop_back();
+            kernel_.wakeup_channel(chan);
+        }
+    }
+}
+
+util::Duration WebSite::draw(Duration mean) {
+    if (!cfg_.jitter) return mean;
+    // Exponential service/latency with the configured mean, floored so a
+    // request never costs literally nothing.
+    return std::max(rng_.exponential(mean), util::usec(10));
+}
+
+std::size_t WebSite::draw_class() {
+    if (classes_.size() == 1) return 0;
+    double roll = rng_.next_double() * weight_total_;
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        roll -= classes_[i].weight;
+        if (roll < 0.0) return i;
+    }
+    return classes_.size() - 1;
+}
+
+void WebSite::submit(std::function<void(Duration)> on_complete) {
+    ALPS_EXPECT(on_complete != nullptr);
+    Request req;
+    req.submitted = kernel_.now();
+    req.klass = draw_class();
+    req.on_complete = std::move(on_complete);
+    queue_.push_back(std::move(req));
+    if (!idle_.empty()) {
+        const os::WaitChannel chan = idle_.back();
+        idle_.pop_back();
+        kernel_.wakeup_channel(chan);
+    }
+}
+
+void WebSite::record_completion(TimePoint now, const Request& req) {
+    ++completed_;
+    ++completed_by_class_[req.klass];
+    const Duration response = now - req.submitted;
+    total_response_ += response;
+    const auto second = static_cast<std::size_t>(now.since_epoch / util::sec(1));
+    if (per_second_.size() <= second) per_second_.resize(second + 1, 0);
+    ++per_second_[second];
+    if (req.on_complete) req.on_complete(response);
+}
+
+}  // namespace alps::web

@@ -1,0 +1,140 @@
+// A dynamic-content web site on the simulated host (paper Section 5).
+//
+// Models one Apache-prefork-style server owned by one user account:
+//   * a master process that regulates a pool of worker processes (up to
+//     max_workers, like the paper's 50);
+//   * workers that loop: take a request, burn CPU parsing the PHP script,
+//     block on the (remote) database, burn CPU rendering the page, reply;
+//   * a listen queue feeding the workers.
+// Clients and the database live off-host (separate machines in the paper),
+// so they cost no CPU here: the DB is a latency, the clients are events.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace alps::web {
+
+/// One stage of servicing a request: either CPU on the web host or a blocking
+/// wait on the remote database.
+struct RequestPhase {
+    bool db = false;            ///< true: block for `mean`; false: burn CPU
+    util::Duration mean{0};
+};
+
+/// A class of requests (RUBBoS-style: "read a story" vs "submit a comment"),
+/// drawn per request with probability proportional to `weight`.
+struct RequestClass {
+    std::string name = "request";
+    double weight = 1.0;
+    std::vector<RequestPhase> phases;
+};
+
+struct SiteConfig {
+    std::string name = "site";
+    os::Uid uid = 1000;
+    int max_workers = 50;  ///< the paper's per-site Apache limit
+    int initial_workers = 8;
+    int min_spare = 2;   ///< grow the pool when idle workers drop below this
+    int max_spare = 20;  ///< shrink when more than this many sit idle
+    int spawn_batch = 4;
+    /// CPU demand per request: script parse/db-query marshalling, then page
+    /// rendering (means; actual draws are exponential unless jitter=false).
+    /// Used to synthesize a single request class when `classes` is empty.
+    util::Duration parse_cpu = util::msec(4);
+    util::Duration render_cpu = util::msec(6);
+    /// Remote database latency per request (the worker blocks).
+    util::Duration db_time = util::msec(50);
+    /// Explicit request mix; empty = one class from the three fields above.
+    std::vector<RequestClass> classes;
+    bool jitter = true;
+    /// Master housekeeping cadence and its (small) CPU cost.
+    util::Duration master_period = util::sec(1);
+    util::Duration master_cpu = util::usec(200);
+    std::uint64_t seed = 7;
+};
+
+/// The RUBBoS-like bulletin-board mix: mostly story reads (parse, one DB
+/// query, render) with a fraction of comment submissions (two DB round
+/// trips with validation CPU in between).
+[[nodiscard]] std::vector<RequestClass> bulletin_board_mix(double submission_fraction = 0.15);
+
+/// One hosted site: master + worker pool + listen queue + statistics.
+class WebSite {
+public:
+    WebSite(os::Kernel& kernel, SiteConfig cfg);
+    ~WebSite();
+
+    WebSite(const WebSite&) = delete;
+    WebSite& operator=(const WebSite&) = delete;
+
+    /// Submits one request; `on_complete` fires (with the response time) when
+    /// a worker finishes it. Callable from event context.
+    void submit(std::function<void(util::Duration)> on_complete);
+
+    [[nodiscard]] const SiteConfig& config() const { return cfg_; }
+    [[nodiscard]] os::Uid uid() const { return cfg_.uid; }
+    [[nodiscard]] std::uint64_t completed() const { return completed_; }
+    /// Completions per request class, in the order of the effective mix.
+    [[nodiscard]] const std::vector<std::uint64_t>& completed_by_class() const {
+        return completed_by_class_;
+    }
+    /// The request mix in effect (synthesized when cfg.classes was empty).
+    [[nodiscard]] const std::vector<RequestClass>& request_mix() const {
+        return classes_;
+    }
+    [[nodiscard]] util::Duration total_response_time() const { return total_response_; }
+    [[nodiscard]] int worker_count() const { return workers_alive_; }
+    [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+    [[nodiscard]] std::size_t idle_workers() const { return idle_.size(); }
+    /// Completions per whole simulated second since t=0.
+    [[nodiscard]] const std::vector<std::uint64_t>& per_second_completions() const {
+        return per_second_;
+    }
+
+private:
+    class WorkerBehavior;
+    class MasterBehavior;
+    friend class WorkerBehavior;
+    friend class MasterBehavior;
+
+    struct Request {
+        util::TimePoint submitted;
+        std::size_t klass = 0;  ///< index into classes_
+        std::function<void(util::Duration)> on_complete;
+    };
+
+    void spawn_worker();
+    void regulate();  ///< master's housekeeping step
+    void record_completion(util::TimePoint now, const Request& req);
+    util::Duration draw(util::Duration mean);
+    std::size_t draw_class();
+
+    os::Kernel& kernel_;
+    SiteConfig cfg_;
+    util::Rng rng_;
+    std::vector<RequestClass> classes_;  ///< effective mix
+    double weight_total_ = 0.0;
+
+    std::deque<Request> queue_;
+    std::vector<os::WaitChannel> idle_;  ///< idle workers' wait channels
+    int workers_alive_ = 0;
+    int workers_spawned_ = 0;
+    int retire_pending_ = 0;
+
+    std::uint64_t completed_ = 0;
+    std::vector<std::uint64_t> completed_by_class_;
+    util::Duration total_response_{0};
+    std::vector<std::uint64_t> per_second_;
+
+    os::Pid master_pid_ = os::kNoPid;
+};
+
+}  // namespace alps::web

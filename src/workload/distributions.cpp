@@ -1,0 +1,28 @@
+#include "workload/distributions.h"
+
+#include "util/assert.h"
+
+namespace alps::workload {
+
+std::vector<util::Share> make_shares(ShareModel model, int nprocs) {
+    ALPS_EXPECT(nprocs >= 2);
+    const auto n = static_cast<util::Share>(nprocs);
+    std::vector<util::Share> shares;
+    shares.reserve(static_cast<std::size_t>(nprocs));
+    switch (model) {
+        case ShareModel::kLinear:
+            for (util::Share i = 0; i < n; ++i) shares.push_back(2 * i + 1);
+            break;
+        case ShareModel::kEqual:
+            shares.assign(static_cast<std::size_t>(nprocs), n);
+            break;
+        case ShareModel::kSkewed:
+            shares.assign(static_cast<std::size_t>(nprocs) - 1, 1);
+            shares.push_back(n * n - (n - 1));
+            break;
+    }
+    ALPS_ENSURE(util::total_shares(shares) == n * n);
+    return shares;
+}
+
+}  // namespace alps::workload

@@ -1,0 +1,35 @@
+// The paper's Table-2 workload share distributions.
+//
+// A workload of n processes has n² total shares:
+//   linear: {1, 3, 5, ..., 2n-1}
+//   equal:  {n, n, ..., n}
+//   skewed: {1, 1, ..., 1, n² - (n-1)}   (n-1 single-share processes)
+// The paper deliberately does NOT scale these by their GCD (§3).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/shares.h"
+
+namespace alps::workload {
+
+enum class ShareModel { kLinear, kEqual, kSkewed };
+
+[[nodiscard]] constexpr std::string_view to_string(ShareModel m) {
+    switch (m) {
+        case ShareModel::kLinear: return "Linear";
+        case ShareModel::kEqual: return "Equal";
+        case ShareModel::kSkewed: return "Skewed";
+    }
+    return "?";
+}
+
+/// Builds the Table-2 share vector for n >= 2 processes.
+[[nodiscard]] std::vector<util::Share> make_shares(ShareModel model, int nprocs);
+
+/// All three models, in the paper's presentation order.
+inline constexpr ShareModel kAllModels[] = {ShareModel::kSkewed, ShareModel::kLinear,
+                                            ShareModel::kEqual};
+
+}  // namespace alps::workload

@@ -1,0 +1,261 @@
+#include "workload/experiments.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "alps/sim_adapter.h"
+#include "metrics/exact_cycle_log.h"
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace alps::workload {
+
+using util::Duration;
+using util::Share;
+using util::TimePoint;
+
+namespace {
+
+/// Advances the simulation until `done()` holds or `deadline` passes,
+/// checking once per simulated second. Returns true if `done()` held.
+template <typename DoneFn>
+bool run_simulation_until(sim::Engine& engine, TimePoint deadline, DoneFn done) {
+    while (!done()) {
+        if (engine.now() >= deadline) return false;
+        engine.run_until(std::min(engine.now() + util::sec(1), deadline));
+    }
+    return true;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------------
+// Figures 4, 5, 8, 9
+
+SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg) {
+    ALPS_EXPECT(!cfg.shares.empty());
+    ALPS_EXPECT(cfg.measure_cycles > 0);
+
+    sim::Engine engine;
+    os::KernelConfig kcfg;
+    kcfg.stop_latency_grid = cfg.stop_latency_grid;
+    os::Kernel kernel(engine, nullptr, kcfg);
+
+    core::SchedulerConfig scfg;
+    scfg.quantum = cfg.quantum;
+    scfg.lazy_measurement = cfg.lazy_measurement;
+    scfg.io_accounting = cfg.io_accounting;
+    core::SimAlps alps(kernel, scfg, cfg.cost);
+
+    // Per-cycle accuracy instrumentation: read the true (simulated) rusage
+    // at each cycle boundary, as the paper's instrumented ALPS does.
+    metrics::ExactCycleLog log([&kernel](core::EntityId id) {
+        return kernel.cpu_time(static_cast<os::Pid>(id));
+    });
+    alps.scheduler().set_cycle_observer(log.observer());
+
+    for (std::size_t i = 0; i < cfg.shares.size(); ++i) {
+        const os::Pid pid = kernel.spawn("worker" + std::to_string(i), /*uid=*/100,
+                                         std::make_unique<os::CpuBoundBehavior>());
+        alps.manage(pid, cfg.shares[i]);
+    }
+
+    const Duration cycle_len = cfg.quantum * util::total_shares(cfg.shares);
+    const auto total_cycles =
+        static_cast<std::size_t>(cfg.warmup_cycles + cfg.measure_cycles);
+    const Duration max_wall =
+        cfg.max_wall > Duration::zero()
+            ? cfg.max_wall
+            : cycle_len * static_cast<std::int64_t>(3 * (total_cycles + 10));
+
+    const bool completed = run_simulation_until(
+        engine, TimePoint{} + max_wall,
+        [&] { return log.cycle_count() >= total_cycles; });
+
+    SimRunResult res;
+    res.timed_out = !completed;
+    res.wall = engine.now() - TimePoint{};
+    res.alps_cpu = alps.overhead_cpu();
+    res.overhead_fraction =
+        util::to_sec(res.wall) > 0.0 ? util::to_sec(res.alps_cpu) / util::to_sec(res.wall)
+                                     : 0.0;
+    res.mean_rms_error = log.mean_rms_relative_error(
+        static_cast<std::size_t>(cfg.warmup_cycles),
+        static_cast<std::size_t>(cfg.measure_cycles));
+    res.cycles_completed = log.cycle_count();
+    res.ticks = alps.scheduler().tick_count();
+    res.measurements = alps.scheduler().total_measurements();
+    res.boundaries_missed = alps.driver().boundaries_missed();
+    return res;
+}
+
+// ----------------------------------------------------------------------------
+// Figure 6
+
+IoRunResult run_io_experiment(const IoRunConfig& cfg) {
+    ALPS_EXPECT(cfg.steady_cycles > 0);
+    ALPS_EXPECT(cfg.observe_cycles > 0);
+
+    sim::Engine engine;
+    os::Kernel kernel(engine);
+
+    core::SchedulerConfig scfg;
+    scfg.quantum = cfg.quantum;
+    core::SimAlps alps(kernel, scfg);
+
+    metrics::ExactCycleLog log([&kernel](core::EntityId id) {
+        return kernel.cpu_time(static_cast<os::Pid>(id));
+    });
+    alps.scheduler().set_cycle_observer(log.observer());
+
+    const Share total = cfg.shares[0] + cfg.shares[1] + cfg.shares[2];
+
+    // B runs CPU-bound until its cumulative consumption reaches
+    // steady_cycles worth of its per-cycle share, then alternates
+    // io_burst of CPU with io_sleep of blocking.
+    const Duration initial_cpu =
+        cfg.quantum * (cfg.shares[1] * static_cast<Share>(cfg.steady_cycles));
+
+    const os::Pid pid_a =
+        kernel.spawn("A", 100, std::make_unique<os::CpuBoundBehavior>());
+    const os::Pid pid_b = kernel.spawn(
+        "B", 100,
+        std::make_unique<os::PhasedIoBehavior>(cfg.io_burst, cfg.io_sleep, initial_cpu));
+    const os::Pid pid_c =
+        kernel.spawn("C", 100, std::make_unique<os::CpuBoundBehavior>());
+
+    alps.manage(pid_a, cfg.shares[0]);
+    alps.manage(pid_b, cfg.shares[1]);
+    alps.manage(pid_c, cfg.shares[2]);
+
+    IoRunResult res;
+    // Onset: B finishes `initial_cpu + io_burst` of CPU, consuming its share
+    // (shares[1] quanta) per cycle.
+    res.io_onset_cycle = static_cast<std::uint64_t>(
+        (initial_cpu + cfg.io_burst).count() /
+        (cfg.quantum.count() * cfg.shares[1]));
+
+    const auto target =
+        static_cast<std::size_t>(cfg.steady_cycles + cfg.observe_cycles);
+    const Duration cycle_len = cfg.quantum * total;
+    const Duration max_wall = cycle_len * static_cast<std::int64_t>(4 * (target + 10)) +
+                              cfg.io_sleep * static_cast<std::int64_t>(target);
+    run_simulation_until(engine, TimePoint{} + max_wall,
+                         [&] { return log.cycle_count() >= target; });
+
+    for (const auto& rec : log.records()) {
+        const auto fr = metrics::CycleLog::cycle_fractions(rec);
+        std::array<double, 3> f{0.0, 0.0, 0.0};
+        for (std::size_t i = 0; i < rec.ids.size(); ++i) {
+            if (rec.ids[i] == pid_a) f[0] = fr[i];
+            if (rec.ids[i] == pid_b) f[1] = fr[i];
+            if (rec.ids[i] == pid_c) f[2] = fr[i];
+        }
+        res.cycle_index.push_back(rec.index);
+        res.fractions.push_back(f);
+    }
+    return res;
+}
+
+// ----------------------------------------------------------------------------
+// Figure 7 / Table 3
+
+MultiAlpsResult run_multi_alps_experiment(const MultiAlpsConfig& cfg) {
+    ALPS_EXPECT(cfg.phase2_start < cfg.phase3_start);
+    ALPS_EXPECT(cfg.phase3_start < cfg.end);
+
+    sim::Engine engine;
+    os::Kernel kernel(engine);
+
+    static constexpr std::array<std::array<Share, 3>, 3> kGroupShares{
+        {{7, 8, 9}, {4, 5, 6}, {1, 2, 3}}};
+
+    MultiAlpsResult res;
+    res.procs.resize(9);
+    for (int g = 0; g < 3; ++g) {
+        for (int m = 0; m < 3; ++m) {
+            auto& pr = res.procs[static_cast<std::size_t>(3 * g + m)];
+            pr.group = g;
+            pr.share = kGroupShares[static_cast<std::size_t>(g)][static_cast<std::size_t>(m)];
+        }
+    }
+
+    std::vector<std::unique_ptr<core::SimAlps>> alpses;
+    alpses.reserve(3);
+
+    auto spawn_group = [&](int g) {
+        core::SchedulerConfig scfg;
+        scfg.quantum = cfg.quantum;
+        auto alps = std::make_unique<core::SimAlps>(
+            kernel, scfg, cfg.cost, "alps-" + std::string(1, static_cast<char>('A' + g)),
+            /*uid=*/g);
+        std::array<os::Pid, 3> pids{};
+        for (int m = 0; m < 3; ++m) {
+            auto& pr = res.procs[static_cast<std::size_t>(3 * g + m)];
+            pids[static_cast<std::size_t>(m)] =
+                kernel.spawn("g" + std::to_string(g) + "p" + std::to_string(m), g,
+                             std::make_unique<os::CpuBoundBehavior>());
+            alps->manage(pids[static_cast<std::size_t>(m)], pr.share);
+        }
+        // At each cycle end of this ALPS, sample its processes' cumulative
+        // CPU — the paper's Figure-7 data points.
+        auto* results = &res.procs;
+        const int group = g;
+        alps->scheduler().set_cycle_observer(
+            [&kernel, results, group, pids](const core::CycleRecord&) {
+                for (int m = 0; m < 3; ++m) {
+                    auto& pr = (*results)[static_cast<std::size_t>(3 * group + m)];
+                    pr.series.add(kernel.now(),
+                                  kernel.cpu_time(pids[static_cast<std::size_t>(m)]));
+                }
+            });
+        alpses.push_back(std::move(alps));
+    };
+
+    spawn_group(0);
+    engine.schedule_at(TimePoint{} + cfg.phase2_start, [&] { spawn_group(1); });
+    engine.schedule_at(TimePoint{} + cfg.phase3_start, [&] { spawn_group(2); });
+    engine.run_until(TimePoint{} + cfg.end);
+
+    // --- Table 3: per-phase within-group regression analysis ---
+    const std::array<TimePoint, 4> bounds{
+        TimePoint{}, TimePoint{} + cfg.phase2_start, TimePoint{} + cfg.phase3_start,
+        TimePoint{} + cfg.end};
+    const std::array<Duration, 3> group_start{Duration::zero(), cfg.phase2_start,
+                                              cfg.phase3_start};
+
+    util::RunningStats all_errors;
+    for (int g = 0; g < 3; ++g) {
+        for (int phase = g; phase < 3; ++phase) {  // group g exists from phase g on
+            const TimePoint begin =
+                std::max(bounds[static_cast<std::size_t>(phase)],
+                         TimePoint{} + group_start[static_cast<std::size_t>(g)]) +
+                cfg.settle;
+            const TimePoint end = bounds[static_cast<std::size_t>(phase) + 1];
+            std::vector<const metrics::ConsumptionSeries*> series;
+            std::vector<Share> shares;
+            bool enough = true;
+            for (int m = 0; m < 3; ++m) {
+                const auto& pr = res.procs[static_cast<std::size_t>(3 * g + m)];
+                if (pr.series.points_in(begin, end) < 2) enough = false;
+                series.push_back(&pr.series);
+                shares.push_back(pr.share);
+            }
+            if (!enough) continue;
+            const auto analysis = metrics::analyze_phase(series, shares, begin, end);
+            for (int m = 0; m < 3; ++m) {
+                auto& pr = res.procs[static_cast<std::size_t>(3 * g + m)];
+                pr.phases[static_cast<std::size_t>(phase)] =
+                    analysis[static_cast<std::size_t>(m)];
+                all_errors.add(analysis[static_cast<std::size_t>(m)].relative_error);
+            }
+        }
+    }
+    res.mean_relative_error = all_errors.count() > 0 ? all_errors.mean() : 0.0;
+    return res;
+}
+
+}  // namespace alps::workload

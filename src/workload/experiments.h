@@ -1,0 +1,117 @@
+// Reusable experiment runners for the paper's evaluation (Sections 3-4).
+// Each runner builds a fresh simulated machine, runs one experiment, and
+// returns structured results; the bench harnesses and integration tests call
+// these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alps/cost_model.h"
+#include "alps/scheduler.h"
+#include "metrics/slope_analysis.h"
+#include "util/shares.h"
+#include "util/time.h"
+
+namespace alps::workload {
+
+// ----------------------------------------------------------------------------
+// CPU-bound accuracy/overhead run (Figures 4, 5, 8, 9 and the §2.3 ablation)
+
+struct SimRunConfig {
+    /// One compute-bound process per share entry.
+    std::vector<util::Share> shares;
+    util::Duration quantum = util::msec(10);
+    /// Cycles measured for the error metric, after `warmup_cycles`.
+    int measure_cycles = 200;
+    int warmup_cycles = 5;
+    bool lazy_measurement = true;  ///< §2.3 optimization (off = ablation)
+    bool io_accounting = true;
+    core::CostModel cost{};
+    /// Hard stop; zero = derived from the cycle length automatically.
+    util::Duration max_wall{0};
+    /// Kernel signal-delivery latency model (see KernelConfig): 0 = ideal
+    /// instant stops; 10 ms models FreeBSD's hardclock-tick delivery.
+    util::Duration stop_latency_grid{0};
+};
+
+struct SimRunResult {
+    double mean_rms_error = 0.0;      ///< fraction (×100 = the paper's %)
+    double overhead_fraction = 0.0;   ///< ALPS CPU / wall time (×100 = %)
+    std::uint64_t cycles_completed = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t measurements = 0;   ///< total progress reads
+    std::uint64_t boundaries_missed = 0;
+    util::Duration wall{0};
+    util::Duration alps_cpu{0};
+    bool timed_out = false;  ///< hit max_wall before completing the cycles
+};
+
+/// Spawns |shares| compute-bound processes under one ALPS and measures
+/// accuracy and overhead.
+[[nodiscard]] SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg);
+
+// ----------------------------------------------------------------------------
+// I/O redistribution run (Figure 6)
+
+struct IoRunConfig {
+    util::Duration quantum = util::msec(10);
+    /// Shares of processes A, B, C; B is the one that performs I/O.
+    std::array<util::Share, 3> shares{1, 2, 3};
+    /// B executes bursts of this much CPU ...
+    util::Duration io_burst = util::msec(80);
+    /// ... then sleeps this long (the paper: 240 ms, i.e. one burst per
+    /// 3 cycles of CPU share at 33.3%).
+    util::Duration io_sleep = util::msec(240);
+    /// Cycles of steady CPU-bound execution before B starts I/O.
+    int steady_cycles = 30;
+    /// Cycles to observe after the I/O onset.
+    int observe_cycles = 60;
+};
+
+struct IoRunResult {
+    /// Per observed cycle: index and each process's fraction of the cycle's
+    /// CPU (A, B, C).
+    std::vector<std::uint64_t> cycle_index;
+    std::vector<std::array<double, 3>> fractions;
+    /// Cycle index at which B's I/O began.
+    std::uint64_t io_onset_cycle = 0;
+};
+
+[[nodiscard]] IoRunResult run_io_experiment(const IoRunConfig& cfg);
+
+// ----------------------------------------------------------------------------
+// Multiple concurrent ALPSs (Figure 7 and Table 3)
+
+struct MultiAlpsConfig {
+    util::Duration quantum = util::msec(10);
+    /// Phase starts: group A at 0, B at phase2_start, C at phase3_start; the
+    /// run ends at end (the paper: 3 s / 6 s / 15 s).
+    util::Duration phase2_start = util::sec(3);
+    util::Duration phase3_start = util::sec(6);
+    util::Duration end = util::sec(15);
+    /// Ignored at the start of each phase when fitting slopes (forks and
+    /// kernel-priority transients perturb the first cycles).
+    util::Duration settle = util::msec(600);
+    core::CostModel cost{};
+};
+
+struct MultiAlpsResult {
+    struct ProcResult {
+        int group = 0;  ///< 0 = A {7,8,9}, 1 = B {4,5,6}, 2 = C {1,2,3}
+        util::Share share = 0;
+        metrics::ConsumptionSeries series;  ///< sampled at its ALPS's cycle ends
+        /// Within-group CPU fraction and relative error per phase (empty
+        /// optional where the group was not yet running).
+        std::array<std::optional<metrics::PhaseShare>, 3> phases;
+    };
+    std::vector<ProcResult> procs;  ///< 9 processes, shares 7,8,9,4,5,6,1,2,3
+    /// Mean relative error over all (process, phase) cells (paper: 0.93 %).
+    double mean_relative_error = 0.0;
+};
+
+[[nodiscard]] MultiAlpsResult run_multi_alps_experiment(const MultiAlpsConfig& cfg);
+
+}  // namespace alps::workload

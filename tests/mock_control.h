@@ -1,0 +1,72 @@
+// A scripted ProcessControl backend for unit-testing the ALPS core without
+// any kernel: the test advances each entity's CPU clock by hand (playing the
+// role of the kernel scheduler) and the mock records every backend call.
+#pragma once
+
+#include <map>
+
+#include "alps/process_control.h"
+#include "util/time.h"
+
+namespace alps::testing {
+
+class MockControl final : public core::ProcessControl {
+public:
+    struct Entity {
+        util::Duration cpu{0};
+        bool blocked = false;
+        bool alive = true;
+        bool suspended = false;
+        int resumed_count = 0;
+        int suspended_count = 0;
+    };
+
+    core::Sample read_progress(core::EntityId id) override {
+        ++reads;
+        const Entity& e = entities.at(id);
+        core::Sample s;
+        s.cpu_time = e.cpu;
+        s.blocked = e.blocked;
+        s.alive = e.alive;
+        return s;
+    }
+
+    void suspend(core::EntityId id) override {
+        ++suspends;
+        Entity& e = entities[id];
+        e.suspended = true;
+        ++e.suspended_count;
+    }
+
+    void resume(core::EntityId id) override {
+        ++resumes;
+        Entity& e = entities[id];
+        e.suspended = false;
+        ++e.resumed_count;
+    }
+
+    /// Registers an entity the scheduler may talk about.
+    Entity& ensure(core::EntityId id) { return entities[id]; }
+
+    /// The "kernel": grants one quantum of CPU, split equally among entities
+    /// that are resumed, alive, and not blocked (round-robin time-sharing on
+    /// one CPU).
+    void run_kernel_quantum(util::Duration quantum) {
+        int active = 0;
+        for (auto& [id, e] : entities) {
+            if (e.alive && !e.suspended && !e.blocked) ++active;
+        }
+        if (active == 0) return;
+        const util::Duration each{quantum.count() / active};
+        for (auto& [id, e] : entities) {
+            if (e.alive && !e.suspended && !e.blocked) e.cpu += each;
+        }
+    }
+
+    int reads = 0;
+    int suspends = 0;
+    int resumes = 0;
+    std::map<core::EntityId, Entity> entities;
+};
+
+}  // namespace alps::testing

@@ -1,0 +1,63 @@
+#include "alps/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace alps::core {
+namespace {
+
+TEST(CostModel, IdleTickCostsOnlyTimerEvent) {
+    const CostModel m;
+    TickStats s;
+    EXPECT_EQ(m.tick_cost(s), util::from_us(9.02));
+}
+
+TEST(CostModel, MeasurementsFollowTable1Line) {
+    const CostModel m;
+    TickStats s;
+    s.measured = 3;
+    // 9.02 (timer) + 1.1 + 17.4*3
+    EXPECT_EQ(m.tick_cost(s), util::from_us(9.02 + 1.1 + 17.4 * 3));
+}
+
+TEST(CostModel, SignalsCost) {
+    const CostModel m;
+    TickStats s;
+    s.suspended = 2;
+    s.resumed = 1;
+    EXPECT_EQ(m.tick_cost(s), util::from_us(9.02 + 0.97 * 3));
+}
+
+TEST(CostModel, CombinedOperations) {
+    const CostModel m;
+    TickStats s;
+    s.measured = 10;
+    s.suspended = 4;
+    s.resumed = 4;
+    const double us = 9.02 + 1.1 + 17.4 * 10 + 0.97 * 8;
+    EXPECT_EQ(m.tick_cost(s), util::from_us(us));
+}
+
+TEST(CostModel, CustomCoefficients) {
+    CostModel m;
+    m.timer_event_us = 1.0;
+    m.measure_base_us = 0.0;
+    m.measure_per_proc_us = 2.0;
+    m.signal_us = 0.5;
+    TickStats s;
+    s.measured = 5;
+    s.suspended = 2;
+    EXPECT_EQ(m.tick_cost(s), util::from_us(1.0 + 10.0 + 1.0));
+}
+
+TEST(CostModel, CostGrowsLinearlyInMeasuredCount) {
+    const CostModel m;
+    TickStats a, b;
+    a.measured = 10;
+    b.measured = 20;
+    const auto d1 = m.tick_cost(a);
+    const auto d2 = m.tick_cost(b);
+    EXPECT_EQ((d2 - d1).count(), util::from_us(17.4 * 10).count());
+}
+
+}  // namespace
+}  // namespace alps::core

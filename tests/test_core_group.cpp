@@ -1,0 +1,226 @@
+#include "alps/group_control.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/assert.h"
+
+namespace alps::core {
+namespace {
+
+using util::Duration;
+using util::msec;
+
+/// A fake host with hand-driven per-pid CPU clocks and a per-uid registry.
+class FakeHost final : public ProcessHost {
+public:
+    struct P {
+        Duration cpu{0};
+        bool blocked = false;
+        bool alive = true;
+        bool stopped = false;
+        HostUid uid = 0;
+    };
+
+    Sample read_pid(HostPid pid) override {
+        auto it = procs.find(pid);
+        if (it == procs.end() || !it->second.alive) {
+            Sample s;
+            s.alive = false;
+            return s;
+        }
+        Sample s;
+        s.cpu_time = it->second.cpu;
+        s.blocked = it->second.blocked;
+        return s;
+    }
+
+    void stop_pid(HostPid pid) override { procs[pid].stopped = true; }
+    void cont_pid(HostPid pid) override { procs[pid].stopped = false; }
+
+    std::vector<HostPid> pids_of_user(HostUid uid) override {
+        std::vector<HostPid> out;
+        for (const auto& [pid, p] : procs) {
+            if (p.alive && p.uid == uid) out.push_back(pid);
+        }
+        return out;
+    }
+
+    std::map<HostPid, P> procs;
+};
+
+TEST(GroupControl, SumsMemberConsumption) {
+    FakeHost host;
+    host.procs[10] = {msec(5), false, true, false, 0};
+    host.procs[11] = {msec(7), false, true, false, 0};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 10);
+    gc.add_member(g, 11);
+    // Baseline at join: nothing charged yet.
+    EXPECT_EQ(gc.read_progress(g).cpu_time, Duration::zero());
+    host.procs[10].cpu += msec(3);
+    host.procs[11].cpu += msec(4);
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(7));
+    // Cumulative, not delta.
+    host.procs[10].cpu += msec(1);
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(8));
+}
+
+TEST(GroupControl, BlockedOnlyWhenAllMembersBlocked) {
+    FakeHost host;
+    host.procs[1] = {};
+    host.procs[2] = {};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    gc.add_member(g, 2);
+    EXPECT_FALSE(gc.read_progress(g).blocked);
+    host.procs[1].blocked = true;
+    EXPECT_FALSE(gc.read_progress(g).blocked);
+    host.procs[2].blocked = true;
+    EXPECT_TRUE(gc.read_progress(g).blocked);
+}
+
+TEST(GroupControl, EmptyPrincipalReportsBlocked) {
+    FakeHost host;
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("empty");
+    const Sample s = gc.read_progress(g);
+    EXPECT_TRUE(s.blocked);  // not contending for the CPU
+    EXPECT_TRUE(s.alive);    // principals persist
+}
+
+TEST(GroupControl, SuspendStopsAllMembersAndLateJoiners) {
+    FakeHost host;
+    host.procs[1] = {};
+    host.procs[2] = {};
+    host.procs[3] = {};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    gc.add_member(g, 2);
+    gc.suspend(g);
+    EXPECT_TRUE(host.procs[1].stopped);
+    EXPECT_TRUE(host.procs[2].stopped);
+    gc.add_member(g, 3);  // joins a suspended principal
+    EXPECT_TRUE(host.procs[3].stopped);
+    gc.resume(g);
+    EXPECT_FALSE(host.procs[1].stopped);
+    EXPECT_FALSE(host.procs[3].stopped);
+}
+
+TEST(GroupControl, DeadMembersDroppedButConsumptionRetained) {
+    FakeHost host;
+    host.procs[1] = {};
+    host.procs[2] = {};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    gc.add_member(g, 2);
+    host.procs[1].cpu += msec(10);
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(10));
+    host.procs[1].alive = false;
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(10));  // kept
+    EXPECT_EQ(gc.members(g), (std::vector<HostPid>{2}));
+}
+
+TEST(GroupControl, RefreshTracksUidProcesses) {
+    FakeHost host;
+    host.procs[1] = {Duration{0}, false, true, false, /*uid=*/500};
+    host.procs[2] = {Duration{0}, false, true, false, 501};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("u500", 500);
+    gc.refresh(g);
+    EXPECT_EQ(gc.members(g), (std::vector<HostPid>{1}));
+
+    // A new process of the user appears (Apache forks a worker).
+    host.procs[3] = {Duration{0}, false, true, false, 500};
+    gc.refresh(g);
+    EXPECT_EQ(gc.members(g), (std::vector<HostPid>{1, 3}));
+
+    // One dies; refresh drops it.
+    host.procs[1].alive = false;
+    gc.refresh(g);
+    EXPECT_EQ(gc.members(g), (std::vector<HostPid>{3}));
+}
+
+TEST(GroupControl, RefreshJoinsNewcomersStoppedWhenSuspended) {
+    FakeHost host;
+    host.procs[1] = {Duration{0}, false, true, false, 500};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("u500", 500);
+    gc.refresh(g);
+    gc.suspend(g);
+    host.procs[2] = {Duration{0}, false, true, false, 500};
+    gc.refresh(g);
+    EXPECT_TRUE(host.procs[2].stopped);  // inherits the group's ineligibility
+}
+
+TEST(GroupControl, RefreshReturnsScanSizeAndIgnoresManualPrincipals) {
+    FakeHost host;
+    host.procs[1] = {Duration{0}, false, true, false, 500};
+    host.procs[2] = {Duration{0}, false, true, false, 500};
+    GroupProcessControl gc(host);
+    const EntityId manual = gc.add_principal("manual");
+    const EntityId tracked = gc.add_principal("u500", 500);
+    EXPECT_EQ(gc.refresh(manual), 0);
+    EXPECT_EQ(gc.refresh(tracked), 2);
+    EXPECT_EQ(gc.refresh_all(), 2);
+}
+
+TEST(GroupControl, NewMemberBaselinedAtJoin) {
+    FakeHost host;
+    host.procs[1] = {msec(100), false, true, false, 0};  // pre-existing CPU
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    EXPECT_EQ(gc.read_progress(g).cpu_time, Duration::zero());
+    host.procs[1].cpu += msec(2);
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(2));
+}
+
+TEST(GroupControl, RemoveMemberChargesTailAndResumes) {
+    FakeHost host;
+    host.procs[1] = {};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    gc.suspend(g);
+    host.procs[1].cpu += msec(4);  // (imagine it ran just before the stop)
+    gc.remove_member(g, 1);
+    EXPECT_FALSE(host.procs[1].stopped);  // handed back to the kernel
+    EXPECT_EQ(gc.read_progress(g).cpu_time, msec(4));  // tail charged
+}
+
+TEST(GroupControl, ContractViolations) {
+    FakeHost host;
+    host.procs[1] = {};
+    GroupProcessControl gc(host);
+    const EntityId g = gc.add_principal("g");
+    gc.add_member(g, 1);
+    EXPECT_THROW(gc.add_member(g, 1), util::ContractViolation);   // duplicate
+    EXPECT_THROW(gc.remove_member(g, 99), util::ContractViolation);
+    EXPECT_THROW(gc.read_progress(999), util::ContractViolation);  // no such principal
+    EXPECT_THROW(gc.members(999), util::ContractViolation);
+}
+
+TEST(GroupControl, MultiplePrincipalsIndependent) {
+    FakeHost host;
+    host.procs[1] = {Duration{0}, false, true, false, 500};
+    host.procs[2] = {Duration{0}, false, true, false, 501};
+    GroupProcessControl gc(host);
+    const EntityId a = gc.add_principal("a", 500);
+    const EntityId b = gc.add_principal("b", 501);
+    gc.refresh_all();
+    gc.suspend(a);
+    EXPECT_TRUE(host.procs[1].stopped);
+    EXPECT_FALSE(host.procs[2].stopped);
+    host.procs[2].cpu += msec(6);
+    EXPECT_EQ(gc.read_progress(a).cpu_time, Duration::zero());
+    EXPECT_EQ(gc.read_progress(b).cpu_time, msec(6));
+}
+
+}  // namespace
+}  // namespace alps::core

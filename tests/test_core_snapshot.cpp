@@ -1,0 +1,190 @@
+#include "alps/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mock_control.h"
+#include "util/assert.h"
+
+namespace alps::core {
+namespace {
+
+using alps::testing::MockControl;
+using util::Duration;
+using util::msec;
+
+constexpr auto kQ = msec(10);
+
+SchedulerConfig config() {
+    SchedulerConfig cfg;
+    cfg.quantum = kQ;
+    return cfg;
+}
+
+TEST(Snapshot, CapturesEverything) {
+    MockControl mc;
+    mc.ensure(1);
+    mc.ensure(2);
+    Scheduler sched(mc, config());
+    sched.add(1, 1);
+    sched.add(2, 3);
+    sched.tick();
+    mc.run_kernel_quantum(kQ);
+    sched.tick();
+
+    const SchedulerSnapshot snap = snapshot(sched);
+    EXPECT_EQ(snap.quantum, kQ);
+    EXPECT_EQ(snap.tick_count, sched.tick_count());
+    ASSERT_EQ(snap.entities.size(), 2u);
+    EXPECT_EQ(snap.entities[0].id, 1);
+    EXPECT_EQ(snap.entities[0].share, 1);
+    EXPECT_DOUBLE_EQ(snap.entities[0].allowance, sched.allowance(1));
+    EXPECT_EQ(snap.entities[1].share, 3);
+}
+
+TEST(Snapshot, RestoreRebuildsIdenticalState) {
+    MockControl mc;
+    mc.ensure(1);
+    mc.ensure(2);
+    SchedulerSnapshot snap;
+    {
+        Scheduler original(mc, config());
+        original.add(1, 1);
+        original.add(2, 3);
+        original.tick();
+        for (int t = 0; t < 10; ++t) {
+            mc.run_kernel_quantum(kQ);
+            original.tick();
+        }
+        snap = snapshot(original);
+    }
+    Scheduler restored(mc, config());
+    restore(restored, snap);
+    EXPECT_EQ(snapshot(restored), snap);
+    EXPECT_EQ(restored.total_shares(), 4);
+    EXPECT_EQ(restored.tick_count(), snap.tick_count);
+}
+
+TEST(Snapshot, RestoredSchedulerChargesUnsupervisedConsumption) {
+    MockControl mc;
+    mc.ensure(1);
+    mc.ensure(2);
+    Scheduler original(mc, config());
+    original.add(1, 2);
+    original.add(2, 2);
+    original.tick();
+    const SchedulerSnapshot snap = snapshot(original);
+    original.release_all();  // "daemon exits"
+
+    // While unsupervised, entity 1 burns a lot of CPU.
+    mc.entities[1].cpu += kQ * 4;
+
+    Scheduler restored(mc, config());
+    restore(restored, snap);
+    restored.tick();
+    // The downtime consumption was charged: entity 1 used up everything it
+    // was owed (and the cycle turned over once), so it is out of allowance.
+    EXPECT_LE(restored.allowance(1), 0.0);
+    EXPECT_FALSE(restored.eligible(1));
+    EXPECT_TRUE(restored.eligible(2));
+}
+
+TEST(Snapshot, CounterResetRebaselinesInsteadOfCharging) {
+    MockControl mc;
+    mc.ensure(1);
+    Scheduler original(mc, config());
+    original.add(1, 2);
+    original.tick();
+    mc.entities[1].cpu += kQ * 5;
+    original.tick();  // last_cpu is now 5 quanta
+    const SchedulerSnapshot snap = snapshot(original);
+
+    // "Reboot": the host's counters start over.
+    mc.entities[1].cpu = msec(3);
+    Scheduler restored(mc, config());
+    restore(restored, snap);
+    const double before = restored.allowance(1);
+    mc.entities[1].cpu += kQ;  // one quantum after the restore
+    restored.tick();
+    // Only the post-restore quantum is charged, not a bogus negative delta.
+    EXPECT_NEAR(restored.allowance(1), before - 1.0 + /*refill*/ 0.0, 2.1);
+    EXPECT_GT(restored.allowance(1), before - 2.0);
+}
+
+TEST(Snapshot, RestoreEnforcesRecordedEligibility) {
+    MockControl mc;
+    mc.ensure(1);
+    mc.ensure(2);
+    Scheduler original(mc, config());
+    original.add(1, 1);
+    original.add(2, 1);
+    original.tick();
+    // Entity 1 overruns and is suspended.
+    mc.entities[1].cpu += kQ * 2;
+    original.tick();
+    ASSERT_FALSE(original.eligible(1));
+    const SchedulerSnapshot snap = snapshot(original);
+
+    // Simulate the daemon dying without cleanup: entity 1 was left stopped.
+    Scheduler restored(mc, config());
+    restore(restored, snap);
+    EXPECT_TRUE(mc.entities[1].suspended);
+    EXPECT_FALSE(mc.entities[2].suspended);
+    EXPECT_FALSE(restored.eligible(1));
+}
+
+TEST(Snapshot, RestoreIntoNonEmptySchedulerViolatesContract) {
+    MockControl mc;
+    mc.ensure(1);
+    Scheduler sched(mc, config());
+    sched.add(1, 1);
+    SchedulerSnapshot snap;
+    snap.quantum = kQ;
+    EXPECT_THROW(restore(sched, snap), util::ContractViolation);
+}
+
+TEST(Snapshot, TextRoundTrip) {
+    SchedulerSnapshot snap;
+    snap.quantum = msec(25);
+    snap.tc_ns = 123456.5;
+    snap.tick_count = 42;
+    snap.entities.push_back({7, 3, 1.25, true, msec(100)});
+    snap.entities.push_back({9, 1, -0.5, false, msec(3)});
+
+    std::stringstream ss;
+    serialize(snap, ss);
+    const auto back = deserialize(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, snap);
+}
+
+TEST(Snapshot, DeserializeRejectsGarbage) {
+    auto reject = [](const std::string& text) {
+        std::stringstream ss(text);
+        EXPECT_FALSE(deserialize(ss).has_value()) << text;
+    };
+    reject("");
+    reject("not-a-snapshot 1\n");
+    reject("alps-snapshot 2\n");  // unknown version
+    reject("alps-snapshot 1\nquantum_ns 0\n");
+    reject("alps-snapshot 1\nquantum_ns 1000000\nentity 1 0 1.0 1 0\n");  // share 0
+    reject("alps-snapshot 1\nquantum_ns 1000000\nwat 3\n");  // unknown key
+    reject("alps-snapshot 1\ntc_ns 5\n");  // missing quantum
+}
+
+TEST(Snapshot, EmptySchedulerRoundTrips) {
+    MockControl mc;
+    Scheduler sched(mc, config());
+    const SchedulerSnapshot snap = snapshot(sched);
+    std::stringstream ss;
+    serialize(snap, ss);
+    const auto back = deserialize(ss);
+    ASSERT_TRUE(back.has_value());
+    Scheduler restored(mc, config());
+    restore(restored, *back);
+    EXPECT_EQ(restored.size(), 0u);
+}
+
+}  // namespace
+}  // namespace alps::core

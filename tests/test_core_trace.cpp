@@ -1,0 +1,132 @@
+#include "alps/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "alps/scheduler.h"
+#include "mock_control.h"
+#include "util/assert.h"
+
+namespace alps::core {
+namespace {
+
+using alps::testing::MockControl;
+using util::msec;
+
+constexpr auto kQ = msec(10);
+
+SchedulerConfig config() {
+    SchedulerConfig cfg;
+    cfg.quantum = kQ;
+    return cfg;
+}
+
+TEST(TickTraceWiring, RecordsMeasurementsAndTransitions) {
+    MockControl mc;
+    mc.ensure(1);
+    mc.ensure(2);
+    Scheduler sched(mc, config());
+    sched.add(1, 1);
+    sched.add(2, 1);
+    TraceLog log;
+    sched.set_tick_observer([&](const TickTrace& t) { log.observe(t); });
+
+    sched.tick();  // both become eligible
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.traces()[0].tick, 1u);
+    EXPECT_EQ(log.traces()[0].resumed, (std::vector<EntityId>{1, 2}));
+    EXPECT_TRUE(log.traces()[0].measured.empty());  // were ineligible
+
+    mc.entities[1].cpu += kQ * 2;  // overruns the whole cycle
+    sched.tick();
+    ASSERT_EQ(log.size(), 2u);
+    const TickTrace& t = log.traces()[1];
+    EXPECT_EQ(t.measured, (std::vector<EntityId>{1, 2}));
+    EXPECT_EQ(t.suspended, (std::vector<EntityId>{1}));
+    EXPECT_TRUE(t.cycle_completed);
+    ASSERT_EQ(t.entities.size(), 2u);
+    EXPECT_NEAR(t.allowances[0], 0.0, 1e-9);  // 1 - 2 + 1
+    EXPECT_NEAR(t.allowances[1], 2.0, 1e-9);  // 1 - 0 + 1
+}
+
+TEST(TickTraceWiring, EmptySchedulerStillEmitsTickRows) {
+    MockControl mc;
+    Scheduler sched(mc, config());
+    TraceLog log;
+    sched.set_tick_observer([&](const TickTrace& t) { log.observe(t); });
+    sched.tick();
+    sched.tick();
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.traces()[1].tick, 2u);
+    EXPECT_TRUE(log.traces()[1].entities.empty());
+}
+
+TEST(TickTraceWiring, NoObserverNoCrash) {
+    MockControl mc;
+    mc.ensure(1);
+    Scheduler sched(mc, config());
+    sched.add(1, 1);
+    for (int i = 0; i < 10; ++i) sched.tick();  // simply must not throw
+    SUCCEED();
+}
+
+TEST(TraceLog, CapacityBoundsAndTruncationFlag) {
+    TraceLog log(3);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        TickTrace t;
+        t.tick = i;
+        log.observe(t);
+    }
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_TRUE(log.truncated());
+    EXPECT_EQ(log.traces().back().tick, 2u);
+}
+
+TEST(TraceLog, ZeroCapacityViolatesContract) {
+    EXPECT_THROW(TraceLog(0), util::ContractViolation);
+}
+
+TEST(TraceLog, CsvRendersOneRowPerEntity) {
+    TraceLog log;
+    TickTrace t;
+    t.tick = 7;
+    t.cycle_completed = true;
+    t.cycle_time_remaining = msec(30);
+    t.entities = {4, 9};
+    t.allowances = {1.5, -0.25};
+    t.measured = {4};
+    t.suspended = {9};
+    log.observe(t);
+    const std::string csv = log.to_csv();
+    EXPECT_NE(csv.find("tick,entity,allowance"), std::string::npos);
+    EXPECT_NE(csv.find("7,4,1.5,1,0,0,1,30"), std::string::npos);
+    EXPECT_NE(csv.find("7,9,-0.25,0,1,0,1,30"), std::string::npos);
+}
+
+TEST(TickTraceWiring, AllowanceConservationVisibleInTrace) {
+    // The trace exposes the invariant: sum(allowance)*Q == t_c every tick.
+    MockControl mc;
+    for (EntityId id = 1; id <= 3; ++id) mc.ensure(id);
+    Scheduler sched(mc, config());
+    sched.add(1, 1);
+    sched.add(2, 2);
+    sched.add(3, 3);
+    int checked = 0;
+    sched.set_tick_observer([&](const TickTrace& t) {
+        if (t.entities.empty()) return;
+        double sum = 0.0;
+        for (const double a : t.allowances) sum += a;
+        EXPECT_NEAR(sum * static_cast<double>(kQ.count()),
+                    static_cast<double>(t.cycle_time_remaining.count()),
+                    1e-3 * static_cast<double>(kQ.count()));
+        ++checked;
+    });
+    sched.tick();
+    for (int i = 0; i < 200; ++i) {
+        mc.run_kernel_quantum(kQ);
+        sched.tick();
+    }
+    EXPECT_GT(checked, 100);
+}
+
+}  // namespace
+}  // namespace alps::core

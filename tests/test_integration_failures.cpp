@@ -1,0 +1,172 @@
+// Failure injection: processes dying (or being killed) while under ALPS
+// control, workers churning inside group principals, and ALPS teardown
+// mid-flight. The scheduler must adapt, renormalize, and never leave a
+// process SIGSTOPped.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alps/sim_adapter.h"
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+
+namespace alps::core {
+namespace {
+
+using util::Duration;
+using util::msec;
+using util::sec;
+using util::to_sec;
+
+struct Machine {
+    sim::Engine engine;
+    os::Kernel kernel{engine};
+    void run_for(Duration d) { engine.run_until(engine.now() + d); }
+};
+
+SchedulerConfig config() {
+    SchedulerConfig cfg;
+    cfg.quantum = msec(10);
+    return cfg;
+}
+
+TEST(FailureInjection, DeadProcessIsDroppedAndSharesRenormalize) {
+    Machine m;
+    SimAlps alps(m.kernel, config());
+    const os::Pid a = m.kernel.spawn("a", 0, std::make_unique<os::CpuBoundBehavior>());
+    const os::Pid b = m.kernel.spawn("b", 0, std::make_unique<os::CpuBoundBehavior>());
+    const os::Pid c = m.kernel.spawn("c", 0, std::make_unique<os::CpuBoundBehavior>());
+    alps.manage(a, 1);
+    alps.manage(b, 1);
+    alps.manage(c, 2);
+    m.run_for(sec(5));
+
+    // c dies (externally killed). ALPS discovers it at a measurement and
+    // drops it; a and b then split the machine 1:1.
+    m.kernel.send_signal(c, os::Signal::kKill);
+    m.run_for(sec(1));  // discovery
+    EXPECT_FALSE(alps.scheduler().contains(c));
+    EXPECT_EQ(alps.scheduler().total_shares(), 2);
+
+    const Duration a0 = m.kernel.cpu_time(a);
+    const Duration b0 = m.kernel.cpu_time(b);
+    m.run_for(sec(10));
+    const double da = to_sec(m.kernel.cpu_time(a) - a0);
+    const double db = to_sec(m.kernel.cpu_time(b) - b0);
+    EXPECT_NEAR(da / (da + db), 0.5, 0.03);
+    EXPECT_NEAR(da + db, 10.0, 0.5);  // the freed share is reused, not lost
+}
+
+TEST(FailureInjection, SuspendedProcessDyingIsEventuallyDropped) {
+    Machine m;
+    SimAlps alps(m.kernel, config());
+    const os::Pid a = m.kernel.spawn("a", 0, std::make_unique<os::CpuBoundBehavior>());
+    const os::Pid b = m.kernel.spawn("b", 0, std::make_unique<os::CpuBoundBehavior>());
+    alps.manage(a, 1);
+    alps.manage(b, 9);
+    m.run_for(sec(2));
+    // Kill a while it is (very likely) suspended mid-cycle; ALPS only sees
+    // eligible entities, so discovery happens at its next eligible
+    // measurement after a cycle refill.
+    m.kernel.send_signal(a, os::Signal::kKill);
+    m.run_for(sec(3));
+    EXPECT_FALSE(alps.scheduler().contains(a));
+    EXPECT_EQ(alps.scheduler().total_shares(), 9);
+}
+
+TEST(FailureInjection, FiniteWorkloadsDrainCleanly) {
+    Machine m;
+    SimAlps alps(m.kernel, config());
+    const os::Pid a =
+        m.kernel.spawn("a", 0, std::make_unique<os::FiniteCpuBehavior>(sec(1)));
+    const os::Pid b =
+        m.kernel.spawn("b", 0, std::make_unique<os::FiniteCpuBehavior>(sec(1)));
+    const os::Pid c = m.kernel.spawn("c", 0, std::make_unique<os::CpuBoundBehavior>());
+    alps.manage(a, 2);
+    alps.manage(b, 2);
+    alps.manage(c, 1);
+    // a and b each need 1 s of CPU; with shares 2:2:1 they finish and exit;
+    // c then owns the machine.
+    m.run_for(sec(6));
+    EXPECT_FALSE(m.kernel.alive(a));
+    EXPECT_FALSE(m.kernel.alive(b));
+    EXPECT_EQ(alps.scheduler().size(), 1u);
+    const Duration c0 = m.kernel.cpu_time(c);
+    m.run_for(sec(2));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(c) - c0), 2.0, 0.1);
+}
+
+TEST(FailureInjection, AlpsTeardownLeavesNothingStopped) {
+    Machine m;
+    std::array<os::Pid, 3> pids{};
+    {
+        SimAlps alps(m.kernel, config());
+        for (int i = 0; i < 3; ++i) {
+            pids[static_cast<std::size_t>(i)] =
+                m.kernel.spawn("w", 0, std::make_unique<os::CpuBoundBehavior>());
+            alps.manage(pids[static_cast<std::size_t>(i)], i + 1);
+        }
+        m.run_for(sec(2));
+        // At least one process is suspended mid-cycle at any instant with
+        // these shares; the destructor must release it.
+    }
+    for (const os::Pid pid : pids) {
+        EXPECT_FALSE(m.kernel.proc(pid).stopped) << pid;
+    }
+    // Without ALPS the kernel shares equally again.
+    std::array<Duration, 3> base{};
+    for (int i = 0; i < 3; ++i) {
+        base[static_cast<std::size_t>(i)] =
+            m.kernel.cpu_time(pids[static_cast<std::size_t>(i)]);
+    }
+    m.run_for(sec(6));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(to_sec(m.kernel.cpu_time(pids[static_cast<std::size_t>(i)]) -
+                           base[static_cast<std::size_t>(i)]),
+                    2.0, 0.4);
+    }
+}
+
+TEST(FailureInjection, GroupPrincipalSurvivesTotalMemberLoss) {
+    Machine m;
+    SimGroupAlps alps(m.kernel, config());
+    const os::Pid a = m.kernel.spawn("a", 500, std::make_unique<os::CpuBoundBehavior>());
+    const os::Pid other =
+        m.kernel.spawn("x", 600, std::make_unique<os::CpuBoundBehavior>());
+    alps.manage_user("u500", 500, 1);
+    alps.manage_user("u600", 600, 1);
+    m.run_for(sec(3));
+
+    // All of u500's processes die; its principal empties but persists, and
+    // u600 takes the whole machine (an empty principal reads as blocked, so
+    // cycles keep completing).
+    m.kernel.send_signal(a, os::Signal::kKill);
+    m.run_for(sec(2));
+    const Duration other0 = m.kernel.cpu_time(other);
+    m.run_for(sec(4));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(other) - other0), 4.0, 0.2);
+
+    // The user comes back: a new process appears and the 1 s membership
+    // refresh reattaches it; sharing returns to ~1:1.
+    const os::Pid a2 =
+        m.kernel.spawn("a2", 500, std::make_unique<os::CpuBoundBehavior>());
+    m.run_for(sec(2));  // refresh + re-stabilize
+    const Duration a2_base = m.kernel.cpu_time(a2);
+    const Duration other_base = m.kernel.cpu_time(other);
+    m.run_for(sec(8));
+    const double d_new = to_sec(m.kernel.cpu_time(a2) - a2_base);
+    const double d_old = to_sec(m.kernel.cpu_time(other) - other_base);
+    EXPECT_NEAR(d_new / (d_new + d_old), 0.5, 0.06);
+}
+
+TEST(FailureInjection, ManagingDeadPidViolatesContract) {
+    Machine m;
+    SimAlps alps(m.kernel, config());
+    const os::Pid a = m.kernel.spawn("a", 0, std::make_unique<os::CpuBoundBehavior>());
+    m.kernel.send_signal(a, os::Signal::kKill);
+    EXPECT_THROW(alps.manage(a, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::core

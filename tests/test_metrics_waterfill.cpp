@@ -1,0 +1,118 @@
+#include "metrics/waterfill.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace alps::metrics {
+namespace {
+
+TEST(Waterfill, NoCapsIsPureProportionalShare) {
+    const std::vector<util::Share> w{1, 2, 3};
+    const std::vector<double> caps{1.0, 1.0, 1.0};
+    const auto a = waterfill(w, caps);
+    EXPECT_NEAR(a[0], 1.0 / 6.0, 1e-12);
+    EXPECT_NEAR(a[1], 2.0 / 6.0, 1e-12);
+    EXPECT_NEAR(a[2], 3.0 / 6.0, 1e-12);
+}
+
+TEST(Waterfill, Figure6SpecialCase) {
+    // The paper's I/O experiment while B blocks: shares 1:2:3, B's demand 0.
+    const std::vector<util::Share> w{1, 2, 3};
+    const std::vector<double> caps{1.0, 0.0, 1.0};
+    const auto a = waterfill(w, caps);
+    EXPECT_NEAR(a[0], 0.25, 1e-12);
+    EXPECT_NEAR(a[1], 0.0, 1e-12);
+    EXPECT_NEAR(a[2], 0.75, 1e-12);
+}
+
+TEST(Waterfill, BindingCapRedistributesProportionally) {
+    // Shares 1:1:2; the 2-share client can only use 30%.
+    const std::vector<util::Share> w{1, 1, 2};
+    const std::vector<double> caps{1.0, 1.0, 0.3};
+    const auto a = waterfill(w, caps);
+    EXPECT_NEAR(a[2], 0.3, 1e-12);
+    EXPECT_NEAR(a[0], 0.35, 1e-12);  // remaining 0.7 split 1:1
+    EXPECT_NEAR(a[1], 0.35, 1e-12);
+}
+
+TEST(Waterfill, CascadingCaps) {
+    const std::vector<util::Share> w{1, 1, 1, 1};
+    const std::vector<double> caps{0.05, 0.15, 1.0, 1.0};
+    const auto a = waterfill(w, caps);
+    // Round 1 level 0.25 -> freeze 0.05 and 0.15; remaining 0.8 split 1:1.
+    EXPECT_NEAR(a[0], 0.05, 1e-12);
+    EXPECT_NEAR(a[1], 0.15, 1e-12);
+    EXPECT_NEAR(a[2], 0.4, 1e-12);
+    EXPECT_NEAR(a[3], 0.4, 1e-12);
+}
+
+TEST(Waterfill, AllCappedLeavesCpuIdle) {
+    const std::vector<util::Share> w{3, 1};
+    const std::vector<double> caps{0.2, 0.1};
+    const auto a = waterfill(w, caps);
+    EXPECT_NEAR(a[0], 0.2, 1e-12);
+    EXPECT_NEAR(a[1], 0.1, 1e-12);
+}
+
+TEST(Waterfill, EmptyInput) {
+    EXPECT_TRUE(waterfill({}, {}).empty());
+}
+
+TEST(Waterfill, Contracts) {
+    const std::vector<util::Share> w{1};
+    EXPECT_THROW((void)waterfill(w, {{1.5}}), util::ContractViolation);
+    EXPECT_THROW((void)waterfill(w, {{-0.1}}), util::ContractViolation);
+    EXPECT_THROW((void)waterfill(w, std::vector<double>{}), util::ContractViolation);
+    const std::vector<util::Share> bad{0};
+    EXPECT_THROW((void)waterfill(bad, {{0.5}}), util::ContractViolation);
+}
+
+class WaterfillPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaterfillPropertyTest, ConservationAndOrderInvariants) {
+    util::Rng rng(GetParam());
+    for (int iter = 0; iter < 300; ++iter) {
+        const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+        std::vector<util::Share> w(n);
+        std::vector<double> caps(n);
+        double cap_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            w[i] = rng.uniform_int(1, 20);
+            caps[i] = rng.next_double();
+            cap_sum += caps[i];
+        }
+        const auto a = waterfill(w, caps);
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Feasibility.
+            ASSERT_GE(a[i], -1e-12);
+            ASSERT_LE(a[i], caps[i] + 1e-12);
+            total += a[i];
+        }
+        // Conservation: everything allocatable is allocated.
+        ASSERT_NEAR(total, std::min(1.0, cap_sum), 1e-9);
+        // Proportionality among the uncapped: a_i / w_i equal for all
+        // clients strictly below their cap.
+        double level = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (a[i] < caps[i] - 1e-9) {
+                const double li = a[i] / static_cast<double>(w[i]);
+                if (level < 0) {
+                    level = li;
+                } else {
+                    ASSERT_NEAR(li, level, 1e-9);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillPropertyTest,
+                         ::testing::Values(5u, 6u, 7u));
+
+}  // namespace
+}  // namespace alps::metrics

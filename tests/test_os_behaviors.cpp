@@ -1,0 +1,126 @@
+#include "os/behaviors.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/kernel.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace alps::os {
+namespace {
+
+using util::Duration;
+using util::msec;
+
+// A throwaway context for driving behaviours without a full kernel run.
+struct Ctx {
+    sim::Engine engine;
+    Kernel kernel{engine};
+    ProcContext ctx{kernel, 1};
+};
+
+TEST(CpuBoundBehavior, AlwaysRunsForever) {
+    Ctx c;
+    CpuBoundBehavior b;
+    for (int i = 0; i < 3; ++i) {
+        const Action a = b.next_action(c.ctx);
+        const auto* run = std::get_if<RunAction>(&a);
+        ASSERT_NE(run, nullptr);
+        EXPECT_EQ(run->duration, kRunForever);
+        EXPECT_FALSE(run->lazy);
+    }
+}
+
+TEST(FiniteCpuBehavior, RunsOnceThenExits) {
+    Ctx c;
+    FiniteCpuBehavior b(msec(40));
+    const Action first = b.next_action(c.ctx);
+    const auto* run = std::get_if<RunAction>(&first);
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->duration, msec(40));
+    EXPECT_TRUE(std::holds_alternative<ExitAction>(b.next_action(c.ctx)));
+}
+
+TEST(FiniteCpuBehavior, RejectsNonPositiveTotal) {
+    EXPECT_THROW(FiniteCpuBehavior(Duration::zero()), util::ContractViolation);
+}
+
+TEST(PhasedIoBehavior, AlternatesBurstAndSleep) {
+    Ctx c;
+    PhasedIoBehavior b(msec(80), msec(240));
+    const Action a1 = b.next_action(c.ctx);
+    ASSERT_TRUE(std::holds_alternative<RunAction>(a1));
+    EXPECT_EQ(std::get<RunAction>(a1).duration, msec(80));
+    const Action a2 = b.next_action(c.ctx);
+    ASSERT_TRUE(std::holds_alternative<SleepAction>(a2));
+    EXPECT_EQ(std::get<SleepAction>(a2).duration, msec(240));
+    const Action a3 = b.next_action(c.ctx);
+    ASSERT_TRUE(std::holds_alternative<RunAction>(a3));
+    EXPECT_EQ(std::get<RunAction>(a3).duration, msec(80));
+}
+
+TEST(PhasedIoBehavior, InitialCpuFoldedIntoFirstBurst) {
+    Ctx c;
+    PhasedIoBehavior b(msec(80), msec(240), msec(1000));
+    const Action a1 = b.next_action(c.ctx);
+    ASSERT_TRUE(std::holds_alternative<RunAction>(a1));
+    EXPECT_EQ(std::get<RunAction>(a1).duration, msec(1080));
+    EXPECT_TRUE(std::holds_alternative<SleepAction>(b.next_action(c.ctx)));
+}
+
+TEST(ScriptedBehavior, PlaysThenExits) {
+    Ctx c;
+    std::vector<Action> script{RunAction{msec(1)}, SleepAction{msec(2)}};
+    ScriptedBehavior b(script);
+    EXPECT_TRUE(std::holds_alternative<RunAction>(b.next_action(c.ctx)));
+    EXPECT_TRUE(std::holds_alternative<SleepAction>(b.next_action(c.ctx)));
+    EXPECT_TRUE(std::holds_alternative<ExitAction>(b.next_action(c.ctx)));
+}
+
+TEST(ScriptedBehavior, RepeatsWhenAsked) {
+    Ctx c;
+    std::vector<Action> script{RunAction{msec(1)}};
+    ScriptedBehavior b(script, /*repeat=*/true);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(std::holds_alternative<RunAction>(b.next_action(c.ctx)));
+    }
+}
+
+TEST(ScriptedBehavior, EmptyScriptViolatesContract) {
+    EXPECT_THROW(ScriptedBehavior({}), util::ContractViolation);
+}
+
+TEST(FunctionBehavior, DelegatesToCallables) {
+    Ctx c;
+    int calls = 0;
+    FunctionBehavior b([&](ProcContext) -> Action {
+        ++calls;
+        return ExitAction{};
+    });
+    EXPECT_TRUE(std::holds_alternative<ExitAction>(b.next_action(c.ctx)));
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(FunctionBehavior, LazyWithoutCallableViolatesContract) {
+    Ctx c;
+    FunctionBehavior b([](ProcContext) -> Action { return ExitAction{}; });
+    EXPECT_THROW(b.lazy_run_duration(c.ctx), util::ContractViolation);
+}
+
+TEST(FunctionBehavior, LazyCallableUsed) {
+    Ctx c;
+    FunctionBehavior b([](ProcContext) -> Action { return RunAction{{}, true}; },
+                       [](ProcContext) { return msec(3); });
+    EXPECT_EQ(b.lazy_run_duration(c.ctx), msec(3));
+}
+
+TEST(DefaultLazyHook, ReturnsZero) {
+    Ctx c;
+    CpuBoundBehavior b;
+    EXPECT_EQ(b.lazy_run_duration(c.ctx), Duration::zero());
+}
+
+}  // namespace
+}  // namespace alps::os

@@ -1,0 +1,332 @@
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/behaviors.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+
+namespace alps::os {
+namespace {
+
+using util::Duration;
+using util::msec;
+using util::sec;
+using util::TimePoint;
+using util::to_sec;
+
+struct Machine {
+    sim::Engine engine;
+    Kernel kernel{engine};
+
+    Pid cpu_hog(const std::string& name = "hog", Uid uid = 0) {
+        return kernel.spawn(name, uid, std::make_unique<CpuBoundBehavior>());
+    }
+    void run_for(Duration d) { engine.run_until(engine.now() + d); }
+};
+
+TEST(Kernel, SingleProcessGetsAllCpu) {
+    Machine m;
+    const Pid p = m.cpu_hog();
+    m.run_for(sec(10));
+    EXPECT_EQ(m.kernel.cpu_time(p), sec(10));
+    EXPECT_EQ(m.kernel.busy_time(), sec(10));
+}
+
+TEST(Kernel, IdleMachineAccumulatesNoBusyTime) {
+    Machine m;
+    m.run_for(sec(5));
+    EXPECT_EQ(m.kernel.busy_time(), Duration::zero());
+}
+
+TEST(Kernel, TwoEqualProcessesSplitEvenly) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    const Pid b = m.cpu_hog("b");
+    m.run_for(sec(10));
+    const double fa = to_sec(m.kernel.cpu_time(a));
+    const double fb = to_sec(m.kernel.cpu_time(b));
+    EXPECT_NEAR(fa, 5.0, 0.3);
+    EXPECT_NEAR(fb, 5.0, 0.3);
+    EXPECT_NEAR(fa + fb, 10.0, 1e-6);
+}
+
+TEST(Kernel, FiveEqualProcessesSplitEvenly) {
+    Machine m;
+    std::vector<Pid> pids;
+    for (int i = 0; i < 5; ++i) pids.push_back(m.cpu_hog("p" + std::to_string(i)));
+    m.run_for(sec(20));
+    for (Pid p : pids) {
+        EXPECT_NEAR(to_sec(m.kernel.cpu_time(p)), 4.0, 0.4) << "pid " << p;
+    }
+}
+
+TEST(Kernel, RoundRobinContextSwitches) {
+    Machine m;
+    m.cpu_hog("a");
+    m.cpu_hog("b");
+    m.run_for(sec(2));
+    // 100 ms round-robin between two equal hogs: ~20 switches in 2 s.
+    EXPECT_GE(m.kernel.context_switches(), 15u);
+    EXPECT_LE(m.kernel.context_switches(), 30u);
+}
+
+TEST(Kernel, CpuTimeIncludesInProgressStretch) {
+    Machine m;
+    const Pid p = m.cpu_hog();
+    m.run_for(msec(37));  // mid-slice
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(37));
+}
+
+TEST(Kernel, FiniteWorkExitsAndBecomesZombie) {
+    Machine m;
+    const Pid p = m.kernel.spawn("finite", 0, std::make_unique<FiniteCpuBehavior>(msec(250)));
+    m.run_for(sec(1));
+    EXPECT_FALSE(m.kernel.alive(p));
+    EXPECT_TRUE(m.kernel.exists(p));
+    EXPECT_EQ(m.kernel.proc(p).state, RunState::kZombie);
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(250));
+}
+
+TEST(Kernel, ReapRemovesZombie) {
+    Machine m;
+    const Pid p = m.kernel.spawn("finite", 0, std::make_unique<FiniteCpuBehavior>(msec(10)));
+    m.run_for(sec(1));
+    m.kernel.reap(p);
+    EXPECT_FALSE(m.kernel.exists(p));
+}
+
+TEST(Kernel, ReapLiveProcessViolatesContract) {
+    Machine m;
+    const Pid p = m.cpu_hog();
+    EXPECT_THROW(m.kernel.reap(p), util::ContractViolation);
+}
+
+TEST(Kernel, PhasedIoConsumesDutyCycle) {
+    Machine m;
+    // 10 ms CPU then 90 ms sleep, alone on the machine: 10% duty cycle.
+    const Pid p = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(10), msec(90)));
+    m.run_for(sec(10));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(p)), 1.0, 0.05);
+}
+
+TEST(Kernel, SleeperIsBlockedRunnableIsNot) {
+    Machine m;
+    const Pid hog = m.cpu_hog();
+    const Pid io = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(5), msec(500)));
+    // The io process waits behind the hog's first 100 ms round-robin slice,
+    // runs its 5 ms burst at ~100 ms, then sleeps until ~605 ms.
+    m.run_for(msec(150));
+    EXPECT_TRUE(m.kernel.is_blocked(io));
+    EXPECT_FALSE(m.kernel.is_blocked(hog));
+}
+
+TEST(Kernel, SleeperPreemptsPromptlyDespiteCompetition) {
+    Machine m;
+    m.cpu_hog("hog");
+    // Interactive-like process: tiny bursts, long sleeps. The BSD policy
+    // keeps its estcpu low, so it should receive nearly its full demand.
+    const Pid io = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(10), msec(200)));
+    m.run_for(sec(20));
+    // Demand is 10/210 of the CPU ~= 0.95 s over 20 s.
+    EXPECT_GT(to_sec(m.kernel.cpu_time(io)), 0.75);
+}
+
+TEST(Kernel, SigStopHaltsConsumption) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    const Pid b = m.cpu_hog("b");
+    m.run_for(sec(2));
+    const Duration a_before = m.kernel.cpu_time(a);
+    m.kernel.send_signal(a, Signal::kStop);
+    m.run_for(sec(2));
+    EXPECT_EQ(m.kernel.cpu_time(a), a_before);  // no progress while stopped
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(b)), 3.0, 0.3);  // b got the freed CPU
+    EXPECT_TRUE(m.kernel.proc(a).stopped);
+}
+
+TEST(Kernel, SigContResumesConsumption) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    m.kernel.send_signal(a, Signal::kStop);
+    m.run_for(sec(1));
+    EXPECT_EQ(m.kernel.cpu_time(a), Duration::zero());
+    m.kernel.send_signal(a, Signal::kCont);
+    m.run_for(sec(1));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(a)), 1.0, 1e-6);
+}
+
+TEST(Kernel, RedundantStopAndContAreIdempotent) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    m.kernel.send_signal(a, Signal::kStop);
+    m.kernel.send_signal(a, Signal::kStop);
+    m.kernel.send_signal(a, Signal::kCont);
+    m.kernel.send_signal(a, Signal::kCont);
+    m.run_for(sec(1));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(a)), 1.0, 1e-6);
+}
+
+TEST(Kernel, StopWhileSleepingKeepsSleeping) {
+    Machine m;
+    const Pid io = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(10), msec(300)));
+    m.run_for(msec(50));  // now sleeping until 310 ms
+    EXPECT_TRUE(m.kernel.is_blocked(io));
+    m.kernel.send_signal(io, Signal::kStop);
+    EXPECT_TRUE(m.kernel.is_blocked(io));  // still asleep (job control)
+    // Sleep expires at 310 ms while stopped: becomes runnable-but-stopped.
+    m.run_for(msec(500));
+    EXPECT_FALSE(m.kernel.is_blocked(io));
+    const Duration before = m.kernel.cpu_time(io);
+    m.run_for(msec(500));
+    EXPECT_EQ(m.kernel.cpu_time(io), before);  // no CPU while stopped
+    m.kernel.send_signal(io, Signal::kCont);
+    m.run_for(msec(50));
+    EXPECT_GT(m.kernel.cpu_time(io), before);  // resumed its burst
+}
+
+TEST(Kernel, KillTerminates) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    m.run_for(sec(1));
+    m.kernel.send_signal(a, Signal::kKill);
+    EXPECT_FALSE(m.kernel.alive(a));
+    EXPECT_EQ(m.kernel.cpu_time(a), sec(1));  // rusage survives as zombie
+}
+
+TEST(Kernel, KillStoppedProcess) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    m.kernel.send_signal(a, Signal::kStop);
+    m.kernel.send_signal(a, Signal::kKill);
+    EXPECT_FALSE(m.kernel.alive(a));
+}
+
+TEST(Kernel, SignalToZombieIsIgnored) {
+    Machine m;
+    const Pid a = m.cpu_hog("a");
+    m.kernel.send_signal(a, Signal::kKill);
+    m.kernel.send_signal(a, Signal::kStop);  // no effect, no throw
+    m.kernel.send_signal(a, Signal::kCont);
+    EXPECT_FALSE(m.kernel.alive(a));
+}
+
+TEST(Kernel, WakeupChannelWakesBlockedProcess) {
+    Machine m;
+    static int channel_tag = 0;
+    const WaitChannel chan = &channel_tag;
+    std::vector<Action> script{BlockAction{chan}, RunAction{msec(50)}};
+    const Pid p = m.kernel.spawn("blocker", 0,
+                                 std::make_unique<ScriptedBehavior>(script));
+    m.run_for(sec(1));
+    EXPECT_TRUE(m.kernel.is_blocked(p));
+    EXPECT_EQ(m.kernel.cpu_time(p), Duration::zero());
+    m.kernel.wakeup_channel(chan);
+    m.run_for(sec(1));
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(50));
+    EXPECT_FALSE(m.kernel.alive(p));  // script exhausted -> exit
+}
+
+TEST(Kernel, WakeupChannelWakesAllWaiters) {
+    Machine m;
+    static int channel_tag = 0;
+    const WaitChannel chan = &channel_tag;
+    std::vector<Pid> pids;
+    for (int i = 0; i < 3; ++i) {
+        std::vector<Action> script{BlockAction{chan}, RunAction{msec(10)}};
+        pids.push_back(m.kernel.spawn("b" + std::to_string(i), 0,
+                                      std::make_unique<ScriptedBehavior>(script)));
+    }
+    m.run_for(msec(10));
+    m.kernel.wakeup_channel(chan);
+    m.run_for(sec(1));
+    for (Pid p : pids) EXPECT_EQ(m.kernel.cpu_time(p), msec(10));
+}
+
+TEST(Kernel, PidsOfUidFiltersAndOrders) {
+    Machine m;
+    const Pid a = m.cpu_hog("a", 100);
+    const Pid b = m.cpu_hog("b", 200);
+    const Pid c = m.cpu_hog("c", 100);
+    EXPECT_EQ(m.kernel.pids_of_uid(100), (std::vector<Pid>{a, c}));
+    EXPECT_EQ(m.kernel.pids_of_uid(200), (std::vector<Pid>{b}));
+    EXPECT_TRUE(m.kernel.pids_of_uid(300).empty());
+    m.kernel.send_signal(c, Signal::kKill);
+    EXPECT_EQ(m.kernel.pids_of_uid(100), (std::vector<Pid>{a}));
+}
+
+TEST(Kernel, SpawnMidRunGetsScheduled) {
+    Machine m;
+    m.cpu_hog("a");
+    m.run_for(sec(2));
+    const Pid late = m.cpu_hog("late");
+    m.run_for(sec(2));
+    // The newcomer has estcpu 0 (better priority) and must catch up
+    // substantially; at minimum it runs a large fraction of the split.
+    EXPECT_GT(to_sec(m.kernel.cpu_time(late)), 0.8);
+}
+
+TEST(Kernel, LoadAverageConvergesTowardRunnableCount) {
+    Machine m;
+    for (int i = 0; i < 4; ++i) m.cpu_hog("p" + std::to_string(i));
+    m.run_for(sec(120));  // two time constants of the 1-minute EWMA
+    EXPECT_GT(m.kernel.loadavg(), 2.5);
+    EXPECT_LT(m.kernel.loadavg(), 4.1);
+}
+
+TEST(Kernel, DeterministicAcrossRuns) {
+    auto run = [] {
+        Machine m;
+        const Pid a = m.cpu_hog("a");
+        const Pid b = m.kernel.spawn(
+            "io", 0, std::make_unique<PhasedIoBehavior>(util::msec(7), util::msec(23)));
+        m.run_for(sec(5));
+        return std::pair{m.kernel.cpu_time(a), m.kernel.cpu_time(b)};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Kernel, RunningPidReflectsDispatch) {
+    Machine m;
+    EXPECT_EQ(m.kernel.running_pid(), kNoPid);
+    const Pid a = m.cpu_hog("a");
+    m.run_for(msec(1));
+    EXPECT_EQ(m.kernel.running_pid(), a);
+}
+
+TEST(Kernel, QueriesOnUnknownPidViolateContract) {
+    Machine m;
+    EXPECT_THROW((void)m.kernel.cpu_time(99), util::ContractViolation);
+    EXPECT_THROW(m.kernel.send_signal(99, Signal::kStop), util::ContractViolation);
+    EXPECT_FALSE(m.kernel.exists(99));
+    EXPECT_FALSE(m.kernel.alive(99));
+}
+
+TEST(Kernel, ZeroLengthSleepScriptProgresses) {
+    Machine m;
+    std::vector<Action> script{RunAction{msec(5)}, SleepAction{Duration::zero()},
+                               RunAction{msec(5)}};
+    const Pid p = m.kernel.spawn("z", 0, std::make_unique<ScriptedBehavior>(script));
+    m.run_for(sec(1));
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(10));
+    EXPECT_FALSE(m.kernel.alive(p));
+}
+
+TEST(Kernel, ManyProcessesConserveTotalCpu) {
+    Machine m;
+    std::vector<Pid> pids;
+    for (int i = 0; i < 30; ++i) pids.push_back(m.cpu_hog("p" + std::to_string(i)));
+    m.run_for(sec(30));
+    Duration total{0};
+    for (Pid p : pids) total += m.kernel.cpu_time(p);
+    EXPECT_EQ(total, sec(30));  // work-conserving, no lost time
+}
+
+}  // namespace
+}  // namespace alps::os

@@ -1,0 +1,108 @@
+// The stop-delivery latency model (KernelConfig::stop_latency_grid): a
+// SIGSTOP aimed at the *running* process only takes effect at the next
+// hardclock tick, as on a real kernel.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+
+namespace alps::os {
+namespace {
+
+using util::Duration;
+using util::msec;
+using util::sec;
+
+struct GridMachine {
+    sim::Engine engine;
+    Kernel kernel;
+
+    explicit GridMachine(Duration grid)
+        : kernel(engine, nullptr,
+                 KernelConfig{.stop_latency_grid = grid}) {}
+
+    void run_for(Duration d) { engine.run_until(engine.now() + d); }
+};
+
+TEST(StopLatency, RunningProcessStopsAtNextTick) {
+    GridMachine m(msec(10));
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(13));  // mid-tick
+    m.kernel.send_signal(p, Signal::kStop);
+    EXPECT_FALSE(m.kernel.proc(p).stopped);  // still in flight
+    m.run_for(msec(8));                      // past the 20 ms boundary
+    EXPECT_TRUE(m.kernel.proc(p).stopped);
+    // It ran until the boundary: 20 ms of CPU, not 13.
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(20));
+}
+
+TEST(StopLatency, NonRunningProcessStopsImmediately) {
+    GridMachine m(msec(10));
+    m.kernel.spawn("a", 0, std::make_unique<CpuBoundBehavior>());
+    const Pid b = m.kernel.spawn("b", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(13));  // a runs; b queued
+    ASSERT_NE(m.kernel.running_pid(), b);
+    m.kernel.send_signal(b, Signal::kStop);
+    EXPECT_TRUE(m.kernel.proc(b).stopped);  // no delay off-CPU
+}
+
+TEST(StopLatency, ContCancelsInFlightStop) {
+    GridMachine m(msec(10));
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(13));
+    m.kernel.send_signal(p, Signal::kStop);
+    m.kernel.send_signal(p, Signal::kCont);  // overrides before delivery
+    m.run_for(msec(100));
+    EXPECT_FALSE(m.kernel.proc(p).stopped);
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(113));  // never paused
+}
+
+TEST(StopLatency, DuplicateStopWhileInFlightIsIdempotent) {
+    GridMachine m(msec(10));
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(5));
+    m.kernel.send_signal(p, Signal::kStop);
+    m.kernel.send_signal(p, Signal::kStop);
+    m.run_for(msec(10));
+    EXPECT_TRUE(m.kernel.proc(p).stopped);
+    m.kernel.send_signal(p, Signal::kCont);
+    m.run_for(msec(10));
+    EXPECT_FALSE(m.kernel.proc(p).stopped);
+}
+
+TEST(StopLatency, KillCancelsInFlightStop) {
+    GridMachine m(msec(10));
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(5));
+    m.kernel.send_signal(p, Signal::kStop);
+    m.kernel.send_signal(p, Signal::kKill);
+    EXPECT_FALSE(m.kernel.alive(p));
+    m.run_for(msec(20));  // the cancelled delivery must not fire
+    EXPECT_FALSE(m.kernel.exists(p) && m.kernel.proc(p).stopped);
+}
+
+TEST(StopLatency, ZeroGridIsInstant) {
+    GridMachine m(Duration::zero());
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(13));
+    m.kernel.send_signal(p, Signal::kStop);
+    EXPECT_TRUE(m.kernel.proc(p).stopped);
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(13));
+}
+
+TEST(StopLatency, StopLandingOnBoundaryWaitsOneFullTick) {
+    GridMachine m(msec(10));
+    const Pid p = m.kernel.spawn("hog", 0, std::make_unique<CpuBoundBehavior>());
+    m.run_for(msec(20));  // exactly on a boundary
+    m.kernel.send_signal(p, Signal::kStop);
+    EXPECT_FALSE(m.kernel.proc(p).stopped);
+    m.run_for(msec(10));
+    EXPECT_TRUE(m.kernel.proc(p).stopped);
+    EXPECT_EQ(m.kernel.cpu_time(p), msec(30));
+}
+
+}  // namespace
+}  // namespace alps::os

@@ -1,0 +1,143 @@
+// Multi-CPU kernel tests (the SMP extension; the paper's host has one CPU).
+// FreeBSD 4.x SMP semantics: one global run queue feeding all CPUs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
+
+namespace alps::os {
+namespace {
+
+using util::Duration;
+using util::msec;
+using util::sec;
+using util::to_sec;
+
+struct SmpMachine {
+    sim::Engine engine;
+    Kernel kernel;
+
+    explicit SmpMachine(int ncpus)
+        : kernel(engine, nullptr, KernelConfig{.ncpus = ncpus}) {}
+
+    Pid hog(const std::string& name = "hog") {
+        return kernel.spawn(name, 0, std::make_unique<CpuBoundBehavior>());
+    }
+    void run_for(Duration d) { engine.run_until(engine.now() + d); }
+};
+
+TEST(SmpKernel, TwoHogsOnTwoCpusBothRunFlatOut) {
+    SmpMachine m(2);
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.run_for(sec(5));
+    EXPECT_EQ(m.kernel.cpu_time(a), sec(5));
+    EXPECT_EQ(m.kernel.cpu_time(b), sec(5));
+    EXPECT_EQ(m.kernel.busy_time(), sec(10));  // summed over CPUs
+}
+
+TEST(SmpKernel, SingleHogUsesOneCpuOnly) {
+    SmpMachine m(4);
+    const Pid a = m.hog("a");
+    m.run_for(sec(3));
+    EXPECT_EQ(m.kernel.cpu_time(a), sec(3));  // one process <= one CPU
+    EXPECT_EQ(m.kernel.busy_time(), sec(3));
+}
+
+TEST(SmpKernel, FourHogsOnTwoCpusSplitEvenly) {
+    SmpMachine m(2);
+    std::vector<Pid> pids;
+    for (int i = 0; i < 4; ++i) pids.push_back(m.hog("p" + std::to_string(i)));
+    m.run_for(sec(10));
+    Duration total{0};
+    for (const Pid p : pids) {
+        EXPECT_NEAR(to_sec(m.kernel.cpu_time(p)), 5.0, 0.5) << p;
+        total += m.kernel.cpu_time(p);
+    }
+    EXPECT_EQ(total, sec(20));  // work conservation across CPUs
+}
+
+TEST(SmpKernel, RunningPidsPerCpuAreDistinct) {
+    SmpMachine m(2);
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.run_for(msec(5));
+    const Pid r0 = m.kernel.running_pid_on(0);
+    const Pid r1 = m.kernel.running_pid_on(1);
+    EXPECT_NE(r0, kNoPid);
+    EXPECT_NE(r1, kNoPid);
+    EXPECT_NE(r0, r1);
+    EXPECT_TRUE((r0 == a && r1 == b) || (r0 == b && r1 == a));
+}
+
+TEST(SmpKernel, StopFreesACpuForTheQueue) {
+    SmpMachine m(2);
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    const Pid c = m.hog("c");  // queued: 3 procs on 2 CPUs
+    m.run_for(sec(6));
+    // Roughly 4 s each (2 CPUs x 6 s over 3 procs).
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(c)), 4.0, 0.5);
+    m.kernel.send_signal(a, Signal::kStop);
+    const Duration b0 = m.kernel.cpu_time(b);
+    const Duration c0 = m.kernel.cpu_time(c);
+    m.run_for(sec(4));
+    // b and c now own a CPU each.
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(b) - b0), 4.0, 0.1);
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(c) - c0), 4.0, 0.1);
+}
+
+TEST(SmpKernel, SleeperWakesOntoIdleCpu) {
+    SmpMachine m(2);
+    m.hog("a");
+    const Pid io = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(10), msec(90)));
+    m.run_for(sec(10));
+    // One CPU is otherwise idle, so the 10% duty cycle is fully served.
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(io)), 1.0, 0.05);
+}
+
+TEST(SmpKernel, WakeBoostPreemptsOnBusyMachine) {
+    SmpMachine m(2);
+    m.hog("a");
+    m.hog("b");
+    m.hog("c");  // all CPUs busy, one queued
+    const Pid io = m.kernel.spawn(
+        "io", 0, std::make_unique<PhasedIoBehavior>(msec(5), msec(45)));
+    m.run_for(sec(10));
+    // Demand is 10% of one CPU; the boost must deliver nearly all of it even
+    // though every CPU is contended.
+    EXPECT_GT(to_sec(m.kernel.cpu_time(io)), 0.8);
+}
+
+TEST(SmpKernel, DeterministicAcrossRuns) {
+    auto run = [] {
+        SmpMachine m(3);
+        std::vector<Pid> pids;
+        for (int i = 0; i < 7; ++i) pids.push_back(m.hog("p" + std::to_string(i)));
+        m.run_for(sec(7));
+        std::vector<Duration> out;
+        for (const Pid p : pids) out.push_back(m.kernel.cpu_time(p));
+        return out;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(SmpKernel, InvalidCpuIndexViolatesContract) {
+    SmpMachine m(2);
+    EXPECT_THROW((void)m.kernel.running_pid_on(2), util::ContractViolation);
+    EXPECT_THROW((void)m.kernel.running_pid_on(-1), util::ContractViolation);
+}
+
+TEST(SmpKernel, ZeroCpusViolatesContract) {
+    sim::Engine engine;
+    EXPECT_THROW(Kernel(engine, nullptr, KernelConfig{.ncpus = 0}),
+                 util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::os

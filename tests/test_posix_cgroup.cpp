@@ -1,0 +1,99 @@
+// cgroup-v1 cpu.shares wrapper tests. Skipped wholesale where the cpu
+// controller is not writable (non-root, cgroup v2-only hosts).
+#include "posix/cgroup.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <thread>
+
+#include "posix/host.h"
+#include "posix/spawn.h"
+#include "util/assert.h"
+#include "util/time.h"
+
+namespace alps::posix {
+namespace {
+
+#define SKIP_WITHOUT_CGROUPS()                                       \
+    if (!CpuCgroup::available()) {                                   \
+        GTEST_SKIP() << "cgroup v1 cpu controller not writable here"; \
+    }
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    std::string s;
+    std::getline(in, s);
+    return s;
+}
+
+TEST(CpuCgroup, CreateSetsSharesAndDestroysCleanly) {
+    SKIP_WITHOUT_CGROUPS();
+    std::string path;
+    {
+        CpuCgroup cg("alps-ut-basic", 2048);
+        path = cg.path();
+        EXPECT_EQ(read_file(path + "/cpu.shares"), "2048");
+        EXPECT_TRUE(cg.set_shares(512));
+        EXPECT_EQ(read_file(path + "/cpu.shares"), "512");
+    }
+    // Gone after destruction.
+    std::ifstream gone(path + "/cpu.shares");
+    EXPECT_FALSE(gone.good());
+}
+
+TEST(CpuCgroup, AttachMovesProcessAndDtorEvacuates) {
+    SKIP_WITHOUT_CGROUPS();
+    ChildSet children;
+    const pid_t pid = children.add_busy();
+    {
+        CpuCgroup cg("alps-ut-attach", 1024);
+        ASSERT_TRUE(cg.attach(pid));
+        // The child's tasks file lists it.
+        std::ifstream tasks(cg.path() + "/tasks");
+        bool found = false;
+        std::string line;
+        while (std::getline(tasks, line)) {
+            if (line == std::to_string(pid)) found = true;
+        }
+        EXPECT_TRUE(found);
+    }
+    // After destruction the child still runs (evacuated, not killed).
+    PosixProcessHost host;
+    const auto t0 = host.read_pid(pid).cpu_time;
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    EXPECT_GT(host.read_pid(pid).cpu_time.count(), t0.count());
+}
+
+TEST(CpuCgroup, SharesActuallyShapeCpu) {
+    SKIP_WITHOUT_CGROUPS();
+    ChildSet children;
+    const pid_t a = children.add_busy();
+    const pid_t b = children.add_busy();
+    pin_to_cpu(a, 0);
+    pin_to_cpu(b, 0);
+    CpuCgroup small("alps-ut-small", 1024);
+    CpuCgroup big("alps-ut-big", 3072);
+    ASSERT_TRUE(small.attach(a));
+    ASSERT_TRUE(big.attach(b));
+
+    PosixProcessHost host;
+    const auto a0 = host.read_pid(a).cpu_time;
+    const auto b0 = host.read_pid(b).cpu_time;
+    std::this_thread::sleep_for(std::chrono::seconds(2));
+    const double da = util::to_sec(host.read_pid(a).cpu_time - a0);
+    const double db = util::to_sec(host.read_pid(b).cpu_time - b0);
+    ASSERT_GT(da + db, 1.0);
+    EXPECT_NEAR(db / (da + db), 0.75, 0.1);
+}
+
+TEST(CpuCgroup, ContractViolations) {
+    SKIP_WITHOUT_CGROUPS();
+    EXPECT_THROW(CpuCgroup("", 1024), util::ContractViolation);
+    EXPECT_THROW(CpuCgroup("a/b", 1024), util::ContractViolation);
+    EXPECT_THROW(CpuCgroup("ok", 1), util::ContractViolation);  // below kernel min
+}
+
+}  // namespace
+}  // namespace alps::posix

@@ -1,0 +1,153 @@
+// In-kernel proportional-share baselines (stride, lottery) driven through
+// the same simulated machine — the comparison class the paper's related-work
+// section positions ALPS against.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "sched/lottery_policy.h"
+#include "sched/stride_policy.h"
+#include "sim/engine.h"
+
+namespace alps::sched {
+namespace {
+
+using util::msec;
+using util::sec;
+using util::to_sec;
+
+template <typename Policy>
+struct Machine {
+    sim::Engine engine;
+    Policy* policy;  // owned by the kernel
+    std::unique_ptr<os::Kernel> kernel;
+
+    Machine() {
+        auto p = std::make_unique<Policy>(msec(10));
+        policy = p.get();
+        kernel = std::make_unique<os::Kernel>(engine, std::move(p));
+    }
+
+    os::Pid hog(std::int64_t tickets) {
+        const os::Pid pid =
+            kernel->spawn("hog", 0, std::make_unique<os::CpuBoundBehavior>());
+        policy->set_tickets(pid, tickets);
+        return pid;
+    }
+    void run_for(util::Duration d) { engine.run_until(engine.now() + d); }
+};
+
+TEST(StridePolicy, ProportionalForUnequalTickets) {
+    Machine<StridePolicy> m;
+    const os::Pid a = m.hog(1);
+    const os::Pid b = m.hog(2);
+    const os::Pid c = m.hog(3);
+    m.run_for(sec(12));
+    const double total = 12.0;
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(a)) / total, 1.0 / 6.0, 0.01);
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(b)) / total, 2.0 / 6.0, 0.01);
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(c)) / total, 3.0 / 6.0, 0.01);
+}
+
+TEST(StridePolicy, DeterministicAndExactOverShortWindows) {
+    Machine<StridePolicy> m;
+    const os::Pid a = m.hog(1);
+    const os::Pid b = m.hog(1);
+    m.run_for(sec(1));
+    // Equal tickets: within one quantum of each other at any instant.
+    const auto diff = (m.kernel->cpu_time(a) - m.kernel->cpu_time(b)).count();
+    EXPECT_LE(std::abs(diff), msec(10).count());
+}
+
+TEST(StridePolicy, LateArrivalJoinsAtCurrentVirtualTime) {
+    Machine<StridePolicy> m;
+    const os::Pid a = m.hog(1);
+    m.run_for(sec(5));
+    const os::Pid b = m.hog(1);
+    m.run_for(sec(4));
+    // b must not catch up on the 5 s it missed: it gets ~half of the last 4 s.
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(b)), 2.0, 0.1);
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(a)), 7.0, 0.1);
+}
+
+TEST(StridePolicy, SkewedTicketsStayProportional) {
+    Machine<StridePolicy> m;
+    std::vector<os::Pid> pids;
+    for (int i = 0; i < 4; ++i) pids.push_back(m.hog(1));
+    const os::Pid big = m.hog(21);
+    m.run_for(sec(25));
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(big)) / 25.0, 21.0 / 25.0, 0.01);
+    for (const os::Pid p : pids) {
+        EXPECT_NEAR(to_sec(m.kernel->cpu_time(p)) / 25.0, 1.0 / 25.0, 0.005);
+    }
+}
+
+TEST(StridePolicy, SleeperGetsNoBankedCredit) {
+    Machine<StridePolicy> m;
+    const os::Pid hog = m.hog(1);
+    const os::Pid io = m.kernel->spawn(
+        "io", 0, std::make_unique<os::PhasedIoBehavior>(msec(10), msec(190)));
+    m.policy->set_tickets(io, 1);
+    m.run_for(sec(10));
+    // The sleeper demands only 5% of the CPU; the hog gets the rest (not 50%).
+    EXPECT_GT(to_sec(m.kernel->cpu_time(hog)), 9.0);
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(io)), 0.5, 0.1);
+}
+
+TEST(LotteryPolicy, ProportionalInExpectation) {
+    Machine<LotteryPolicy> m;
+    const os::Pid a = m.hog(1);
+    const os::Pid b = m.hog(3);
+    m.run_for(sec(40));  // 4000 drawings
+    const double fa = to_sec(m.kernel->cpu_time(a)) / 40.0;
+    EXPECT_NEAR(fa, 0.25, 0.03);  // statistical: ~sqrt(p q / n) noise
+    EXPECT_NEAR(to_sec(m.kernel->cpu_time(b)) / 40.0, 0.75, 0.03);
+}
+
+TEST(LotteryPolicy, SeededRunsAreReproducible) {
+    auto run = [] {
+        Machine<LotteryPolicy> m;
+        const os::Pid a = m.hog(1);
+        m.hog(2);
+        m.run_for(sec(3));
+        return m.kernel->cpu_time(a);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(LotteryPolicy, HigherVarianceThanStride) {
+    // Compare per-second allocation variance for a 1:1 pair.
+    auto variance_of = [](auto make_machine) {
+        auto m = make_machine();
+        const os::Pid a = m->hog(1);
+        m->hog(1);
+        double sum_sq = 0.0;
+        util::Duration prev{0};
+        for (int s = 0; s < 30; ++s) {
+            m->run_for(sec(1));
+            const auto now_cpu = m->kernel->cpu_time(a);
+            const double frac = to_sec(now_cpu - prev);
+            prev = now_cpu;
+            sum_sq += (frac - 0.5) * (frac - 0.5);
+        }
+        return sum_sq / 30.0;
+    };
+    const double v_lottery = variance_of(
+        [] { return std::make_unique<Machine<LotteryPolicy>>(); });
+    const double v_stride = variance_of(
+        [] { return std::make_unique<Machine<StridePolicy>>(); });
+    EXPECT_GT(v_lottery, v_stride);
+}
+
+TEST(StridePolicy, TicketContracts) {
+    Machine<StridePolicy> m;
+    const os::Pid a = m.hog(1);
+    EXPECT_THROW(m.policy->set_tickets(a, 0), util::ContractViolation);
+    EXPECT_THROW(m.policy->set_tickets(a, -5), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::sched

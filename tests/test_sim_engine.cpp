@@ -1,0 +1,151 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace alps::sim {
+namespace {
+
+using util::msec;
+using util::TimePoint;
+
+TEST(Engine, StartsAtZero) {
+    Engine e;
+    EXPECT_EQ(e.now(), TimePoint{});
+    EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+    Engine e;
+    std::vector<int> order;
+    e.schedule_at(TimePoint{} + msec(30), [&] { order.push_back(3); });
+    e.schedule_at(TimePoint{} + msec(10), [&] { order.push_back(1); });
+    e.schedule_at(TimePoint{} + msec(20), [&] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), TimePoint{} + msec(30));
+}
+
+TEST(Engine, FifoAmongEqualTimes) {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        e.schedule_at(TimePoint{} + msec(10), [&order, i] { order.push_back(i); });
+    }
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+    Engine e;
+    TimePoint fired{};
+    e.schedule_at(TimePoint{} + msec(5), [&] {
+        e.schedule_after(msec(7), [&] { fired = e.now(); });
+    });
+    e.run();
+    EXPECT_EQ(fired, TimePoint{} + msec(12));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+    Engine e;
+    bool ran = false;
+    const EventId id = e.schedule_at(TimePoint{} + msec(10), [&] { ran = true; });
+    EXPECT_TRUE(e.pending(id));
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_FALSE(e.pending(id));
+    e.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+    Engine e;
+    const EventId id = e.schedule_at(TimePoint{} + msec(1), [] {});
+    EXPECT_TRUE(e.cancel(id));
+    EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+    Engine e;
+    const EventId id = e.schedule_at(TimePoint{} + msec(1), [] {});
+    e.run();
+    EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilAdvancesClockToExactly) {
+    Engine e;
+    int fired = 0;
+    e.schedule_at(TimePoint{} + msec(10), [&] { ++fired; });
+    e.schedule_at(TimePoint{} + msec(30), [&] { ++fired; });
+    e.run_until(TimePoint{} + msec(20));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(e.now(), TimePoint{} + msec(20));
+    e.run_until(TimePoint{} + msec(40));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(e.now(), TimePoint{} + msec(40));
+}
+
+TEST(Engine, RunUntilInclusiveOfBoundaryEvents) {
+    Engine e;
+    bool ran = false;
+    e.schedule_at(TimePoint{} + msec(10), [&] { ran = true; });
+    e.run_until(TimePoint{} + msec(10));
+    EXPECT_TRUE(ran);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+    Engine e;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5) e.schedule_after(msec(1), chain);
+    };
+    e.schedule_after(msec(1), chain);
+    e.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(e.now(), TimePoint{} + msec(5));
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+    Engine e;
+    EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, SchedulingInPastViolatesContract) {
+    Engine e;
+    e.schedule_at(TimePoint{} + msec(5), [] {});
+    e.run();
+    EXPECT_THROW(e.schedule_at(TimePoint{} + msec(1), [] {}), util::ContractViolation);
+}
+
+TEST(Engine, NullCallbackViolatesContract) {
+    Engine e;
+    EXPECT_THROW(e.schedule_at(TimePoint{} + msec(1), nullptr),
+                 util::ContractViolation);
+}
+
+TEST(Engine, PendingCountTracksLifecycle) {
+    Engine e;
+    const EventId a = e.schedule_after(msec(1), [] {});
+    e.schedule_after(msec(2), [] {});
+    EXPECT_EQ(e.pending_count(), 2u);
+    e.cancel(a);
+    EXPECT_EQ(e.pending_count(), 1u);
+    e.run();
+    EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, CancelledEventDoesNotBlockQueueProgress) {
+    Engine e;
+    bool second = false;
+    const EventId a = e.schedule_at(TimePoint{} + msec(1), [] {});
+    e.schedule_at(TimePoint{} + msec(2), [&] { second = true; });
+    e.cancel(a);
+    EXPECT_TRUE(e.step());
+    EXPECT_TRUE(second);
+    EXPECT_EQ(e.now(), TimePoint{} + msec(2));
+}
+
+}  // namespace
+}  // namespace alps::sim

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+#include "util/stats.h"
+
+namespace alps::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.uniform_int(-3, 7);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+    Rng r(1);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntInvertedBoundsViolateContract) {
+    Rng r(1);
+    EXPECT_THROW(r.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+    Rng r(42);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(r.uniform_int(0, 9))];
+    for (int c : counts) {
+        EXPECT_NEAR(c, n / 10, n / 100);  // within 10% of expectation
+    }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng r(77);
+    const Duration mean = msec(10);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i) {
+        s.add(to_ms(r.exponential(mean)));
+    }
+    EXPECT_NEAR(s.mean(), 10.0, 0.15);
+    // Exponential: stddev == mean.
+    EXPECT_NEAR(s.stddev(), 10.0, 0.25);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GE(r.exponential(msec(5)).count(), 0);
+    }
+}
+
+TEST(Rng, ExponentialZeroMeanViolatesContract) {
+    Rng r(3);
+    EXPECT_THROW(r.exponential(Duration::zero()), ContractViolation);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng a(5);
+    Rng b = a.split();
+    // The split stream differs from the parent's continuation.
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i) {
+        if (a.next_u64() != b.next_u64()) any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace alps::util

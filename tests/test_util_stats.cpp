@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace alps::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm) {
+    RunningStats s;
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    for (double x : xs) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.5));
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+    RunningStats s;
+    s.add(-10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, MinOnEmptyViolatesContract) {
+    RunningStats s;
+    EXPECT_THROW((void)s.min(), ContractViolation);
+    EXPECT_THROW((void)s.max(), ContractViolation);
+}
+
+TEST(Rms, EmptyIsZero) { EXPECT_DOUBLE_EQ(rms({}), 0.0); }
+
+TEST(Rms, MatchesHandComputation) {
+    const std::vector<double> v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(rms(v), std::sqrt(12.5));
+}
+
+TEST(RmsRelativeError, PerfectMatchIsZero) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rms_relative_error(a, a), 0.0);
+}
+
+TEST(RmsRelativeError, KnownValue) {
+    // errors: (1.1-1)/1 = .1 and (1.8-2)/2 = -.1 -> RMS = .1
+    const std::vector<double> actual{1.1, 1.8};
+    const std::vector<double> ideal{1.0, 2.0};
+    EXPECT_NEAR(rms_relative_error(actual, ideal), 0.1, 1e-12);
+}
+
+TEST(RmsRelativeError, SkipsZeroIdealEntries) {
+    const std::vector<double> actual{5.0, 1.1};
+    const std::vector<double> ideal{0.0, 1.0};
+    EXPECT_NEAR(rms_relative_error(actual, ideal), 0.1, 1e-9);
+}
+
+TEST(RmsRelativeError, MismatchedSizesViolateContract) {
+    const std::vector<double> a{1.0};
+    const std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW((void)rms_relative_error(a, b), ContractViolation);
+}
+
+TEST(LinearFit, ExactLine) {
+    const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> y{1.0, 3.0, 5.0, 7.0};
+    const LinearFit fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 100; ++i) {
+        x.push_back(i);
+        y.push_back(0.5 * i + 2.0 + ((i % 2 == 0) ? 0.1 : -0.1));
+    }
+    const LinearFit fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 0.5, 1e-3);
+    EXPECT_NEAR(fit.intercept, 2.0, 0.05);
+    EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(LinearFit, ConstantYHasZeroSlopeAndPerfectFit) {
+    const std::vector<double> x{1.0, 2.0, 3.0};
+    const std::vector<double> y{4.0, 4.0, 4.0};
+    const LinearFit fit = linear_fit(x, y);
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+    EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearFit, DegenerateXViolatesContract) {
+    const std::vector<double> x{2.0, 2.0};
+    const std::vector<double> y{1.0, 3.0};
+    EXPECT_THROW((void)linear_fit(x, y), ContractViolation);
+}
+
+TEST(LinearFit, FewerThanTwoPointsViolatesContract) {
+    const std::vector<double> x{1.0};
+    const std::vector<double> y{1.0};
+    EXPECT_THROW((void)linear_fit(x, y), ContractViolation);
+}
+
+TEST(Mean, Basic) {
+    const std::vector<double> v{1.0, 2.0, 6.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace
+}  // namespace alps::util

@@ -1,0 +1,40 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace alps::util {
+namespace {
+
+TEST(Time, UnitConstructors) {
+    EXPECT_EQ(nsec(5).count(), 5);
+    EXPECT_EQ(usec(5).count(), 5'000);
+    EXPECT_EQ(msec(5).count(), 5'000'000);
+    EXPECT_EQ(sec(5).count(), 5'000'000'000);
+}
+
+TEST(Time, Conversions) {
+    EXPECT_DOUBLE_EQ(to_sec(sec(2)), 2.0);
+    EXPECT_DOUBLE_EQ(to_ms(msec(7)), 7.0);
+    EXPECT_DOUBLE_EQ(to_us(usec(9)), 9.0);
+}
+
+TEST(Time, FromFractionalMicroseconds) {
+    EXPECT_EQ(from_us(17.4).count(), 17'400);
+    EXPECT_EQ(from_us(1.1).count(), 1'100);
+    EXPECT_EQ(from_us(0.0).count(), 0);
+}
+
+TEST(TimePoint, ArithmeticAndOrdering) {
+    const TimePoint t0{};
+    const TimePoint t1 = t0 + msec(10);
+    EXPECT_LT(t0, t1);
+    EXPECT_EQ(t1 - t0, msec(10));
+    EXPECT_EQ(t1 - msec(10), t0);
+    TimePoint t = t0;
+    t += msec(3);
+    EXPECT_EQ(t.since_epoch, msec(3));
+    EXPECT_EQ(msec(2) + t0, t0 + msec(2));
+}
+
+}  // namespace
+}  // namespace alps::util

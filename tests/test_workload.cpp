@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/assert.h"
+#include "workload/distributions.h"
+#include "workload/experiments.h"
+
+namespace alps::workload {
+namespace {
+
+using util::msec;
+using util::Share;
+
+// ----------------------------------------------------------------------------
+// Table-2 distributions
+
+TEST(Distributions, LinearMatchesPaper) {
+    EXPECT_EQ(make_shares(ShareModel::kLinear, 5), (std::vector<Share>{1, 3, 5, 7, 9}));
+    const auto l10 = make_shares(ShareModel::kLinear, 10);
+    EXPECT_EQ(l10.front(), 1);
+    EXPECT_EQ(l10.back(), 19);
+    EXPECT_EQ(make_shares(ShareModel::kLinear, 20).back(), 39);
+}
+
+TEST(Distributions, EqualMatchesPaper) {
+    EXPECT_EQ(make_shares(ShareModel::kEqual, 5), (std::vector<Share>(5, 5)));
+    EXPECT_EQ(make_shares(ShareModel::kEqual, 20), (std::vector<Share>(20, 20)));
+}
+
+TEST(Distributions, SkewedMatchesPaper) {
+    EXPECT_EQ(make_shares(ShareModel::kSkewed, 5),
+              (std::vector<Share>{1, 1, 1, 1, 21}));
+    const auto s10 = make_shares(ShareModel::kSkewed, 10);
+    EXPECT_EQ(std::count(s10.begin(), s10.end(), 1), 9);
+    EXPECT_EQ(s10.back(), 91);
+    EXPECT_EQ(make_shares(ShareModel::kSkewed, 20).back(), 381);
+}
+
+class TotalSharesTest
+    : public ::testing::TestWithParam<std::tuple<ShareModel, int>> {};
+
+TEST_P(TotalSharesTest, TotalIsNSquared) {
+    const auto [model, n] = GetParam();
+    const auto shares = make_shares(model, n);
+    EXPECT_EQ(shares.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(std::accumulate(shares.begin(), shares.end(), Share{0}),
+              static_cast<Share>(n) * n);
+    for (const Share s : shares) EXPECT_GT(s, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TotalSharesTest,
+    ::testing::Combine(::testing::Values(ShareModel::kLinear, ShareModel::kEqual,
+                                         ShareModel::kSkewed),
+                       ::testing::Values(2, 3, 5, 10, 20, 50)));
+
+TEST(Distributions, TooFewProcessesViolatesContract) {
+    EXPECT_THROW(make_shares(ShareModel::kLinear, 1), util::ContractViolation);
+    EXPECT_THROW(make_shares(ShareModel::kEqual, 0), util::ContractViolation);
+}
+
+// ----------------------------------------------------------------------------
+// Experiment runners: structure and contracts
+
+TEST(CpuBoundExperiment, ReportsConsistentCounters) {
+    SimRunConfig cfg;
+    cfg.shares = {1, 2};
+    cfg.measure_cycles = 10;
+    cfg.warmup_cycles = 2;
+    const SimRunResult r = run_cpu_bound_experiment(cfg);
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.cycles_completed, 12u);
+    EXPECT_GT(r.ticks, r.cycles_completed);
+    EXPECT_GT(r.measurements, 0u);
+    EXPECT_GT(r.wall, util::Duration::zero());
+    EXPECT_GT(r.alps_cpu, util::Duration::zero());
+    EXPECT_NEAR(r.overhead_fraction,
+                util::to_sec(r.alps_cpu) / util::to_sec(r.wall), 1e-9);
+}
+
+TEST(CpuBoundExperiment, DeterministicAcrossRuns) {
+    SimRunConfig cfg;
+    cfg.shares = {1, 3, 5};
+    cfg.measure_cycles = 20;
+    const SimRunResult a = run_cpu_bound_experiment(cfg);
+    const SimRunResult b = run_cpu_bound_experiment(cfg);
+    EXPECT_EQ(a.mean_rms_error, b.mean_rms_error);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.measurements, b.measurements);
+    EXPECT_EQ(a.alps_cpu, b.alps_cpu);
+}
+
+TEST(CpuBoundExperiment, TinyWallCapTimesOut) {
+    SimRunConfig cfg;
+    cfg.shares = {5, 5};
+    cfg.measure_cycles = 1000;
+    cfg.max_wall = msec(300);
+    const SimRunResult r = run_cpu_bound_experiment(cfg);
+    EXPECT_TRUE(r.timed_out);
+    EXPECT_LE(r.wall, msec(300));
+}
+
+TEST(CpuBoundExperiment, EmptySharesViolateContract) {
+    SimRunConfig cfg;
+    EXPECT_THROW((void)run_cpu_bound_experiment(cfg), util::ContractViolation);
+}
+
+TEST(IoExperiment, OnsetPredictionMatchesConfig) {
+    IoRunConfig cfg;
+    cfg.steady_cycles = 25;
+    cfg.observe_cycles = 10;
+    const IoRunResult r = run_io_experiment(cfg);
+    // B consumes shares[1] quanta per cycle; the initial CPU phase is
+    // steady_cycles of that plus one burst.
+    EXPECT_NEAR(static_cast<double>(r.io_onset_cycle), 25.0 + 4.0, 2.0);
+    EXPECT_EQ(r.cycle_index.size(), r.fractions.size());
+    EXPECT_GE(r.fractions.size(), 30u);
+}
+
+TEST(MultiAlpsExperiment, ShapeOfResult) {
+    MultiAlpsConfig cfg;
+    cfg.phase2_start = util::sec(2);
+    cfg.phase3_start = util::sec(4);
+    cfg.end = util::sec(8);
+    const MultiAlpsResult r = run_multi_alps_experiment(cfg);
+    ASSERT_EQ(r.procs.size(), 9u);
+    // Group A has all three phases; group C only the last.
+    EXPECT_TRUE(r.procs[0].phases[0].has_value());
+    EXPECT_TRUE(r.procs[0].phases[2].has_value());
+    EXPECT_FALSE(r.procs[6].phases[0].has_value());
+    EXPECT_FALSE(r.procs[6].phases[1].has_value());
+    EXPECT_TRUE(r.procs[6].phases[2].has_value());
+    // Series are sampled and monotone.
+    for (const auto& pr : r.procs) {
+        ASSERT_GE(pr.series.points.size(), 2u);
+        for (std::size_t i = 1; i < pr.series.points.size(); ++i) {
+            EXPECT_GE(pr.series.points[i].cumulative_cpu,
+                      pr.series.points[i - 1].cumulative_cpu);
+            EXPECT_GT(pr.series.points[i].when, pr.series.points[i - 1].when);
+        }
+    }
+}
+
+TEST(MultiAlpsExperiment, BadPhaseOrderViolatesContract) {
+    MultiAlpsConfig cfg;
+    cfg.phase2_start = util::sec(6);
+    cfg.phase3_start = util::sec(3);
+    EXPECT_THROW((void)run_multi_alps_experiment(cfg), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::workload
