@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_signals.dir/bench_ablation_signals.cpp.o"
+  "CMakeFiles/bench_ablation_signals.dir/bench_ablation_signals.cpp.o.d"
+  "bench_ablation_signals"
+  "bench_ablation_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

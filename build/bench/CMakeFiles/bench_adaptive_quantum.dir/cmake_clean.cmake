@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_quantum.dir/bench_adaptive_quantum.cpp.o"
+  "CMakeFiles/bench_adaptive_quantum.dir/bench_adaptive_quantum.cpp.o.d"
+  "bench_adaptive_quantum"
+  "bench_adaptive_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

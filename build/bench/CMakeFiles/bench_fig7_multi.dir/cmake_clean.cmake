@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multi.dir/bench_fig7_multi.cpp.o"
+  "CMakeFiles/bench_fig7_multi.dir/bench_fig7_multi.cpp.o.d"
+  "bench_fig7_multi"
+  "bench_fig7_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_mix.dir/bench_io_mix.cpp.o"
+  "CMakeFiles/bench_io_mix.dir/bench_io_mix.cpp.o.d"
+  "bench_io_mix"
+  "bench_io_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

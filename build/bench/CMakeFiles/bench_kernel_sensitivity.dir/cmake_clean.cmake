@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_sensitivity.dir/bench_kernel_sensitivity.cpp.o"
+  "CMakeFiles/bench_kernel_sensitivity.dir/bench_kernel_sensitivity.cpp.o.d"
+  "bench_kernel_sensitivity"
+  "bench_kernel_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

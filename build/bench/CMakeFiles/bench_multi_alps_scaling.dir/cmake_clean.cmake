@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_alps_scaling.dir/bench_multi_alps_scaling.cpp.o"
+  "CMakeFiles/bench_multi_alps_scaling.dir/bench_multi_alps_scaling.cpp.o.d"
+  "bench_multi_alps_scaling"
+  "bench_multi_alps_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_alps_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smp_extension.dir/bench_smp_extension.cpp.o"
+  "CMakeFiles/bench_smp_extension.dir/bench_smp_extension.cpp.o.d"
+  "bench_smp_extension"
+  "bench_smp_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

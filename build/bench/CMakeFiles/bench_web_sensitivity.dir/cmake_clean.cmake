@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_sensitivity.dir/bench_web_sensitivity.cpp.o"
+  "CMakeFiles/bench_web_sensitivity.dir/bench_web_sensitivity.cpp.o.d"
+  "bench_web_sensitivity"
+  "bench_web_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_web_server.cpp" "bench/CMakeFiles/bench_web_server.dir/bench_web_server.cpp.o" "gcc" "bench/CMakeFiles/bench_web_server.dir/bench_web_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/alps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/alps/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/alps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/alps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/alps_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/alps_posix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_web_server.dir/bench_web_server.cpp.o"
+  "CMakeFiles/bench_web_server.dir/bench_web_server.cpp.o.d"
+  "bench_web_server"
+  "bench_web_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_web_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_envs.dir/middleware_envs.cpp.o"
+  "CMakeFiles/middleware_envs.dir/middleware_envs.cpp.o.d"
+  "middleware_envs"
+  "middleware_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_alps.dir/multi_alps.cpp.o"
+  "CMakeFiles/multi_alps.dir/multi_alps.cpp.o.d"
+  "multi_alps"
+  "multi_alps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_alps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

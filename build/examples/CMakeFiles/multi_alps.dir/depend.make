@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_alps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_mesh.dir/scientific_mesh.cpp.o"
+  "CMakeFiles/scientific_mesh.dir/scientific_mesh.cpp.o.d"
+  "scientific_mesh"
+  "scientific_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_shares.dir/webserver_shares.cpp.o"
+  "CMakeFiles/webserver_shares.dir/webserver_shares.cpp.o.d"
+  "webserver_shares"
+  "webserver_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "alps::alps_util" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_util )
+list(APPEND _cmake_import_check_files_for_alps::alps_util "${_IMPORT_PREFIX}/lib/libalps_util.a" )
+
+# Import target "alps::alps_sim" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_sim )
+list(APPEND _cmake_import_check_files_for_alps::alps_sim "${_IMPORT_PREFIX}/lib/libalps_sim.a" )
+
+# Import target "alps::alps_os" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_os APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_os PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_os.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_os )
+list(APPEND _cmake_import_check_files_for_alps::alps_os "${_IMPORT_PREFIX}/lib/libalps_os.a" )
+
+# Import target "alps::alps_sched" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_sched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_sched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_sched.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_sched )
+list(APPEND _cmake_import_check_files_for_alps::alps_sched "${_IMPORT_PREFIX}/lib/libalps_sched.a" )
+
+# Import target "alps::alps_core" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_core )
+list(APPEND _cmake_import_check_files_for_alps::alps_core "${_IMPORT_PREFIX}/lib/libalps_core.a" )
+
+# Import target "alps::alps_workload" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_workload )
+list(APPEND _cmake_import_check_files_for_alps::alps_workload "${_IMPORT_PREFIX}/lib/libalps_workload.a" )
+
+# Import target "alps::alps_metrics" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_metrics APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_metrics PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_metrics.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_metrics )
+list(APPEND _cmake_import_check_files_for_alps::alps_metrics "${_IMPORT_PREFIX}/lib/libalps_metrics.a" )
+
+# Import target "alps::alps_web" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_web APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_web PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_web.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_web )
+list(APPEND _cmake_import_check_files_for_alps::alps_web "${_IMPORT_PREFIX}/lib/libalps_web.a" )
+
+# Import target "alps::alps_posix" for configuration "RelWithDebInfo"
+set_property(TARGET alps::alps_posix APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(alps::alps_posix PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libalps_posix.a"
+  )
+
+list(APPEND _cmake_import_check_targets alps::alps_posix )
+list(APPEND _cmake_import_check_files_for_alps::alps_posix "${_IMPORT_PREFIX}/lib/libalps_posix.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

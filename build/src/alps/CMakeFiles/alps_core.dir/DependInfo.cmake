@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alps/adaptive.cpp" "src/alps/CMakeFiles/alps_core.dir/adaptive.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/alps/cost_model.cpp" "src/alps/CMakeFiles/alps_core.dir/cost_model.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/alps/group_control.cpp" "src/alps/CMakeFiles/alps_core.dir/group_control.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/group_control.cpp.o.d"
+  "/root/repo/src/alps/scheduler.cpp" "src/alps/CMakeFiles/alps_core.dir/scheduler.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/alps/sim_adapter.cpp" "src/alps/CMakeFiles/alps_core.dir/sim_adapter.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/sim_adapter.cpp.o.d"
+  "/root/repo/src/alps/snapshot.cpp" "src/alps/CMakeFiles/alps_core.dir/snapshot.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/alps/trace.cpp" "src/alps/CMakeFiles/alps_core.dir/trace.cpp.o" "gcc" "src/alps/CMakeFiles/alps_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

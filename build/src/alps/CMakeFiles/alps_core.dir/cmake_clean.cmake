@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_core.dir/adaptive.cpp.o"
+  "CMakeFiles/alps_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/alps_core.dir/cost_model.cpp.o"
+  "CMakeFiles/alps_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/alps_core.dir/group_control.cpp.o"
+  "CMakeFiles/alps_core.dir/group_control.cpp.o.d"
+  "CMakeFiles/alps_core.dir/scheduler.cpp.o"
+  "CMakeFiles/alps_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/alps_core.dir/sim_adapter.cpp.o"
+  "CMakeFiles/alps_core.dir/sim_adapter.cpp.o.d"
+  "CMakeFiles/alps_core.dir/snapshot.cpp.o"
+  "CMakeFiles/alps_core.dir/snapshot.cpp.o.d"
+  "CMakeFiles/alps_core.dir/trace.cpp.o"
+  "CMakeFiles/alps_core.dir/trace.cpp.o.d"
+  "libalps_core.a"
+  "libalps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

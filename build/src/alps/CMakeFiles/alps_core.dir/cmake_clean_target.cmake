@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalps_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cycle_log.cpp" "src/metrics/CMakeFiles/alps_metrics.dir/cycle_log.cpp.o" "gcc" "src/metrics/CMakeFiles/alps_metrics.dir/cycle_log.cpp.o.d"
+  "/root/repo/src/metrics/exact_cycle_log.cpp" "src/metrics/CMakeFiles/alps_metrics.dir/exact_cycle_log.cpp.o" "gcc" "src/metrics/CMakeFiles/alps_metrics.dir/exact_cycle_log.cpp.o.d"
+  "/root/repo/src/metrics/slope_analysis.cpp" "src/metrics/CMakeFiles/alps_metrics.dir/slope_analysis.cpp.o" "gcc" "src/metrics/CMakeFiles/alps_metrics.dir/slope_analysis.cpp.o.d"
+  "/root/repo/src/metrics/threshold.cpp" "src/metrics/CMakeFiles/alps_metrics.dir/threshold.cpp.o" "gcc" "src/metrics/CMakeFiles/alps_metrics.dir/threshold.cpp.o.d"
+  "/root/repo/src/metrics/waterfill.cpp" "src/metrics/CMakeFiles/alps_metrics.dir/waterfill.cpp.o" "gcc" "src/metrics/CMakeFiles/alps_metrics.dir/waterfill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alps/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_metrics.dir/cycle_log.cpp.o"
+  "CMakeFiles/alps_metrics.dir/cycle_log.cpp.o.d"
+  "CMakeFiles/alps_metrics.dir/exact_cycle_log.cpp.o"
+  "CMakeFiles/alps_metrics.dir/exact_cycle_log.cpp.o.d"
+  "CMakeFiles/alps_metrics.dir/slope_analysis.cpp.o"
+  "CMakeFiles/alps_metrics.dir/slope_analysis.cpp.o.d"
+  "CMakeFiles/alps_metrics.dir/threshold.cpp.o"
+  "CMakeFiles/alps_metrics.dir/threshold.cpp.o.d"
+  "CMakeFiles/alps_metrics.dir/waterfill.cpp.o"
+  "CMakeFiles/alps_metrics.dir/waterfill.cpp.o.d"
+  "libalps_metrics.a"
+  "libalps_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/behaviors.cpp" "src/os/CMakeFiles/alps_os.dir/behaviors.cpp.o" "gcc" "src/os/CMakeFiles/alps_os.dir/behaviors.cpp.o.d"
+  "/root/repo/src/os/bsd_policy.cpp" "src/os/CMakeFiles/alps_os.dir/bsd_policy.cpp.o" "gcc" "src/os/CMakeFiles/alps_os.dir/bsd_policy.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/alps_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/alps_os.dir/kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

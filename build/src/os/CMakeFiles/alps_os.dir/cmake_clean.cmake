@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_os.dir/behaviors.cpp.o"
+  "CMakeFiles/alps_os.dir/behaviors.cpp.o.d"
+  "CMakeFiles/alps_os.dir/bsd_policy.cpp.o"
+  "CMakeFiles/alps_os.dir/bsd_policy.cpp.o.d"
+  "CMakeFiles/alps_os.dir/kernel.cpp.o"
+  "CMakeFiles/alps_os.dir/kernel.cpp.o.d"
+  "libalps_os.a"
+  "libalps_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

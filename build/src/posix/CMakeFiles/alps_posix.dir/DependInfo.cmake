@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/cgroup.cpp" "src/posix/CMakeFiles/alps_posix.dir/cgroup.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/cgroup.cpp.o.d"
+  "/root/repo/src/posix/cli.cpp" "src/posix/CMakeFiles/alps_posix.dir/cli.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/cli.cpp.o.d"
+  "/root/repo/src/posix/host.cpp" "src/posix/CMakeFiles/alps_posix.dir/host.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/host.cpp.o.d"
+  "/root/repo/src/posix/proc_stat.cpp" "src/posix/CMakeFiles/alps_posix.dir/proc_stat.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/proc_stat.cpp.o.d"
+  "/root/repo/src/posix/runner.cpp" "src/posix/CMakeFiles/alps_posix.dir/runner.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/runner.cpp.o.d"
+  "/root/repo/src/posix/spawn.cpp" "src/posix/CMakeFiles/alps_posix.dir/spawn.cpp.o" "gcc" "src/posix/CMakeFiles/alps_posix.dir/spawn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alps/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

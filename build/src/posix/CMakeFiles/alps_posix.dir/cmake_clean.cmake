@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_posix.dir/cgroup.cpp.o"
+  "CMakeFiles/alps_posix.dir/cgroup.cpp.o.d"
+  "CMakeFiles/alps_posix.dir/cli.cpp.o"
+  "CMakeFiles/alps_posix.dir/cli.cpp.o.d"
+  "CMakeFiles/alps_posix.dir/host.cpp.o"
+  "CMakeFiles/alps_posix.dir/host.cpp.o.d"
+  "CMakeFiles/alps_posix.dir/proc_stat.cpp.o"
+  "CMakeFiles/alps_posix.dir/proc_stat.cpp.o.d"
+  "CMakeFiles/alps_posix.dir/runner.cpp.o"
+  "CMakeFiles/alps_posix.dir/runner.cpp.o.d"
+  "CMakeFiles/alps_posix.dir/spawn.cpp.o"
+  "CMakeFiles/alps_posix.dir/spawn.cpp.o.d"
+  "libalps_posix.a"
+  "libalps_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/lottery_policy.cpp" "src/sched/CMakeFiles/alps_sched.dir/lottery_policy.cpp.o" "gcc" "src/sched/CMakeFiles/alps_sched.dir/lottery_policy.cpp.o.d"
+  "/root/repo/src/sched/stride_policy.cpp" "src/sched/CMakeFiles/alps_sched.dir/stride_policy.cpp.o" "gcc" "src/sched/CMakeFiles/alps_sched.dir/stride_policy.cpp.o.d"
+  "/root/repo/src/sched/wrr_policy.cpp" "src/sched/CMakeFiles/alps_sched.dir/wrr_policy.cpp.o" "gcc" "src/sched/CMakeFiles/alps_sched.dir/wrr_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

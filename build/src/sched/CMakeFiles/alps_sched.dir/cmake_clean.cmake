@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_sched.dir/lottery_policy.cpp.o"
+  "CMakeFiles/alps_sched.dir/lottery_policy.cpp.o.d"
+  "CMakeFiles/alps_sched.dir/stride_policy.cpp.o"
+  "CMakeFiles/alps_sched.dir/stride_policy.cpp.o.d"
+  "CMakeFiles/alps_sched.dir/wrr_policy.cpp.o"
+  "CMakeFiles/alps_sched.dir/wrr_policy.cpp.o.d"
+  "libalps_sched.a"
+  "libalps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

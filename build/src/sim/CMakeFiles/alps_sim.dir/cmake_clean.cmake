@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_sim.dir/engine.cpp.o"
+  "CMakeFiles/alps_sim.dir/engine.cpp.o.d"
+  "libalps_sim.a"
+  "libalps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

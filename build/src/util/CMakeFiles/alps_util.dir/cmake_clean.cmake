@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_util.dir/rng.cpp.o"
+  "CMakeFiles/alps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/alps_util.dir/shares.cpp.o"
+  "CMakeFiles/alps_util.dir/shares.cpp.o.d"
+  "CMakeFiles/alps_util.dir/stats.cpp.o"
+  "CMakeFiles/alps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/alps_util.dir/table.cpp.o"
+  "CMakeFiles/alps_util.dir/table.cpp.o.d"
+  "libalps_util.a"
+  "libalps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

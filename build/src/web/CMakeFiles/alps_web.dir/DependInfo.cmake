@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/clients.cpp" "src/web/CMakeFiles/alps_web.dir/clients.cpp.o" "gcc" "src/web/CMakeFiles/alps_web.dir/clients.cpp.o.d"
+  "/root/repo/src/web/experiment.cpp" "src/web/CMakeFiles/alps_web.dir/experiment.cpp.o" "gcc" "src/web/CMakeFiles/alps_web.dir/experiment.cpp.o.d"
+  "/root/repo/src/web/site.cpp" "src/web/CMakeFiles/alps_web.dir/site.cpp.o" "gcc" "src/web/CMakeFiles/alps_web.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alps/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

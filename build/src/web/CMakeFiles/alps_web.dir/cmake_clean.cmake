@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_web.dir/clients.cpp.o"
+  "CMakeFiles/alps_web.dir/clients.cpp.o.d"
+  "CMakeFiles/alps_web.dir/experiment.cpp.o"
+  "CMakeFiles/alps_web.dir/experiment.cpp.o.d"
+  "CMakeFiles/alps_web.dir/site.cpp.o"
+  "CMakeFiles/alps_web.dir/site.cpp.o.d"
+  "libalps_web.a"
+  "libalps_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

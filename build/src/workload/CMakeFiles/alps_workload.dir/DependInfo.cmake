@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cpp" "src/workload/CMakeFiles/alps_workload.dir/distributions.cpp.o" "gcc" "src/workload/CMakeFiles/alps_workload.dir/distributions.cpp.o.d"
+  "/root/repo/src/workload/experiments.cpp" "src/workload/CMakeFiles/alps_workload.dir/experiments.cpp.o" "gcc" "src/workload/CMakeFiles/alps_workload.dir/experiments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alps/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/alps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/alps_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/alps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/alps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

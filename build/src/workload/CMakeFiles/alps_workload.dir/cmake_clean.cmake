@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_workload.dir/distributions.cpp.o"
+  "CMakeFiles/alps_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/alps_workload.dir/experiments.cpp.o"
+  "CMakeFiles/alps_workload.dir/experiments.cpp.o.d"
+  "libalps_workload.a"
+  "libalps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

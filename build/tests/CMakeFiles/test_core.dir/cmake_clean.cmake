@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_adaptive.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_adaptive.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_driver.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_driver.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_group.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_group.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_group_properties.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_group_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_properties.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_snapshot.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_snapshot.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_trace.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_trace.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/test_integration_failures.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_failures.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_integration_sim.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_sim.cpp.o.d"
+  "CMakeFiles/test_integration.dir/test_integration_smp.cpp.o"
+  "CMakeFiles/test_integration.dir/test_integration_smp.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

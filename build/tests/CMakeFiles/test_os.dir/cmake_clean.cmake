@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/test_os_behaviors.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_behaviors.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_bsd_policy.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_bsd_policy.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_edge_cases.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_edge_cases.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_kernel.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_kernel.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_nice.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_nice.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_signal_latency.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_signal_latency.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_smp.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_smp.cpp.o.d"
+  "CMakeFiles/test_os.dir/test_os_stress.cpp.o"
+  "CMakeFiles/test_os.dir/test_os_stress.cpp.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

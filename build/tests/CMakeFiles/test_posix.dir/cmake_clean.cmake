@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posix.dir/test_posix.cpp.o"
+  "CMakeFiles/test_posix.dir/test_posix.cpp.o.d"
+  "CMakeFiles/test_posix.dir/test_posix_cgroup.cpp.o"
+  "CMakeFiles/test_posix.dir/test_posix_cgroup.cpp.o.d"
+  "CMakeFiles/test_posix.dir/test_posix_cli.cpp.o"
+  "CMakeFiles/test_posix.dir/test_posix_cli.cpp.o.d"
+  "CMakeFiles/test_posix.dir/test_posix_fuzz.cpp.o"
+  "CMakeFiles/test_posix.dir/test_posix_fuzz.cpp.o.d"
+  "test_posix"
+  "test_posix.pdb"
+  "test_posix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpsctl.dir/alpsctl.cpp.o"
+  "CMakeFiles/alpsctl.dir/alpsctl.cpp.o.d"
+  "alpsctl"
+  "alpsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
