@@ -1,6 +1,8 @@
 // Reproduces Table 2 (workload share distributions) and Figure 4 (mean RMS
 // relative error vs quantum length for the nine workloads, 200 cycles, mean
-// of repeated runs).
+// of repeated runs) — now a thin registration over the sweep harness
+// (bench/exp_fig4.cpp): repetitions fan out across hardware threads and the
+// run also emits BENCH_fig4.json (see EXPERIMENTS.md for the schema).
 //
 // Paper's shape: error under 5% for most workloads; skewed distributions are
 // the worst case ("quantization effects"). Note one documented divergence:
@@ -8,77 +10,16 @@
 // grows as the quantum *shrinks* (see EXPERIMENTS.md — idealized instant
 // signal delivery removes the kernel-tick latency that dominates on real
 // FreeBSD at long quanta).
-#include <iostream>
-#include <sstream>
-
 #include "../bench/common.h"
-#include "util/table.h"
-#include "workload/distributions.h"
-#include "workload/experiments.h"
+#include "../bench/experiments.h"
+#include "harness/runner.h"
 
-using namespace alps;
-using workload::ShareModel;
-
-namespace {
-
-std::string shares_brief(const std::vector<util::Share>& s) {
-    std::ostringstream out;
-    out << "{";
-    if (s.size() <= 6) {
-        for (std::size_t i = 0; i < s.size(); ++i) out << (i ? " " : "") << s[i];
-    } else {
-        out << s[0] << " " << s[1] << " " << s[2] << " ... " << s[s.size() - 2] << " "
-            << s.back();
-    }
-    out << "}";
-    return out.str();
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+    using namespace alps;
+    bench::register_all_experiments();
+    harness::SweepOptions options;
+    options.out_dir = ".";
+    if (!harness::parse_sweep_args(argc, argv, options)) return 2;
     bench::print_header("Figure 4 — Accuracy: mean RMS relative error vs quantum length");
-
-    // --- Table 2: the workload share distributions ---
-    std::cout << "\nTable 2. Workload Share Distributions\n";
-    util::TextTable t2({"Model", "5 procs", "10 procs", "20 procs"});
-    for (const ShareModel m :
-         {ShareModel::kLinear, ShareModel::kEqual, ShareModel::kSkewed}) {
-        t2.add_row({std::string(workload::to_string(m)),
-                    shares_brief(workload::make_shares(m, 5)),
-                    shares_brief(workload::make_shares(m, 10)),
-                    shares_brief(workload::make_shares(m, 20))});
-    }
-    t2.print(std::cout);
-
-    // --- Figure 4 ---
-    const int quanta_ms[] = {10, 15, 20, 25, 30, 35, 40};
-    std::cout << "\nFigure 4. Mean RMS relative error (%) by quantum length\n";
-    std::vector<std::string> headers{"Workload"};
-    for (int q : quanta_ms) headers.push_back("Q=" + std::to_string(q) + "ms");
-    util::TextTable fig(headers);
-
-    for (const ShareModel model : workload::kAllModels) {
-        for (const int n : {5, 10, 20}) {
-            std::vector<std::string> row{std::string(workload::to_string(model)) +
-                                         std::to_string(n)};
-            for (const int q : quanta_ms) {
-                double err_sum = 0.0;
-                for (int rep = 0; rep < bench::repetitions(); ++rep) {
-                    workload::SimRunConfig cfg;
-                    cfg.shares = workload::make_shares(model, n);
-                    cfg.quantum = util::msec(q);
-                    cfg.measure_cycles = bench::measure_cycles();
-                    cfg.warmup_cycles = 5 + rep;  // de-phase repeated runs
-                    err_sum += workload::run_cpu_bound_experiment(cfg).mean_rms_error;
-                }
-                row.push_back(
-                    util::fmt(100.0 * err_sum / bench::repetitions(), 2));
-            }
-            fig.add_row(std::move(row));
-        }
-    }
-    fig.print(std::cout);
-    std::cout << "\nPaper: <5% for most workloads; skewed highest (up to ~27%).\n";
-    return 0;
+    return harness::run_and_report("fig4", options);
 }

@@ -1,4 +1,7 @@
-// Reproduces Figures 8 and 9 and the §4.2 threshold analysis.
+// Reproduces Figures 8 and 9 and the §4.2 threshold analysis — now a thin
+// registration over the sweep harness (bench/exp_scalability.cpp): the
+// (N, quantum) grid fans out across hardware threads and the run also emits
+// BENCH_fig8_fig9.json.
 //
 // Equal-share workload (5 shares per process), N swept upward, at quantum
 // lengths 10/20/40 ms. Figure 8: ALPS overhead grows linearly in N until a
@@ -6,103 +9,17 @@
 // of control). The paper fits U_Q(N) = a N + b to the linear region and
 // predicts the threshold from U_Q(N*) = 100/(N*+1): predicted {39, 54, 75},
 // observed {40, 60, 90} for Q = {10, 20, 40} ms.
-#include <iostream>
-#include <map>
-#include <vector>
-
 #include "../bench/common.h"
-#include "metrics/threshold.h"
-#include "util/stats.h"
-#include "util/table.h"
-#include "workload/experiments.h"
+#include "../bench/experiments.h"
+#include "harness/runner.h"
 
-using namespace alps;
-
-namespace {
-
-struct Point {
-    int n;
-    double overhead_pct;
-    double error_pct;
-    std::uint64_t missed;
-};
-
-Point measure(int n, int quantum_ms) {
-    workload::SimRunConfig cfg;
-    cfg.shares.assign(static_cast<std::size_t>(n), 5);
-    cfg.quantum = util::msec(quantum_ms);
-    // Past breakdown the cycles stretch; keep runs bounded.
-    cfg.measure_cycles = bench::full_scale() ? 30 : 10;
-    cfg.warmup_cycles = 3;
-    const auto r = workload::run_cpu_bound_experiment(cfg);
-    return {n, 100.0 * r.overhead_fraction, 100.0 * r.mean_rms_error,
-            r.boundaries_missed};
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+    using namespace alps;
+    bench::register_all_experiments();
+    harness::SweepOptions options;
+    options.out_dir = ".";
+    if (!harness::parse_sweep_args(argc, argv, options)) return 2;
     bench::print_header(
         "Figures 8 & 9 — Scalability: overhead and accuracy vs process count");
-
-    const std::vector<int> ns = bench::full_scale()
-                                    ? std::vector<int>{5,  10, 15, 20, 30, 40, 50,
-                                                       60, 70, 80, 90, 100, 110, 120}
-                                    : std::vector<int>{5, 10, 20, 30, 40, 60, 80, 100};
-    const int quanta[] = {10, 20, 40};
-
-    std::map<int, std::vector<Point>> by_q;
-    util::TextTable fig({"N", "ovh@10ms %", "err@10ms %", "ovh@20ms %", "err@20ms %",
-                         "ovh@40ms %", "err@40ms %"});
-    for (const int n : ns) {
-        std::vector<std::string> row{std::to_string(n)};
-        for (const int q : quanta) {
-            const Point p = measure(n, q);
-            by_q[q].push_back(p);
-            row.push_back(util::fmt(p.overhead_pct, 3));
-            row.push_back(util::fmt(p.error_pct, 1));
-        }
-        fig.add_row(std::move(row));
-    }
-    fig.print(std::cout);
-
-    // §4.2: fit the linear (pre-breakdown) region and solve for N*.
-    std::cout << "\nSection 4.2 threshold analysis (fit over the region where "
-                 "the driver missed no quantum boundaries):\n";
-    util::TextTable fits({"Q (ms)", "U_Q(N) fit (%)", "predicted N*", "observed N*",
-                          "paper predicted", "paper observed"});
-    const char* paper_pred[] = {"39", "54", "75"};
-    const char* paper_obs[] = {"40", "60", "90"};
-    int qi = 0;
-    for (const int q : quanta) {
-        std::vector<double> xs, ys;
-        for (const Point& p : by_q[q]) {
-            if (p.missed == 0) {  // linear region: ALPS still in control
-                xs.push_back(p.n);
-                ys.push_back(p.overhead_pct);
-            }
-        }
-        std::string fit_str = "n/a";
-        std::string pred = "n/a";
-        if (xs.size() >= 2) {
-            const util::LinearFit fit = util::linear_fit(xs, ys);
-            fit_str = util::fmt(fit.slope, 4) + "*N + " + util::fmt(fit.intercept, 4);
-            pred = util::fmt(metrics::breakdown_threshold(fit), 0);
-        }
-        // Observed threshold: first N whose error leaves the controlled band.
-        std::string obs = ">" + std::to_string(ns.back());
-        for (const Point& p : by_q[q]) {
-            if (p.error_pct > 15.0) {
-                obs = std::to_string(p.n);
-                break;
-            }
-        }
-        fits.add_row({std::to_string(q), fit_str, pred, obs, paper_pred[qi],
-                      paper_obs[qi]});
-        ++qi;
-    }
-    fits.print(std::cout);
-    std::cout << "\nPaper: overhead linear in N (slope halves as Q doubles), "
-                 "breakdown order 10ms < 20ms < 40ms.\n";
-    return 0;
+    return harness::run_and_report("fig8_fig9", options);
 }

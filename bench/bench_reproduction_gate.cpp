@@ -1,200 +1,24 @@
-// The reproduction gate: one binary that re-runs the paper's key experiments
-// and checks every shape criterion from DESIGN.md programmatically. Exit
-// code 0 = the reproduction holds.
+// The reproduction gate: re-runs the paper's key experiments and checks every
+// shape criterion from DESIGN.md programmatically. Exit code 0 = the
+// reproduction holds.
 //
 // This is the "is the port/refactor still faithful?" command — a coarser,
 // self-contained cousin of the integration test suite, with the paper's
-// numbers printed next to ours.
-#include <cmath>
-#include <iostream>
-#include <vector>
-
+// numbers printed next to ours. It is a thin registration over the sweep
+// harness (bench/exp_gate.cpp): the underlying measurements fan out across
+// hardware threads and the run also emits BENCH_reproduction_gate.json with
+// every criterion's verdict, making the gate a parallel, machine-checkable
+// regression gate.
 #include "../bench/common.h"
-#include "metrics/threshold.h"
-#include "util/stats.h"
-#include "util/table.h"
-#include "web/experiment.h"
-#include "workload/distributions.h"
-#include "workload/experiments.h"
+#include "../bench/experiments.h"
+#include "harness/runner.h"
 
-using namespace alps;
-using workload::ShareModel;
-
-namespace {
-
-struct Gate {
-    util::TextTable table{{"Criterion", "Paper", "Measured", "Verdict"}};
-    int failures = 0;
-
-    void check(const std::string& name, const std::string& paper,
-               const std::string& measured, bool ok) {
-        table.add_row({name, paper, measured, ok ? "PASS" : "FAIL"});
-        if (!ok) ++failures;
-    }
-};
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
+    using namespace alps;
+    bench::register_all_experiments();
+    harness::SweepOptions options;
+    options.out_dir = ".";
+    if (!harness::parse_sweep_args(argc, argv, options)) return 2;
     bench::print_header("Reproduction gate — every shape criterion in one run");
-    Gate gate;
-
-    // --- Accuracy (Fig 4) ---
-    {
-        double worst_common = 0.0;
-        for (const ShareModel model : {ShareModel::kLinear, ShareModel::kEqual}) {
-            for (const int n : {5, 10, 20}) {
-                workload::SimRunConfig cfg;
-                cfg.shares = workload::make_shares(model, n);
-                cfg.quantum = util::msec(20);
-                cfg.measure_cycles = bench::measure_cycles();
-                worst_common = std::max(
-                    worst_common,
-                    workload::run_cpu_bound_experiment(cfg).mean_rms_error);
-            }
-        }
-        gate.check("error for linear/equal workloads (Fig 4)", "<5%",
-                   util::fmt(100 * worst_common, 2) + "% worst",
-                   worst_common < 0.05);
-
-        workload::SimRunConfig skew;
-        skew.shares = workload::make_shares(ShareModel::kSkewed, 20);
-        skew.quantum = util::msec(10);
-        skew.measure_cycles = bench::measure_cycles();
-        const double skew_err =
-            workload::run_cpu_bound_experiment(skew).mean_rms_error;
-        gate.check("skewed worst case but bounded (Fig 4)", "<=27%",
-                   util::fmt(100 * skew_err, 2) + "%",
-                   skew_err > worst_common && skew_err < 0.27);
-    }
-
-    // --- Overhead (Fig 5) ---
-    {
-        double worst = 0.0;
-        double equal10_q10 = 0.0;
-        double equal10_q40 = 0.0;
-        for (const ShareModel model : workload::kAllModels) {
-            for (const int q : {10, 40}) {
-                workload::SimRunConfig cfg;
-                cfg.shares = workload::make_shares(model, 10);
-                cfg.quantum = util::msec(q);
-                cfg.measure_cycles = bench::measure_cycles();
-                const double ovh =
-                    workload::run_cpu_bound_experiment(cfg).overhead_fraction;
-                worst = std::max(worst, ovh);
-                if (model == ShareModel::kEqual && q == 10) equal10_q10 = ovh;
-                if (model == ShareModel::kEqual && q == 40) equal10_q40 = ovh;
-            }
-        }
-        gate.check("overhead under 1% (Fig 5 / §7)", "<1%",
-                   util::fmt(100 * worst, 3) + "% worst", worst < 0.01);
-        gate.check("overhead shrinks with quantum (Fig 5)", "monotone",
-                   util::fmt(100 * equal10_q10, 3) + "% -> " +
-                       util::fmt(100 * equal10_q40, 3) + "%",
-                   equal10_q10 > equal10_q40);
-    }
-
-    // --- Lazy-measurement ablation (§2.3) ---
-    {
-        workload::SimRunConfig cfg;
-        cfg.shares = workload::make_shares(ShareModel::kEqual, 10);
-        cfg.quantum = util::msec(10);
-        cfg.measure_cycles = bench::measure_cycles();
-        const double lazy = workload::run_cpu_bound_experiment(cfg).overhead_fraction;
-        cfg.lazy_measurement = false;
-        const double eager = workload::run_cpu_bound_experiment(cfg).overhead_fraction;
-        gate.check("lazy measurement saves 1.8x-5.9x (§2.3)", "1.8x-5.9x",
-                   util::fmt(eager / lazy, 2) + "x (Equal10)",
-                   eager / lazy > 1.8);
-    }
-
-    // --- I/O redistribution (Fig 6) ---
-    {
-        workload::IoRunConfig cfg;
-        cfg.steady_cycles = 25;
-        cfg.observe_cycles = 50;
-        const auto r = workload::run_io_experiment(cfg);
-        util::RunningStats a_blocked, c_blocked;
-        for (std::size_t i = static_cast<std::size_t>(r.io_onset_cycle) + 2;
-             i < r.fractions.size(); ++i) {
-            if (r.fractions[i][1] < 0.08) {
-                a_blocked.add(r.fractions[i][0]);
-                c_blocked.add(r.fractions[i][2]);
-            }
-        }
-        const bool ok = a_blocked.count() > 5 &&
-                        std::abs(a_blocked.mean() - 0.25) < 0.04 &&
-                        std::abs(c_blocked.mean() - 0.75) < 0.04;
-        gate.check("blocked share redistributes 1:3 (Fig 6)", "25% / 75%",
-                   util::fmt(100 * a_blocked.mean(), 1) + "% / " +
-                       util::fmt(100 * c_blocked.mean(), 1) + "%",
-                   ok);
-    }
-
-    // --- Multiple ALPSs (Table 3) ---
-    {
-        const auto r = workload::run_multi_alps_experiment({});
-        gate.check("multi-ALPS mean relative error (Table 3)", "0.93%",
-                   util::fmt(100 * r.mean_relative_error, 2) + "%",
-                   r.mean_relative_error < 0.03);
-    }
-
-    // --- Scalability thresholds (Figs 8-9 / §4.2) ---
-    {
-        std::vector<double> xs, ys;
-        std::uint64_t missed_at_20 = 1;
-        double err_at_100 = 0.0;
-        for (const int n : {5, 10, 20, 30}) {
-            workload::SimRunConfig cfg;
-            cfg.shares.assign(static_cast<std::size_t>(n), 5);
-            cfg.quantum = util::msec(10);
-            cfg.measure_cycles = 10;
-            const auto res = workload::run_cpu_bound_experiment(cfg);
-            xs.push_back(n);
-            ys.push_back(100.0 * res.overhead_fraction);
-            if (n == 20) missed_at_20 = res.boundaries_missed;
-        }
-        {
-            workload::SimRunConfig cfg;
-            cfg.shares.assign(100, 5);
-            cfg.quantum = util::msec(10);
-            cfg.measure_cycles = 6;
-            err_at_100 = workload::run_cpu_bound_experiment(cfg).mean_rms_error;
-        }
-        const util::LinearFit fit = util::linear_fit(xs, ys);
-        const double n_star = metrics::breakdown_threshold(fit);
-        gate.check("predicted breakdown N* at 10 ms (§4.2)", "39",
-                   util::fmt(n_star, 0), n_star > 30 && n_star < 48);
-        gate.check("in control below threshold (Fig 9)", "no missed boundaries",
-                   std::to_string(missed_at_20) + " missed at N=20",
-                   missed_at_20 == 0);
-        gate.check("loss of control past threshold (Fig 9)", "error explodes",
-                   util::fmt(100 * err_at_100, 0) + "% at N=100",
-                   err_at_100 > 0.3);
-    }
-
-    // --- Shared web server (§5) ---
-    {
-        web::WebExperimentConfig cfg;
-        cfg.warmup = util::sec(8);
-        cfg.measure = util::sec(30);
-        cfg.use_alps = true;
-        const auto on = web::run_web_experiment(cfg);
-        const double total =
-            on.throughput_rps[0] + on.throughput_rps[1] + on.throughput_rps[2];
-        const bool ok = std::abs(on.throughput_rps[0] / total - 1.0 / 6.0) < 0.03 &&
-                        std::abs(on.throughput_rps[2] / total - 3.0 / 6.0) < 0.03;
-        gate.check("web throughput divides 1:2:3 (§5)", "18 / 35 / 53",
-                   util::fmt(on.throughput_rps[0], 0) + " / " +
-                       util::fmt(on.throughput_rps[1], 0) + " / " +
-                       util::fmt(on.throughput_rps[2], 0),
-                   ok);
-    }
-
-    gate.table.print(std::cout);
-    std::cout << "\n"
-              << (gate.failures == 0 ? "REPRODUCTION HOLDS"
-                                     : "REPRODUCTION BROKEN")
-              << " (" << gate.failures << " failing criteria)\n";
-    return gate.failures == 0 ? 0 : 1;
+    return harness::run_and_report("reproduction_gate", options);
 }

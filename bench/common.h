@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,14 +30,24 @@ inline int measure_cycles() { return full_scale() ? 200 : 60; }
 inline int repetitions() { return full_scale() ? 3 : 1; }
 
 /// If ALPS_BENCH_CSV names a directory, also writes the table there as
-/// `<name>.csv` (for replotting).
+/// `<name>.csv` (for replotting). The directory is created if missing; a
+/// failed open is warned about once per process (a bench emits several
+/// tables — repeating the same warning per table is pure noise) and then
+/// skipped silently.
 inline void maybe_write_csv(const std::string& name, const util::TextTable& table) {
     const char* dir = std::getenv("ALPS_BENCH_CSV");
     if (dir == nullptr || *dir == '\0') return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; open() decides
     const std::string path = std::string(dir) + "/" + name + ".csv";
     std::ofstream out(path);
     if (!out) {
-        std::cerr << "warning: cannot write " << path << "\n";
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::cerr << "warning: cannot write " << path
+                      << " (further CSV warnings suppressed)\n";
+        }
         return;
     }
     out << table.render_csv();

@@ -1,0 +1,124 @@
+// Figures 8 & 9 + the §4.2 threshold analysis as a harness experiment: the
+// (N, quantum) grid fans out in parallel; the fits over the in-control region
+// are recomputed from the aggregated points at presentation time.
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "../bench/experiments.h"
+#include "harness/registry.h"
+#include "metrics/threshold.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/experiments.h"
+
+namespace alps::bench {
+namespace {
+
+constexpr int kQuanta[] = {10, 20, 40};
+
+std::vector<int> proc_counts(bool full) {
+    return full ? std::vector<int>{5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100,
+                                   110, 120}
+                : std::vector<int>{5, 10, 20, 30, 40, 60, 80, 100};
+}
+
+std::string point_name(int n, int q) {
+    return "n" + std::to_string(n) + "/q" + std::to_string(q);
+}
+
+std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
+    std::vector<harness::Task> tasks;
+    for (const int n : proc_counts(options.full_scale)) {
+        for (const int q : kQuanta) {
+            harness::Task task;
+            task.point = point_name(n, q);
+            task.params = {{"n", std::to_string(n)},
+                           {"quantum_ms", std::to_string(q)}};
+            task.fn = [n, q](const harness::TaskContext& ctx) {
+                workload::SimRunConfig cfg;
+                cfg.shares.assign(static_cast<std::size_t>(n), 5);
+                cfg.quantum = util::msec(q);
+                // Past breakdown the cycles stretch; keep runs bounded.
+                cfg.measure_cycles = ctx.full_scale ? 30 : 10;
+                cfg.warmup_cycles = 3;
+                const auto r = workload::run_cpu_bound_experiment(cfg);
+                return harness::Result{}
+                    .metric("overhead_pct", 100.0 * r.overhead_fraction)
+                    .metric("error_pct", 100.0 * r.mean_rms_error)
+                    .metric("boundaries_missed",
+                            static_cast<double>(r.boundaries_missed));
+            };
+            tasks.push_back(std::move(task));
+        }
+    }
+    return tasks;
+}
+
+void present(const harness::SweepReport& report, std::ostream& out) {
+    const std::vector<int> ns = proc_counts(report.full_scale);
+
+    util::TextTable fig({"N", "ovh@10ms %", "err@10ms %", "ovh@20ms %", "err@20ms %",
+                         "ovh@40ms %", "err@40ms %"});
+    for (const int n : ns) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (const int q : kQuanta) {
+            row.push_back(util::fmt(report.metric_mean(point_name(n, q), "overhead_pct"), 3));
+            row.push_back(util::fmt(report.metric_mean(point_name(n, q), "error_pct"), 1));
+        }
+        fig.add_row(std::move(row));
+    }
+    fig.print(out);
+
+    out << "\nSection 4.2 threshold analysis (fit over the region where "
+           "the driver missed no quantum boundaries):\n";
+    util::TextTable fits({"Q (ms)", "U_Q(N) fit (%)", "predicted N*", "observed N*",
+                          "paper predicted", "paper observed"});
+    const char* paper_pred[] = {"39", "54", "75"};
+    const char* paper_obs[] = {"40", "60", "90"};
+    int qi = 0;
+    for (const int q : kQuanta) {
+        std::vector<double> xs, ys;
+        for (const int n : ns) {
+            if (report.metric_mean(point_name(n, q), "boundaries_missed") == 0.0) {
+                xs.push_back(n);
+                ys.push_back(report.metric_mean(point_name(n, q), "overhead_pct"));
+            }
+        }
+        std::string fit_str = "n/a";
+        std::string pred = "n/a";
+        if (xs.size() >= 2) {
+            const util::LinearFit fit = util::linear_fit(xs, ys);
+            fit_str = util::fmt(fit.slope, 4) + "*N + " + util::fmt(fit.intercept, 4);
+            pred = util::fmt(metrics::breakdown_threshold(fit), 0);
+        }
+        // Observed threshold: first N whose error leaves the controlled band.
+        std::string obs = ">" + std::to_string(ns.back());
+        for (const int n : ns) {
+            if (report.metric_mean(point_name(n, q), "error_pct") > 15.0) {
+                obs = std::to_string(n);
+                break;
+            }
+        }
+        fits.add_row({std::to_string(q), fit_str, pred, obs, paper_pred[qi],
+                      paper_obs[qi]});
+        ++qi;
+    }
+    fits.print(out);
+    out << "\nPaper: overhead linear in N (slope halves as Q doubles), "
+           "breakdown order 10ms < 20ms < 40ms.\n";
+}
+
+}  // namespace
+
+void register_scalability_experiment() {
+    harness::Experiment e;
+    e.name = "fig8_fig9";
+    e.description =
+        "Scalability: overhead and accuracy vs process count (Figures 8-9, §4.2)";
+    e.make_tasks = make_tasks;
+    e.present = present;
+    harness::ExperimentRegistry::instance().add(std::move(e));
+}
+
+}  // namespace alps::bench

@@ -1,0 +1,15 @@
+#include "../bench/experiments.h"
+
+namespace alps::bench {
+
+void register_all_experiments() {
+    static const bool once = [] {
+        register_fig4_experiment();
+        register_scalability_experiment();
+        register_reproduction_gate_experiment();
+        return true;
+    }();
+    (void)once;
+}
+
+}  // namespace alps::bench

@@ -1,0 +1,25 @@
+// Sweep-harness registrations of the paper experiments (see src/harness/).
+//
+// Each register_* declares one experiment — its parameter grid, its
+// paper-style text presentation, and (for the gate) its pass/fail criteria —
+// in the harness ExperimentRegistry. Registration is explicit rather than via
+// static initializers so that linking the static library cannot silently drop
+// an experiment. The standalone bench binaries and tools/alps-sweep both call
+// register_all_experiments() (idempotent) and then run by name.
+#pragma once
+
+namespace alps::bench {
+
+/// Figure 4: accuracy vs quantum length across the nine workloads ("fig4").
+void register_fig4_experiment();
+
+/// Figures 8 & 9 + §4.2 threshold analysis ("fig8_fig9").
+void register_scalability_experiment();
+
+/// Every shape criterion from DESIGN.md in one run ("reproduction_gate").
+void register_reproduction_gate_experiment();
+
+/// Registers everything above exactly once (safe to call repeatedly).
+void register_all_experiments();
+
+}  // namespace alps::bench

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI check: ThreadSanitizer build + tier-1 tests.
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Configures a separate build tree with -DALPS_SANITIZE=thread (see the
+# top-level CMakeLists) and runs ctest there. The experiment harness's
+# ThreadPool and sweep runner must stay TSan-clean; the rest of the suite
+# rides along as a broad regression net. Pass extra ctest args to narrow the
+# run, e.g. `scripts/check.sh -R 'ThreadPool|Sweep'` for just the
+# concurrency-sensitive tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Benches and examples are not test targets; skipping them keeps the
+# sanitizer build (and CI) fast.
+cmake -B "$BUILD_DIR" -S . \
+  -DALPS_SANITIZE=thread \
+  -DALPS_BUILD_BENCH=OFF \
+  -DALPS_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error makes a data-race report fail the suite instead of only
+# printing it; second_deadlock_stack improves lock-order reports.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+
+echo "check.sh: TSan build + ctest passed"

@@ -1,0 +1,38 @@
+#include "harness/registry.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace alps::harness {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+    ALPS_EXPECT(!experiment.name.empty());
+    ALPS_EXPECT(experiment.make_tasks != nullptr);
+    ALPS_EXPECT(find(experiment.name) == nullptr);
+    experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view name) const {
+    for (const Experiment& e : experiments_) {
+        if (e.name == name) return &e;
+    }
+    return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::list() const {
+    std::vector<const Experiment*> out;
+    out.reserve(experiments_.size());
+    for (const Experiment& e : experiments_) out.push_back(&e);
+    std::sort(out.begin(), out.end(), [](const Experiment* a, const Experiment* b) {
+        return a->name < b->name;
+    });
+    return out;
+}
+
+}  // namespace alps::harness

@@ -1,0 +1,61 @@
+// Declarative registry of sweep experiments.
+//
+// An Experiment names a parameter grid (built lazily so --full can change the
+// grid), an optional paper-style text presentation, and an optional
+// cross-point evaluation (used by the reproduction gate, whose criteria
+// combine several points). Bench binaries and the alps-sweep CLI both pull
+// experiments from here; registration is explicit (register_* functions
+// called from bench/experiments.h's register_all) to avoid relying on static
+// initializers surviving static-library linking.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/result.h"
+#include "harness/sink.h"
+
+namespace alps::harness {
+
+struct SweepOptions {
+    unsigned jobs = 0;            ///< worker threads; 0 = hardware concurrency
+    std::uint64_t seed = 0xa155;  ///< sweep seed (per-task seeds derive from it)
+    bool full_scale = false;      ///< paper-scale grid / cycle counts
+    std::string out_dir;          ///< where BENCH_<name>.json lands; "" = skip
+    bool quiet = false;           ///< suppress progress/ETA on stderr
+};
+
+struct Experiment {
+    std::string name;         ///< CLI key and JSON file stem ("fig4")
+    std::string description;  ///< one line for --list
+    /// Builds the task list for this run's options (full_scale may change it).
+    std::function<std::vector<Task>(const SweepOptions&)> make_tasks;
+    /// Optional: prints the paper-style tables from the finished sweep.
+    std::function<void(const SweepReport&, std::ostream&)> present;
+    /// Optional: cross-point criteria (reproduction gate). Appends its
+    /// verdicts to report.gate_checks (so they reach the JSON), may print a
+    /// verdict table, and returns the number of failed criteria.
+    std::function<int(SweepReport&, std::ostream&)> evaluate;
+};
+
+class ExperimentRegistry {
+public:
+    static ExperimentRegistry& instance();
+
+    /// Registers an experiment. Contract: name non-empty and unique.
+    void add(Experiment experiment);
+
+    /// Looks up by name; nullptr when unknown.
+    [[nodiscard]] const Experiment* find(std::string_view name) const;
+
+    /// All experiments, sorted by name (stable CLI listing).
+    [[nodiscard]] std::vector<const Experiment*> list() const;
+
+private:
+    std::vector<Experiment> experiments_;
+};
+
+}  // namespace alps::harness

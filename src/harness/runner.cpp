@@ -1,0 +1,216 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "harness/thread_pool.h"
+#include "util/assert.h"
+
+namespace alps::harness {
+
+namespace {
+
+unsigned effective_jobs(unsigned requested) {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/// Serialized progress/ETA line, overwritten in place on a terminal-ish
+/// stream. Called from worker threads under its own mutex.
+class ProgressMeter {
+public:
+    ProgressMeter(std::ostream* out, std::size_t total, std::string label)
+        : out_(out), total_(total), label_(std::move(label)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    void task_done() {
+        if (out_ == nullptr) return;
+        std::scoped_lock lock(mu_);
+        ++done_;
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                .count();
+        const double eta =
+            done_ == 0 ? 0.0
+                       : elapsed * static_cast<double>(total_ - done_) /
+                             static_cast<double>(done_);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\r[%zu/%zu] %s  elapsed %.1fs  eta %.1fs   ", done_, total_,
+                      label_.c_str(), elapsed, eta);
+        *out_ << buf << std::flush;
+        if (done_ == total_) *out_ << "\n";
+    }
+
+private:
+    std::ostream* out_;
+    std::size_t total_;
+    std::string label_;
+    std::chrono::steady_clock::time_point start_;
+    std::mutex mu_;
+    std::size_t done_ = 0;
+};
+
+}  // namespace
+
+std::string current_git_sha() {
+    FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (pipe == nullptr) return "unknown";
+    char buf[64] = {};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+    ::pclose(pipe);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
+                      std::ostream* progress) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Task> tasks = experiment.make_tasks(options);
+    ALPS_EXPECT(!tasks.empty());
+
+    SweepReport report;
+    report.experiment = experiment.name;
+    report.seed = options.seed;
+    report.full_scale = options.full_scale;
+    report.jobs = effective_jobs(options.jobs);
+    report.tasks.resize(tasks.size());
+
+    ProgressMeter meter(options.quiet ? nullptr : progress, tasks.size(),
+                        experiment.name);
+    {
+        ThreadPool pool(report.jobs);
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            // Each worker writes only to its own pre-sized slot; the vector is
+            // never resized while the pool runs.
+            pool.submit([&, i] {
+                const Task& task = tasks[i];
+                TaskOutcome& out = report.tasks[i];
+                out.point = task.point;
+                out.rep = task.rep;
+                out.params = task.params;
+                TaskContext ctx;
+                ctx.index = i;
+                ctx.seed = derive_task_seed(options.seed, i);
+                ctx.full_scale = options.full_scale;
+                try {
+                    out.result = task.fn(ctx);
+                } catch (const std::exception& e) {
+                    out.ok = false;
+                    out.error = e.what();
+                } catch (...) {
+                    out.ok = false;
+                    out.error = "unknown exception";
+                }
+                meter.task_done();
+            });
+        }
+        pool.wait_idle();
+    }
+
+    aggregate_points(report);
+    report.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    report.git_sha = current_git_sha();
+    return report;
+}
+
+bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
+    const auto env = [](const char* name) -> const char* {
+        const char* v = std::getenv(name);
+        return (v != nullptr && *v != '\0') ? v : nullptr;
+    };
+    if (const char* v = env("ALPS_BENCH_FULL")) {
+        options.full_scale = std::strcmp(v, "1") == 0;
+    }
+    if (const char* v = env("ALPS_BENCH_JOBS")) {
+        options.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    }
+    if (const char* v = env("ALPS_BENCH_JSON")) options.out_dir = v;
+
+    const auto usage = [&] {
+        std::cerr << "usage: " << argv[0]
+                  << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
+                     " [--quiet]\n";
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        // Rejects non-numeric values; strtoul alone would fold "abc" to 0,
+        // silently selecting the hardware-concurrency default.
+        const auto parse_u64 = [&](const char* v, std::uint64_t& out) {
+            char* end = nullptr;
+            out = std::strtoull(v, &end, 0);
+            if (end == v || *end != '\0') {
+                std::cerr << arg << ": not a number: " << v << "\n";
+                return false;
+            }
+            return true;
+        };
+        if (arg == "--jobs") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n)) return usage();
+            options.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n)) return usage();
+            options.seed = n;
+        } else if (arg == "--full") {
+            options.full_scale = true;
+        } else if (arg == "--out") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            options.out_dir = v;
+        } else if (arg == "--no-json") {
+            options.out_dir.clear();
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return usage();
+        }
+    }
+    return true;
+}
+
+int run_and_report(std::string_view name, const SweepOptions& options) {
+    const Experiment* experiment = ExperimentRegistry::instance().find(name);
+    if (experiment == nullptr) {
+        std::cerr << "unknown experiment: " << name << " (try --list)\n";
+        return 2;
+    }
+    SweepReport report = run_sweep(*experiment, options, &std::cerr);
+    if (experiment->present) experiment->present(report, std::cout);
+    if (experiment->evaluate) {
+        report.failed_checks += experiment->evaluate(report, std::cout);
+    }
+    const int failures = report.task_errors + report.failed_checks;
+    if (!options.out_dir.empty()) {
+        const std::string path = write_json_report(report, options.out_dir);
+        if (!path.empty()) {
+            std::cout << "(json written to " << path << ")\n";
+        }
+    }
+    for (const TaskOutcome& t : report.tasks) {
+        if (!t.ok) std::cerr << "task failed: " << t.point << ": " << t.error << "\n";
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+}  // namespace alps::harness

@@ -1,0 +1,62 @@
+#include "harness/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace alps::harness {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    const unsigned n = std::max(1u, threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::unique_lock lock(mu_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    ALPS_EXPECT(task != nullptr);
+    {
+        std::unique_lock lock(mu_);
+        ALPS_EXPECT(!stopping_);
+        queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mu_);
+    became_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mu_);
+            work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            // Drain semantics: even when stopping, finish what was queued.
+            if (queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::unique_lock lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0) became_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace alps::harness

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for the experiment harness.
+//
+// Simulation sweeps are embarrassingly parallel: each task owns its own
+// sim::Engine and RNG streams, so workers share nothing but the queue. The
+// pool therefore stays deliberately simple — a mutex-protected deque and two
+// condition variables — and is written to be clean under ThreadSanitizer
+// (scripts/check.sh builds with -DALPS_SANITIZE=thread).
+//
+// Determinism note: the pool affects only *when* tasks run, never *what* they
+// compute; a sweep's results are a pure function of per-task inputs, so any
+// pool size yields identical results (see harness::run_sweep).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alps::harness {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (clamped to >= 1).
+    explicit ThreadPool(unsigned threads);
+
+    /// Joins all workers. Pending tasks are still executed (drain semantics):
+    /// destroying the pool is equivalent to wait_idle() then join.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task. Tasks must not throw (wrap fallible work yourself;
+    /// the sweep runner records per-task errors). May be called from within
+    /// a running task.
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and no task is executing.
+    void wait_idle();
+
+    [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable work_available_;
+    std::condition_variable became_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace alps::harness

@@ -1,0 +1,146 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::util {
+
+Json& Json::set(std::string key, Json value) {
+    ALPS_EXPECT(type_ == Type::kObject);
+    for (auto& [k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+Json& Json::push(Json value) {
+    ALPS_EXPECT(type_ == Type::kArray);
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t Json::size() const {
+    switch (type_) {
+        case Type::kArray: return items_.size();
+        case Type::kObject: return members_.size();
+        default: return 0;
+    }
+}
+
+void Json::append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+                    out += hex[static_cast<unsigned char>(c) & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void Json::append_double(std::string& out, double d) {
+    if (!std::isfinite(d)) {
+        // JSON has no Inf/NaN; null is the conventional lossless-ish stand-in.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    // Shortest round-trip representation; locale-independent, deterministic.
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    ALPS_ENSURE(ec == std::errc());
+    out.append(buf, ptr);
+    // Keep a trailing ".0" so whole-valued doubles stay typed as doubles for
+    // downstream readers (and for byte-stable diffing against other runs).
+    bool has_mark = false;
+    for (const char* p = buf; p != ptr; ++p) {
+        if (*p == '.' || *p == 'e' || *p == 'E') has_mark = true;
+    }
+    if (!has_mark) out += ".0";
+}
+
+std::string Json::dump(int indent) const {
+    ALPS_EXPECT(indent >= 0);
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+    const auto newline_pad = [&](int d) {
+        if (indent == 0) return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += bool_ ? "true" : "false"; break;
+        case Type::kInt: {
+            char buf[24];
+            const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+            ALPS_ENSURE(ec == std::errc());
+            out.append(buf, ptr);
+            break;
+        }
+        case Type::kUint: {
+            char buf[24];
+            const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), uint_);
+            ALPS_ENSURE(ec == std::errc());
+            out.append(buf, ptr);
+            break;
+        }
+        case Type::kDouble: append_double(out, double_); break;
+        case Type::kString: append_escaped(out, string_); break;
+        case Type::kArray: {
+            if (items_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                if (i) out += ',';
+                newline_pad(depth + 1);
+                items_[i].dump_to(out, indent, depth + 1);
+            }
+            newline_pad(depth);
+            out += ']';
+            break;
+        }
+        case Type::kObject: {
+            if (members_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                if (i) out += ',';
+                newline_pad(depth + 1);
+                append_escaped(out, members_[i].first);
+                out += indent == 0 ? ":" : ": ";
+                members_[i].second.dump_to(out, indent, depth + 1);
+            }
+            newline_pad(depth);
+            out += '}';
+            break;
+        }
+    }
+}
+
+}  // namespace alps::util

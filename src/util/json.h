@@ -1,0 +1,76 @@
+// Minimal deterministic JSON document builder.
+//
+// The experiment harness emits machine-readable results (BENCH_<name>.json)
+// that must be byte-identical for a given experiment + seed regardless of how
+// many worker threads produced them. That rules out hash-ordered maps and
+// locale-dependent number printing, so this writer:
+//  * preserves object-key insertion order (no sorting, no hashing);
+//  * prints doubles with std::to_chars (shortest round-trip form, no locale);
+//  * keeps integers distinct from doubles so counts print without a decimal.
+// Writing only — the repo never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace alps::util {
+
+class Json {
+public:
+    enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+    /// Null by default.
+    Json() = default;
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(std::int64_t n) : type_(Type::kInt), int_(n) {}
+    Json(int n) : Json(static_cast<std::int64_t>(n)) {}
+    Json(std::uint64_t n) : type_(Type::kUint), uint_(n) {}
+    Json(double d) : type_(Type::kDouble), double_(d) {}
+    Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+    Json(const char* s) : Json(std::string(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::kArray;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::kObject;
+        return j;
+    }
+
+    [[nodiscard]] Type type() const { return type_; }
+
+    /// Object member write (insertion order preserved; setting an existing
+    /// key overwrites in place). Contract: only valid on objects.
+    Json& set(std::string key, Json value);
+
+    /// Array append. Contract: only valid on arrays.
+    Json& push(Json value);
+
+    [[nodiscard]] std::size_t size() const;
+
+    /// Serializes the document. `indent` > 0 pretty-prints with that many
+    /// spaces per level; 0 emits the compact single-line form. Output is a
+    /// pure function of the document (deterministic).
+    [[nodiscard]] std::string dump(int indent = 2) const;
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+    static void append_escaped(std::string& out, const std::string& s);
+    static void append_double(std::string& out, double d);
+
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> items_;                             // arrays
+    std::vector<std::pair<std::string, Json>> members_;   // objects
+};
+
+}  // namespace alps::util

@@ -102,6 +102,80 @@ TEST(TraceLog, CsvRendersOneRowPerEntity) {
     EXPECT_NE(csv.find("7,9,-0.25,0,1,0,1,30"), std::string::npos);
 }
 
+TEST(TraceLog, ExactlyAtCapacityIsNotTruncated) {
+    TraceLog log(3);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        TickTrace t;
+        t.tick = i;
+        log.observe(t);
+    }
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_FALSE(log.truncated());
+}
+
+TEST(TraceLog, TruncationKeepsTheEarliestTraces) {
+    // The log is a prefix capture, not a ring: overflow drops the *new*
+    // trace, so offline analysis always sees the experiment's start.
+    TraceLog log(2);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        TickTrace t;
+        t.tick = i;
+        log.observe(t);
+    }
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_TRUE(log.truncated());
+    EXPECT_EQ(log.traces()[0].tick, 0u);
+    EXPECT_EQ(log.traces()[1].tick, 1u);
+}
+
+TEST(TraceLog, CsvRowCountAtCapacity) {
+    // One CSV row per (tick, entity): a truncated log renders exactly
+    // capacity * entities_per_tick rows plus the header, nothing from the
+    // dropped traces.
+    TraceLog log(2);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        TickTrace t;
+        t.tick = i;
+        t.entities = {1, 2, 3};
+        t.allowances = {0.5, 1.0, 1.5};
+        log.observe(t);
+    }
+    const std::string csv = log.to_csv();
+    std::size_t rows = 0;
+    for (const char c : csv) {
+        if (c == '\n') ++rows;
+    }
+    EXPECT_EQ(rows, 1u + 2u * 3u);  // header + capacity * entities
+    EXPECT_NE(csv.find("0,1,0.5"), std::string::npos);
+    EXPECT_NE(csv.find("1,3,1.5"), std::string::npos);
+    EXPECT_EQ(csv.find("\n2,"), std::string::npos);  // tick 2 was dropped
+}
+
+TEST(TraceLog, CsvOfEmptyLogIsHeaderOnly) {
+    TraceLog log(4);
+    EXPECT_EQ(log.to_csv(), "tick,entity,allowance,measured,suspended,resumed,"
+                            "cycle_completed,tc_ms\n");
+}
+
+TEST(TraceLog, EntityLessTicksRenderNoCsvRows) {
+    TraceLog log;
+    TickTrace t;
+    t.tick = 1;  // no entities attached
+    log.observe(t);
+    TickTrace u;
+    u.tick = 2;
+    u.entities = {7};
+    u.allowances = {1.0};
+    log.observe(u);
+    const std::string csv = log.to_csv();
+    std::size_t rows = 0;
+    for (const char c : csv) {
+        if (c == '\n') ++rows;
+    }
+    EXPECT_EQ(rows, 2u);  // header + the single entity row from tick 2
+    EXPECT_NE(csv.find("2,7,1"), std::string::npos);
+}
+
 TEST(TickTraceWiring, AllowanceConservationVisibleInTrace) {
     // The trace exposes the invariant: sum(allowance)*Q == t_c every tick.
     MockControl mc;

@@ -1,0 +1,292 @@
+// Harness subsystem tests: ThreadPool correctness (run these under TSan via
+// scripts/check.sh), deterministic seed derivation, sink aggregation, and the
+// load-bearing guarantee that a sweep's JSON metric payload is byte-identical
+// for every worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "harness/registry.h"
+#include "harness/result.h"
+#include "harness/runner.h"
+#include "harness/sink.h"
+#include "harness/thread_pool.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace alps::harness {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 200; ++i) {
+            pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+        pool.wait_idle();
+        EXPECT_EQ(count.load(), 200);
+    }
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilAllTasksFinish) {
+    ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+        // No wait_idle: destruction must still run everything queued.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        for (int i = 0; i < 5; ++i) {
+            pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+        }
+    });
+    // wait_idle covers the nested submissions too: the parent task is
+    // `active_` while it enqueues, so the pool never looks idle in between.
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 6);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, UsesMultipleWorkerThreads) {
+    ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::thread::id> seen;
+    std::atomic<int> rendezvous{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            rendezvous.fetch_add(1, std::memory_order_relaxed);
+            // Hold every worker until all four tasks are in flight, proving
+            // four distinct threads executed concurrently.
+            while (rendezvous.load(std::memory_order_relaxed) < 4) {
+                std::this_thread::yield();
+            }
+            std::scoped_lock lock(mu);
+            seen.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ThreadPool, NullTaskViolatesContract) {
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.submit(nullptr), util::ContractViolation);
+}
+
+// ------------------------------------------------------------ seed derivation
+
+TEST(SeedDerivation, StableAndDecorrelated) {
+    EXPECT_EQ(derive_task_seed(1, 0), derive_task_seed(1, 0));
+    EXPECT_NE(derive_task_seed(1, 0), derive_task_seed(1, 1));
+    EXPECT_NE(derive_task_seed(1, 0), derive_task_seed(2, 0));
+    // Adjacent indices must produce well-mixed seeds, not consecutive ones.
+    const std::uint64_t a = derive_task_seed(7, 10);
+    const std::uint64_t b = derive_task_seed(7, 11);
+    EXPECT_GT(a > b ? a - b : b - a, 1u << 20);
+}
+
+// ------------------------------------------------------------------ the sweep
+
+Experiment tiny_experiment() {
+    Experiment e;
+    e.name = "tiny";
+    e.description = "test experiment";
+    e.make_tasks = [](const SweepOptions&) {
+        std::vector<Task> tasks;
+        for (int point = 0; point < 3; ++point) {
+            for (int rep = 0; rep < 4; ++rep) {
+                Task t;
+                t.point = "p" + std::to_string(point);
+                t.rep = rep;
+                t.params = {{"point", std::to_string(point)}};
+                t.fn = [point](const TaskContext& ctx) {
+                    // Deterministic per-task value from the derived seed.
+                    util::Rng rng(ctx.seed);
+                    return Result{}
+                        .metric("x", rng.next_double() + point)
+                        .metric("index", static_cast<double>(ctx.index));
+                };
+                tasks.push_back(std::move(t));
+            }
+        }
+        return tasks;
+    };
+    return e;
+}
+
+SweepReport run_tiny(unsigned jobs) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.seed = 1234;
+    options.quiet = true;
+    return run_sweep(tiny_experiment(), options, nullptr);
+}
+
+TEST(Sweep, MetricPayloadIsByteIdenticalForAnyJobCount) {
+    const std::string serial = report_to_json(run_tiny(1), false).dump(2);
+    const std::string fanned = report_to_json(run_tiny(4), false).dump(2);
+    const std::string wide = report_to_json(run_tiny(13), false).dump(2);
+    EXPECT_EQ(serial, fanned);
+    EXPECT_EQ(serial, wide);
+}
+
+TEST(Sweep, OutcomesStayInTaskIndexOrder) {
+    const SweepReport report = run_tiny(8);
+    ASSERT_EQ(report.tasks.size(), 12u);
+    for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+        EXPECT_EQ(report.tasks[i].result.value_of("index"), static_cast<double>(i));
+    }
+}
+
+TEST(Sweep, AggregatesMeanAndStdevAcrossReps) {
+    const SweepReport report = run_tiny(4);
+    ASSERT_EQ(report.points.size(), 3u);
+    for (const PointAggregate& p : report.points) {
+        EXPECT_EQ(p.reps, 4);
+        ASSERT_FALSE(p.metrics.empty());
+        const MetricAggregate& x = p.metrics[0];
+        EXPECT_EQ(x.name, "x");
+        EXPECT_EQ(x.n, 4u);
+        EXPECT_GE(x.max, x.mean);
+        EXPECT_LE(x.min, x.mean);
+        EXPECT_GT(x.stdev, 0.0);  // four distinct seeds -> spread
+    }
+    // Cross-check one mean by hand.
+    const SweepReport& r = report;
+    double sum = 0.0;
+    for (const TaskOutcome& t : r.tasks) {
+        if (t.point == "p1") sum += t.result.value_of("x");
+    }
+    EXPECT_NEAR(r.metric_mean("p1", "x"), sum / 4.0, 1e-12);
+}
+
+TEST(Sweep, TaskExceptionIsRecordedNotFatal) {
+    Experiment e;
+    e.name = "throwing";
+    e.make_tasks = [](const SweepOptions&) {
+        std::vector<Task> tasks;
+        for (int i = 0; i < 3; ++i) {
+            Task t;
+            t.point = "p" + std::to_string(i);
+            t.fn = [i](const TaskContext&) -> Result {
+                if (i == 1) throw std::runtime_error("boom");
+                return Result{}.metric("ok", 1.0);
+            };
+            tasks.push_back(std::move(t));
+        }
+        return tasks;
+    };
+    SweepOptions options;
+    options.jobs = 2;
+    options.quiet = true;
+    const SweepReport report = run_sweep(e, options, nullptr);
+    EXPECT_EQ(report.task_errors, 1);
+    EXPECT_FALSE(report.tasks[1].ok);
+    EXPECT_EQ(report.tasks[1].error, "boom");
+    EXPECT_EQ(report.points.size(), 2u);  // failed task contributes no point
+    const std::string json = report_to_json(report, false).dump(0);
+    EXPECT_NE(json.find("\"task_errors\""), std::string::npos);
+}
+
+TEST(Sweep, FailedChecksAreCountedAndSerialized) {
+    Experiment e;
+    e.name = "checked";
+    e.make_tasks = [](const SweepOptions&) {
+        Task t;
+        t.point = "gate";
+        t.fn = [](const TaskContext&) {
+            return Result{}
+                .check("criterion A", "1", "1", true)
+                .check("criterion B", "2", "3", false);
+        };
+        return std::vector<Task>{std::move(t)};
+    };
+    SweepOptions options;
+    options.jobs = 1;
+    options.quiet = true;
+    const SweepReport report = run_sweep(e, options, nullptr);
+    EXPECT_EQ(report.failed_checks, 1);
+    const std::string json = report_to_json(report, false).dump(0);
+    EXPECT_NE(json.find("criterion B"), std::string::npos);
+    EXPECT_NE(json.find("\"passed\":false"), std::string::npos);
+}
+
+TEST(Sweep, RunSectionCarriesJobsAndWallClock) {
+    const SweepReport report = run_tiny(2);
+    EXPECT_EQ(report.jobs, 2u);
+    EXPECT_GE(report.wall_seconds, 0.0);
+    const std::string with_run = report_to_json(report, true).dump(0);
+    EXPECT_NE(with_run.find("\"jobs\":2"), std::string::npos);
+    EXPECT_NE(with_run.find("\"wall_clock_s\""), std::string::npos);
+    const std::string without = report_to_json(report, false).dump(0);
+    EXPECT_EQ(without.find("\"run\""), std::string::npos);
+}
+
+// -------------------------------------------------------------------- registry
+
+TEST(Registry, FindAndSortedList) {
+    ExperimentRegistry registry;  // local instance; the singleton is for mains
+    Experiment b;
+    b.name = "bbb";
+    b.make_tasks = [](const SweepOptions&) { return std::vector<Task>{}; };
+    Experiment a;
+    a.name = "aaa";
+    a.make_tasks = [](const SweepOptions&) { return std::vector<Task>{}; };
+    registry.add(std::move(b));
+    registry.add(std::move(a));
+    EXPECT_NE(registry.find("aaa"), nullptr);
+    EXPECT_EQ(registry.find("zzz"), nullptr);
+    const auto list = registry.list();
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0]->name, "aaa");
+    EXPECT_EQ(list[1]->name, "bbb");
+}
+
+TEST(Registry, DuplicateNameViolatesContract) {
+    ExperimentRegistry registry;
+    Experiment e;
+    e.name = "dup";
+    e.make_tasks = [](const SweepOptions&) { return std::vector<Task>{}; };
+    registry.add(e);
+    EXPECT_THROW(registry.add(e), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::harness

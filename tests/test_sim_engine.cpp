@@ -136,6 +136,100 @@ TEST(Engine, PendingCountTracksLifecycle) {
     EXPECT_EQ(e.pending_count(), 0u);
 }
 
+// --- cancel/pending churn: the FIFO determinism the parallel experiment
+// --- harness leans on (each task owns an Engine; results must be a pure
+// --- function of the schedule, never of cancellation patterns or timing).
+
+TEST(Engine, CancelSameTimeSiblingFromCallback) {
+    // FIFO among equal timestamps means an earlier-scheduled event can cancel
+    // a later-scheduled one at the same instant before it fires.
+    Engine e;
+    bool victim_ran = false;
+    EventId victim = 0;
+    e.schedule_at(TimePoint{} + msec(10), [&] { EXPECT_TRUE(e.cancel(victim)); });
+    victim = e.schedule_at(TimePoint{} + msec(10), [&] { victim_ran = true; });
+    e.run();
+    EXPECT_FALSE(victim_ran);
+    EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, InterleavedScheduleCancelAtEqualTimesKeepsFifoOfSurvivors) {
+    Engine e;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    // Schedule 10 same-time events, cancelling every odd one as we go; the
+    // survivors must fire in their original scheduling order.
+    for (int i = 0; i < 10; ++i) {
+        ids.push_back(
+            e.schedule_at(TimePoint{} + msec(5), [&order, i] { order.push_back(i); }));
+        if (i % 2 == 1) {
+            EXPECT_TRUE(e.cancel(ids.back()));
+        }
+    }
+    // Re-adding after a cancel goes to the back of the same-time FIFO.
+    e.schedule_at(TimePoint{} + msec(5), [&order] { order.push_back(100); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 100}));
+}
+
+TEST(Engine, EventScheduledAtNowDuringCallbackRunsAfterSameTimePeers) {
+    Engine e;
+    std::vector<int> order;
+    e.schedule_at(TimePoint{} + msec(10), [&] {
+        order.push_back(1);
+        // Same timestamp as the in-flight batch: must run after peer 2.
+        e.schedule_at(e.now(), [&order] { order.push_back(3); });
+    });
+    e.schedule_at(TimePoint{} + msec(10), [&order] { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CancelPendingChurnStaysConsistent) {
+    // Deterministic schedule/cancel churn: 100 events across 4 timestamps,
+    // every third cancelled, a third of the cancelled re-scheduled. pending()
+    // and pending_count() must track exactly, and the fired set must be the
+    // survivors in (time, scheduling-order) sequence.
+    Engine e;
+    std::vector<int> fired;
+    std::vector<int> expected;
+    std::vector<std::pair<int, EventId>> live;
+    for (int i = 0; i < 100; ++i) {
+        const int slot = i % 4;
+        const EventId id = e.schedule_at(TimePoint{} + msec(10 * (slot + 1)),
+                                         [&fired, i] { fired.push_back(i); });
+        if (i % 3 == 0) {
+            EXPECT_TRUE(e.cancel(id));
+            EXPECT_FALSE(e.pending(id));
+        } else {
+            EXPECT_TRUE(e.pending(id));
+            live.emplace_back(slot, id);
+        }
+    }
+    EXPECT_EQ(e.pending_count(), live.size());
+    for (int slot = 0; slot < 4; ++slot) {
+        for (int i = 0; i < 100; ++i) {
+            if (i % 4 == slot && i % 3 != 0) expected.push_back(i);
+        }
+    }
+    e.run();
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(e.pending_count(), 0u);
+    for (const auto& [slot, id] : live) EXPECT_FALSE(e.pending(id));
+}
+
+TEST(Engine, CancelInsideCallbackOfAlreadyFiredEventIsBenign) {
+    Engine e;
+    EventId self = 0;
+    bool ran = false;
+    self = e.schedule_at(TimePoint{} + msec(1), [&] {
+        ran = true;
+        EXPECT_FALSE(e.cancel(self));  // it is firing right now
+    });
+    e.run();
+    EXPECT_TRUE(ran);
+}
+
 TEST(Engine, CancelledEventDoesNotBlockQueueProgress) {
     Engine e;
     bool second = false;

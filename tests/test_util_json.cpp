@@ -1,0 +1,88 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace alps::util {
+namespace {
+
+TEST(Json, ScalarsDump) {
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DoublesShortestRoundTripWithTrailingPointZero) {
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json(0.1).dump(), "0.1");
+    // Whole-valued doubles keep a decimal marker so their type is stable.
+    EXPECT_EQ(Json(3.0).dump(), "3.0");
+    EXPECT_EQ(Json(0.0).dump(), "0.0");
+    EXPECT_EQ(Json(-2.0).dump(), "-2.0");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+    EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+    EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+    EXPECT_EQ(Json("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(Json(std::string("ctl\x01")).dump(), "\"ctl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    Json obj = Json::object();
+    obj.set("zebra", 1).set("apple", 2).set("mango", 3);
+    EXPECT_EQ(obj.dump(0), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(Json, ObjectSetOverwritesInPlace) {
+    Json obj = Json::object();
+    obj.set("a", 1).set("b", 2).set("a", 9);
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.dump(0), "{\"a\":9,\"b\":2}");
+}
+
+TEST(Json, NestedPrettyPrint) {
+    Json doc = Json::object();
+    Json arr = Json::array();
+    arr.push(1).push(2);
+    doc.set("xs", std::move(arr));
+    doc.set("empty_obj", Json::object());
+    doc.set("empty_arr", Json::array());
+    EXPECT_EQ(doc.dump(2),
+              "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty_obj\": {},\n"
+              "  \"empty_arr\": []\n}");
+}
+
+TEST(Json, DumpIsDeterministic) {
+    const auto build = [] {
+        Json doc = Json::object();
+        doc.set("pi", 3.141592653589793).set("n", 12).set("name", "sweep");
+        Json arr = Json::array();
+        for (int i = 0; i < 4; ++i) arr.push(0.1 * i);
+        doc.set("xs", std::move(arr));
+        return doc.dump(2);
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(Json, TypeMisuseViolatesContract) {
+    Json scalar(1);
+    EXPECT_THROW(scalar.set("k", 1), util::ContractViolation);
+    EXPECT_THROW(scalar.push(1), util::ContractViolation);
+    Json obj = Json::object();
+    EXPECT_THROW(obj.push(1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace alps::util

@@ -1,0 +1,101 @@
+// alps-sweep — parallel experiment sweep runner.
+//
+//   alps-sweep --list
+//   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
+//              [--no-json] [--quiet]
+//   alps-sweep --all [sweep flags]
+//
+// Runs registered experiments (see bench/experiments.h) across a thread pool
+// and writes BENCH_<name>.json next to the paper-style text tables. Results
+// are bit-identical for any --jobs value: every task derives its inputs from
+// (sweep seed, task index) alone and the sink aggregates in task order; only
+// the JSON's trailing "run" section (jobs, wall-clock, git sha) varies.
+// Environment defaults: ALPS_BENCH_FULL=1, ALPS_BENCH_JOBS, ALPS_BENCH_JSON.
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "../bench/experiments.h"
+#include "harness/registry.h"
+#include "harness/runner.h"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+    out << "usage: alps-sweep --experiment NAME [options]\n"
+           "       alps-sweep --all [options]\n"
+           "       alps-sweep --list\n"
+           "options:\n"
+           "  --jobs N     worker threads (default: hardware concurrency;\n"
+           "               results are identical for every N)\n"
+           "  --seed S     sweep seed; per-task seeds derive from (S, index)\n"
+           "  --full       the paper's full-scale parameters\n"
+           "  --out DIR    directory for BENCH_<name>.json (default: .)\n"
+           "  --no-json    skip the JSON report\n"
+           "  --quiet      no progress/ETA on stderr\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace alps;
+    bench::register_all_experiments();
+
+    bool list = false;
+    bool all = false;
+    std::vector<std::string> names;
+    std::vector<char*> sweep_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(argv[i], "--all") == 0) {
+            all = true;
+        } else if (std::strcmp(argv[i], "--experiment") == 0) {
+            if (i + 1 >= argc) {
+                print_usage(std::cerr);
+                return 2;
+            }
+            names.emplace_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            print_usage(std::cout);
+            return 0;
+        } else {
+            sweep_args.push_back(argv[i]);
+        }
+    }
+
+    if (list) {
+        for (const harness::Experiment* e :
+             harness::ExperimentRegistry::instance().list()) {
+            std::cout << e->name << " — " << e->description << "\n";
+        }
+        return 0;
+    }
+    if (all) {
+        for (const harness::Experiment* e :
+             harness::ExperimentRegistry::instance().list()) {
+            names.push_back(e->name);
+        }
+    }
+    if (names.empty()) {
+        print_usage(std::cerr);
+        return 2;
+    }
+
+    harness::SweepOptions options;
+    options.out_dir = ".";
+    if (!harness::parse_sweep_args(static_cast<int>(sweep_args.size()),
+                                   sweep_args.data(), options)) {
+        return 2;
+    }
+
+    int worst = 0;
+    for (const std::string& name : names) {
+        std::cout << "=== " << name << " ===\n";
+        worst = std::max(worst, harness::run_and_report(name, options));
+    }
+    return worst;
+}
