@@ -7,6 +7,7 @@ void register_all_experiments() {
         register_fig4_experiment();
         register_scalability_experiment();
         register_reproduction_gate_experiment();
+        register_fault_campaign_experiment();
         return true;
     }();
     (void)once;

@@ -19,6 +19,9 @@ void register_scalability_experiment();
 /// Every shape criterion from DESIGN.md in one run ("reproduction_gate").
 void register_reproduction_gate_experiment();
 
+/// Robustness under injected control-channel faults ("fault_campaign").
+void register_fault_campaign_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

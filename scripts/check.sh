@@ -1,31 +1,46 @@
 #!/usr/bin/env bash
-# CI check: ThreadSanitizer build + tier-1 tests.
+# CI check: sanitizer builds + tier-1 tests.
 #
 #   scripts/check.sh [extra ctest args...]
 #
-# Configures a separate build tree with -DALPS_SANITIZE=thread (see the
-# top-level CMakeLists) and runs ctest there. The experiment harness's
-# ThreadPool and sweep runner must stay TSan-clean; the rest of the suite
-# rides along as a broad regression net. Pass extra ctest args to narrow the
-# run, e.g. `scripts/check.sh -R 'ThreadPool|Sweep'` for just the
-# concurrency-sensitive tests.
+# Two separate build trees (see the top-level CMakeLists' ALPS_SANITIZE):
+#   build-tsan: ThreadSanitizer — the experiment harness's ThreadPool and
+#     sweep runner must stay TSan-clean.
+#   build-asan: AddressSanitizer + UndefinedBehaviorSanitizer — the fault-
+#     injection and degradation paths do pointer-light but lifetime-heavy
+#     work (entities dropped mid-tick, maps mutated during iteration bugs
+#     would surface here), and the rest of the suite rides along.
+# Pass extra ctest args to narrow the run, e.g.
+# `scripts/check.sh -R 'ThreadPool|Sweep'` for just the concurrency tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-tsan
 JOBS="$(nproc 2>/dev/null || echo 2)"
+# A wedged test (e.g. a scheduler that stops making progress under injected
+# faults) should fail fast, not hang CI; sanitizers are slow, so be generous.
+CTEST_TIMEOUT="${CTEST_TIMEOUT:-600}"
 
-# Benches and examples are not test targets; skipping them keeps the
-# sanitizer build (and CI) fast.
-cmake -B "$BUILD_DIR" -S . \
-  -DALPS_SANITIZE=thread \
-  -DALPS_BUILD_BENCH=OFF \
-  -DALPS_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j "$JOBS"
+run_suite() { # <build-dir> <sanitize-value> [extra ctest args...]
+  local dir="$1" san="$2"
+  shift 2
+  # Benches and examples are not test targets; skipping them keeps the
+  # sanitizer builds (and CI) fast.
+  cmake -B "$dir" -S . \
+    -DALPS_SANITIZE="$san" \
+    -DALPS_BUILD_BENCH=OFF \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    --timeout "$CTEST_TIMEOUT" "$@"
+}
 
 # halt_on_error makes a data-race report fail the suite instead of only
 # printing it; second_deadlock_stack improves lock-order reports.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+run_suite build-tsan thread "$@"
 
-echo "check.sh: TSan build + ctest passed"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+run_suite build-asan address,undefined "$@"
+
+echo "check.sh: TSan + ASan/UBSan builds + ctest passed"

@@ -3,11 +3,16 @@
 namespace alps::core {
 
 util::Duration CostModel::tick_cost(const TickStats& stats) const {
+    // Degraded-mode work costs the same as its healthy counterpart: a failed
+    // or retried read is still a read, a re-issued or undelivered signal is
+    // still a kill(2). All these terms are zero on a healthy channel.
+    const int reads = stats.measured + stats.retries + stats.read_failures;
     double us = timer_event_us;
-    if (stats.measured > 0) {
-        us += measure_base_us + measure_per_proc_us * stats.measured;
+    if (reads > 0) {
+        us += measure_base_us + measure_per_proc_us * reads;
     }
-    us += signal_us * (stats.suspended + stats.resumed);
+    us += signal_us * (stats.suspended + stats.resumed + stats.reissues +
+                       stats.control_failures);
     return util::from_us(us);
 }
 

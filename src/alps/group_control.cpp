@@ -31,7 +31,15 @@ void GroupProcessControl::join(Principal& pr, HostPid pid) {
     Member m;
     m.pid = pid;
     // Baseline: consumption before joining is not charged to the principal.
-    m.last_cpu = host_.read_pid(pid).cpu_time;
+    // If the join-time read fails, baseline at the first successful read
+    // instead (so the failure does not turn into a retroactive charge).
+    const Sample s = host_.read_pid(pid);
+    if (s.ok) {
+        m.last_cpu = s.cpu_time;
+        m.baselined = true;
+    } else {
+        ++faults_.member_read_failures;
+    }
     pr.members.push_back(m);
     // The whole principal is one scheduling unit: late joiners inherit its
     // eligibility.
@@ -54,7 +62,11 @@ void GroupProcessControl::remove_member(EntityId principal, HostPid pid) {
     // Charge any unread consumption before letting go, so it is not lost.
     const Sample s = host_.read_pid(pid);
     if (s.alive) {
-        pr.cum += s.cpu_time - it->last_cpu;
+        if (s.ok && it->baselined && s.cpu_time >= it->last_cpu) {
+            pr.cum += s.cpu_time - it->last_cpu;
+        } else if (!s.ok) {
+            ++faults_.member_read_failures;
+        }
         if (pr.suspended) host_.cont_pid(pid);  // do not leave it stopped
     }
     pr.members.erase(it);
@@ -99,38 +111,80 @@ const std::string& GroupProcessControl::name(EntityId principal) const {
 Sample GroupProcessControl::read_progress(EntityId id) {
     Principal& pr = get(id);
     bool all_blocked = true;
+    bool any_stopped = false;
+    std::size_t failed = 0;
     std::vector<HostPid> dead;
     for (Member& m : pr.members) {
         const Sample s = host_.read_pid(m.pid);
+        if (!s.ok) {
+            // One unreadable member must not poison the whole principal:
+            // skip it this round (its consumption is picked up next time —
+            // cumulative counters lose nothing).
+            ++failed;
+            ++faults_.member_read_failures;
+            continue;
+        }
         if (!s.alive) {
             dead.push_back(m.pid);
             continue;
         }
+        if (!m.baselined) {
+            m.last_cpu = s.cpu_time;  // deferred join baseline
+            m.baselined = true;
+            if (!s.blocked) all_blocked = false;
+            if (s.stopped) any_stopped = true;
+            continue;
+        }
+        if (s.cpu_time < m.last_cpu) {
+            // The member's pid was recycled: rebaseline it instead of
+            // charging the principal a negative amount.
+            ++faults_.member_rebaselines;
+            m.last_cpu = s.cpu_time;
+        }
         pr.cum += s.cpu_time - m.last_cpu;
         m.last_cpu = s.cpu_time;
         if (!s.blocked) all_blocked = false;
+        if (s.stopped) any_stopped = true;
     }
     std::erase_if(pr.members, [&](const Member& m) {
         return std::find(dead.begin(), dead.end(), m.pid) != dead.end();
     });
+    if (!pr.members.empty() && failed == pr.members.size()) {
+        // Nothing readable at all: report a transient failure so the
+        // scheduler retries rather than charging a zero-progress sample.
+        Sample out;
+        out.ok = false;
+        return out;
+    }
     Sample out;
     out.cpu_time = pr.cum;
     // An empty principal is not contending for the CPU either.
     out.blocked = all_blocked;
+    out.stopped = any_stopped;
     out.alive = true;  // principals persist even with no processes
     return out;
 }
 
-void GroupProcessControl::suspend(EntityId id) {
+ControlResult GroupProcessControl::signal_all(EntityId id, bool is_resume) {
     Principal& pr = get(id);
-    pr.suspended = true;
-    for (const Member& m : pr.members) host_.stop_pid(m.pid);
+    pr.suspended = !is_resume;
+    ControlResult worst = ControlResult::kOk;
+    for (const Member& m : pr.members) {
+        const ControlResult r =
+            is_resume ? host_.cont_pid(m.pid) : host_.stop_pid(m.pid);
+        if (r == ControlResult::kOk || r == ControlResult::kGone) continue;
+        ++faults_.member_signal_failures;
+        if (r == ControlResult::kDenied || worst == ControlResult::kOk) worst = r;
+    }
+    return worst;
 }
 
-void GroupProcessControl::resume(EntityId id) {
-    Principal& pr = get(id);
-    pr.suspended = false;
-    for (const Member& m : pr.members) host_.cont_pid(m.pid);
+ControlResult GroupProcessControl::suspend(EntityId id) {
+    return signal_all(id, /*is_resume=*/false);
+}
+
+ControlResult GroupProcessControl::resume(EntityId id) {
+    return signal_all(id, /*is_resume=*/true);
 }
 
 }  // namespace alps::core

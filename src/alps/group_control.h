@@ -14,6 +14,7 @@
 //     list (the paper does this once per second via kvm_getprocs).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -49,14 +50,32 @@ public:
     [[nodiscard]] std::size_t principal_count() const { return principals_.size(); }
 
     // --- ProcessControl ---
+    /// Aggregates member samples. A member whose read fails is skipped (and
+    /// counted) rather than poisoning the principal; only when *every*
+    /// member read fails does the principal's sample come back not-ok. The
+    /// principal reports stopped if any member is stopped, so a lost SIGCONT
+    /// to one member surfaces to the scheduler's watchdog.
     Sample read_progress(EntityId id) override;
-    void suspend(EntityId id) override;
-    void resume(EntityId id) override;
+    /// Fan the signal out to all members; the result is the worst member
+    /// outcome (kDenied > kTransient > kOk). A kGone member is not a
+    /// failure — it is pruned at the next read/refresh.
+    ControlResult suspend(EntityId id) override;
+    ControlResult resume(EntityId id) override;
+
+    /// Member-level channel failures absorbed by the aggregation (the
+    /// principal-level health lives in the Scheduler's HealthReport).
+    struct MemberFaults {
+        std::uint64_t member_read_failures = 0;
+        std::uint64_t member_signal_failures = 0;
+        std::uint64_t member_rebaselines = 0;  ///< member CPU went backwards
+    };
+    [[nodiscard]] const MemberFaults& member_faults() const { return faults_; }
 
 private:
     struct Member {
         HostPid pid = 0;
         util::Duration last_cpu{0};  ///< cumulative at last read (baseline at join)
+        bool baselined = false;      ///< join-time read succeeded
     };
     struct Principal {
         std::string name;
@@ -69,10 +88,12 @@ private:
     Principal& get(EntityId id);
     const Principal& get(EntityId id) const;
     void join(Principal& pr, HostPid pid);
+    ControlResult signal_all(EntityId id, bool is_resume);
 
     ProcessHost& host_;
     std::map<EntityId, Principal> principals_;
     EntityId next_id_ = 1;
+    MemberFaults faults_;
 };
 
 }  // namespace alps::core

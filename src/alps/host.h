@@ -21,13 +21,15 @@ class ProcessHost {
 public:
     virtual ~ProcessHost() = default;
 
-    /// Cumulative CPU time + blocked flag for one process (getrusage + kvm
-    /// wchan). `alive=false` if the pid no longer exists.
+    /// Cumulative CPU time + blocked/stopped flags for one process
+    /// (getrusage + kvm wchan). `alive=false` if the pid no longer exists;
+    /// `ok=false` if the read failed transiently (retryable).
     virtual Sample read_pid(HostPid pid) = 0;
 
-    /// SIGSTOP / SIGCONT.
-    virtual void stop_pid(HostPid pid) = 0;
-    virtual void cont_pid(HostPid pid) = 0;
+    /// SIGSTOP / SIGCONT. Both report delivery failures (lost pids, denied
+    /// signals) instead of swallowing them.
+    virtual ControlResult stop_pid(HostPid pid) = 0;
+    virtual ControlResult cont_pid(HostPid pid) = 0;
 
     /// Live pids owned by a user (kvm_getprocs analogue), for group-principal
     /// membership refresh.
@@ -40,8 +42,8 @@ public:
     explicit PidProcessControl(ProcessHost& host) : host_(host) {}
 
     Sample read_progress(EntityId id) override { return host_.read_pid(id); }
-    void suspend(EntityId id) override { host_.stop_pid(id); }
-    void resume(EntityId id) override { host_.cont_pid(id); }
+    ControlResult suspend(EntityId id) override { return host_.stop_pid(id); }
+    ControlResult resume(EntityId id) override { return host_.cont_pid(id); }
 
 private:
     ProcessHost& host_;

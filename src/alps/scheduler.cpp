@@ -1,15 +1,27 @@
 #include "alps/scheduler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
 
 namespace alps::core {
 
+namespace {
+/// Bounded resume attempts per entity during release_all on a degraded
+/// channel (each verified with a read; with independent loss probability p
+/// the chance of leaving an entity stopped is p^8).
+constexpr int kReleaseAttempts = 8;
+}  // namespace
+
 Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg)
     : control_(control), cfg_(cfg) {
     ALPS_EXPECT(cfg_.quantum > Duration::zero());
     ALPS_EXPECT(cfg_.max_parallelism >= 1.0);
+    ALPS_EXPECT(cfg_.faults.max_read_retries >= 0);
+    ALPS_EXPECT(cfg_.faults.max_backoff_ticks >= 1);
+    ALPS_EXPECT(cfg_.faults.quarantine_after == 0 ||
+                cfg_.faults.drop_after > cfg_.faults.quarantine_after);
 }
 
 void Scheduler::add(EntityId id, Share share) {
@@ -21,11 +33,22 @@ void Scheduler::add(EntityId id, Share share) {
     e.eligible = false;                        // paper: state_i <- ineligible
     e.update = count_;                         // due for its first measurement
     const Sample s = control_.read_progress(id);
-    e.last_cpu = s.cpu_time;
-    e.have_baseline = true;
+    if (s.ok) {
+        e.last_cpu = s.cpu_time;
+        e.have_baseline = true;
+    } else {
+        // Transient read failure at admission: baseline at the first
+        // successful measurement instead (nothing is charged until then).
+        ++health_.read_failures;
+        e.have_baseline = false;
+    }
     // Ineligible entities are suspended; it becomes eligible on the next
     // tick, thanks to its positive allowance.
-    control_.suspend(id);
+    if (control_.suspend(id) != ControlResult::kOk) {
+        ++health_.control_failures;
+        e.suspect = true;  // the watchdog re-issues the desired state
+        e.fail_streak = 1;
+    }
     entities_.emplace(id, e);
     total_shares_ += share;
     // Keep the invariant sum(a_i)*Q == t_c: the newcomer brings its
@@ -40,6 +63,14 @@ void Scheduler::remove(EntityId id) {
     if (!e.eligible) control_.resume(id);  // leave nothing suspended behind
     total_shares_ -= e.share;
     tc_ns_ -= e.allowance * static_cast<double>(cfg_.quantum.count());
+    entities_.erase(it);
+}
+
+void Scheduler::forget(EntityId id) {
+    auto it = entities_.find(id);
+    if (it == entities_.end()) return;
+    total_shares_ -= it->second.share;
+    tc_ns_ -= it->second.allowance * static_cast<double>(cfg_.quantum.count());
     entities_.erase(it);
 }
 
@@ -75,6 +106,12 @@ bool Scheduler::eligible(EntityId id) const {
     return it->second.eligible;
 }
 
+bool Scheduler::quarantined(EntityId id) const {
+    auto it = entities_.find(id);
+    ALPS_EXPECT(it != entities_.end());
+    return it->second.quarantined;
+}
+
 Share Scheduler::share(EntityId id) const {
     auto it = entities_.find(id);
     ALPS_EXPECT(it != entities_.end());
@@ -88,26 +125,113 @@ std::vector<EntityId> Scheduler::ids() const {
     return out;
 }
 
-void Scheduler::transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
-                           TickTrace* trace) {
-    if (e.eligible == make_eligible) return;
-    e.eligible = make_eligible;
-    if (make_eligible) {
-        control_.resume(id);
-        ++stats.resumed;
-        if (trace != nullptr) trace->resumed.push_back(id);
-    } else {
-        control_.suspend(id);
-        ++stats.suspended;
-        if (trace != nullptr) trace->suspended.push_back(id);
+HealthReport Scheduler::health() const {
+    HealthReport h = health_;
+    h.quarantined_now = 0;
+    for (const auto& [id, e] : entities_) {
+        if (e.quarantined) ++h.quarantined_now;
+    }
+    return h;
+}
+
+Sample Scheduler::guarded_read(EntityId id, TickStats& stats) {
+    Sample s;
+    for (int attempt = 0;; ++attempt) {
+        try {
+            s = control_.read_progress(id);
+        } catch (...) {
+            // A throwing backend is just another fault: count it and treat
+            // the read as failed rather than unwinding mid-tick.
+            ++health_.exceptions;
+            s = Sample{};
+            s.ok = false;
+        }
+        if (s.ok || attempt >= cfg_.faults.max_read_retries) return s;
+        ++stats.retries;
+        ++health_.retries;
     }
 }
 
-void Scheduler::release_all() {
+ControlResult Scheduler::guarded_signal(EntityId id, bool make_eligible) {
+    try {
+        return make_eligible ? control_.resume(id) : control_.suspend(id);
+    } catch (...) {
+        ++health_.exceptions;
+        return ControlResult::kTransient;
+    }
+}
+
+bool Scheduler::note_failure(Entity& e) {
+    // Note: does NOT set `suspect` — that flag means "the last control op may
+    // not have taken" and triggers signal re-delivery. A failed *read* says
+    // nothing about signal delivery; marking it suspect would make the
+    // watchdog's (successful) re-signal reset the streak and an unreadable
+    // entity would never reach quarantine. Signal-failure call sites set
+    // `suspect` themselves.
+    ++e.fail_streak;
+    return !e.quarantined && cfg_.faults.quarantine_after > 0 &&
+           e.fail_streak >= cfg_.faults.quarantine_after;
+}
+
+void Scheduler::transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
+                           TickTrace* trace) {
+    const bool changing = e.eligible != make_eligible;
+    const bool healing = e.suspect && cfg_.faults.self_heal;
+    if (!changing && !healing) return;
+    e.eligible = make_eligible;  // desired state, regardless of delivery
+    const ControlResult r = guarded_signal(id, make_eligible);
+    if (r == ControlResult::kOk) {
+        note_success(e);
+        if (changing) {
+            if (make_eligible) {
+                ++stats.resumed;
+                if (trace != nullptr) trace->resumed.push_back(id);
+            } else {
+                ++stats.suspended;
+                if (trace != nullptr) trace->suspended.push_back(id);
+            }
+        } else {
+            ++stats.reissues;  // watchdog re-delivery of the desired state
+            ++health_.reissues;
+        }
+        return;
+    }
+    if (r == ControlResult::kGone) {
+        // Discovered dead through the control channel; the next measurement
+        // confirms and drops it (an ineligible entity is re-checked by the
+        // watchdog path, which maps kGone here every tick).
+        e.suspect = true;
+        return;
+    }
+    ++stats.control_failures;
+    ++health_.control_failures;
+    e.suspect = true;  // delivery failed: the watchdog re-issues next tick
+    note_failure(e);   // quarantine decision is made in tick()'s loops
+}
+
+void Scheduler::release_all() noexcept {
+    const bool verify = health_.degraded();
     for (auto& [id, e] : entities_) {
-        if (!e.eligible) {
-            control_.resume(id);
+        if (e.eligible && !verify) continue;
+        for (int attempt = 0; attempt < kReleaseAttempts; ++attempt) {
+            ControlResult r = ControlResult::kOk;
+            try {
+                r = control_.resume(id);
+            } catch (...) {
+                ++health_.exceptions;
+                r = ControlResult::kTransient;
+            }
             e.eligible = true;
+            if (r == ControlResult::kGone) break;
+            if (!verify) break;  // healthy channel: one resume suffices
+            // Degraded channel: trust but verify — the resume may have been
+            // lost; only a read showing the entity not stopped settles it.
+            try {
+                const Sample s = control_.read_progress(id);
+                if (s.ok && (!s.alive || !s.stopped)) break;
+            } catch (...) {
+                ++health_.exceptions;
+            }
         }
     }
 }
@@ -127,22 +251,44 @@ TickStats Scheduler::tick() {
 
     const auto quantum_ns = static_cast<double>(cfg_.quantum.count());
     std::vector<EntityId> dead;
+    std::vector<EntityId> dropped;
 
-    // --- Measurement loop (Figure 3, first for-all) ---
-    for (auto& [id, e] : entities_) {
-        if (!e.eligible) continue;  // cannot have run: skip (free of charge)
-        if (cfg_.lazy_measurement && e.update > count_) continue;
+    const auto fill_fault_trace = [](TickTrace& t, const TickStats& st) {
+        t.read_failures = st.read_failures;
+        t.control_failures = st.control_failures;
+        t.retries = st.retries;
+        t.reissues = st.reissues;
+        t.rebaselines = st.rebaselines;
+    };
 
-        const Sample s = control_.read_progress(id);
-        ++stats.measured;
-        ++total_measurements_;
-        if (tp != nullptr) trace.measured.push_back(id);
-        if (!s.alive) {
-            dead.push_back(id);
-            continue;
+    const auto enter_quarantine = [&](EntityId id, Entity& e) {
+        e.quarantined = true;
+        e.suspect = false;
+        ++stats.quarantined;
+        ++health_.quarantines;
+        if (tp != nullptr) trace.quarantined.push_back(id);
+        // Quarantine must never wedge a process in SIGSTOP: release it
+        // (best-effort) and let it free-run while we probe the channel.
+        if (!e.eligible) guarded_signal(id, /*make_eligible=*/true);
+        e.eligible = true;
+    };
+
+    const auto charge = [&](Entity& e, const Sample& s) {
+        if (!e.have_baseline) {
+            // Admission read had failed; start charging from here.
+            e.last_cpu = s.cpu_time;
+            e.have_baseline = true;
+            return;
         }
-        const Duration consumed = s.cpu_time - e.last_cpu;
-        ALPS_ENSURE(consumed >= Duration::zero());
+        Duration consumed = s.cpu_time - e.last_cpu;
+        if (consumed < Duration::zero()) {
+            // The id's CPU counter went backwards: the pid was reused (or
+            // the host rebooted). The old process's unread tail is
+            // unknowable — rebaseline and keep going instead of aborting.
+            ++stats.rebaselines;
+            ++health_.rebaselines;
+            consumed = Duration::zero();
+        }
         e.last_cpu = s.cpu_time;
         e.cycle_consumed += consumed;
         e.allowance -= static_cast<double>(consumed.count()) / quantum_ns;
@@ -154,18 +300,161 @@ TickStats Scheduler::tick() {
             e.allowance -= 1.0;
             tc_ns_ -= quantum_ns;
         }
+    };
+
+    // --- Measurement loop (Figure 3, first for-all) ---
+    for (auto& [id, e] : entities_) {
+        if (e.quarantined) {
+            // Probe the channel every tick: recover, or escalate to drop.
+            const Sample s = guarded_read(id, stats);
+            if (!s.ok) {
+                ++stats.read_failures;
+                ++health_.read_failures;
+                note_failure(e);
+                if (e.fail_streak >= cfg_.faults.drop_after) dropped.push_back(id);
+                continue;
+            }
+            ++stats.measured;
+            ++total_measurements_;
+            if (tp != nullptr) trace.measured.push_back(id);
+            if (!s.alive) {
+                dead.push_back(id);
+                continue;
+            }
+            charge(e, s);
+            // Reads are back; try to regain the control channel by
+            // enforcing the desired state.
+            const bool want_eligible = e.allowance > 0.0;
+            const ControlResult r = guarded_signal(id, want_eligible);
+            if (r == ControlResult::kOk) {
+                e.quarantined = false;
+                e.eligible = want_eligible;
+                note_success(e);
+                e.update = count_ + 1;
+                ++stats.reissues;
+                ++health_.reissues;
+            } else if (r == ControlResult::kGone) {
+                dead.push_back(id);
+            } else {
+                ++stats.control_failures;
+                ++health_.control_failures;
+                note_failure(e);
+                if (e.fail_streak >= cfg_.faults.drop_after) dropped.push_back(id);
+            }
+            continue;
+        }
+
+        if (!e.eligible) {
+            // Cannot have run: skip (free of charge) — unless a suspend may
+            // have been lost. Once the channel has ever misbehaved, verify
+            // ineligible entities on the same lazy schedule: a lost SIGSTOP
+            // otherwise lets the entity free-run *unmeasured*, the one
+            // failure mode the eligible-path watchdog cannot see.
+            if (!cfg_.faults.self_heal || !health_.degraded()) continue;
+            if (cfg_.lazy_measurement && e.update > count_) continue;
+            const Sample s = guarded_read(id, stats);
+            if (!s.ok) {
+                ++stats.read_failures;
+                ++health_.read_failures;
+                if (note_failure(e)) enter_quarantine(id, e);
+                continue;
+            }
+            ++stats.measured;
+            ++total_measurements_;
+            if (tp != nullptr) trace.measured.push_back(id);
+            if (!s.alive) {
+                dead.push_back(id);
+                continue;
+            }
+            // Charge whatever it consumed (the tail before the stop took
+            // effect, or everything it stole while the stop was lost).
+            charge(e, s);
+            if (!s.stopped) {
+                // Lost SIGSTOP: re-issue the desired state.
+                ++stats.reissues;
+                ++health_.reissues;
+                const ControlResult r = guarded_signal(id, /*make_eligible=*/false);
+                if (r == ControlResult::kOk) {
+                    note_success(e);
+                } else if (r == ControlResult::kGone) {
+                    dead.push_back(id);
+                } else {
+                    ++stats.control_failures;
+                    ++health_.control_failures;
+                    e.suspect = true;
+                    if (note_failure(e)) enter_quarantine(id, e);
+                }
+            } else {
+                note_success(e);
+            }
+            continue;
+        }
+        if (cfg_.lazy_measurement && e.update > count_) continue;
+
+        const Sample s = guarded_read(id, stats);
+        if (!s.ok) {
+            ++stats.read_failures;
+            ++health_.read_failures;
+            if (note_failure(e)) {
+                enter_quarantine(id, e);
+            } else {
+                // Cross-tick exponential backoff: 1, 2, 4, ... ticks.
+                const int shift = std::min(e.fail_streak - 1, 6);
+                const auto backoff = static_cast<std::uint64_t>(
+                    std::min(1 << shift, cfg_.faults.max_backoff_ticks));
+                e.update = count_ + backoff;
+            }
+            continue;
+        }
+        ++stats.measured;
+        ++total_measurements_;
+        if (tp != nullptr) trace.measured.push_back(id);
+        if (!s.alive) {
+            dead.push_back(id);
+            continue;
+        }
+        if (s.stopped) {
+            // Desired eligible but actually stopped: a lost or undelivered
+            // SIGCONT (or an outside party stopped it). Self-heal so no
+            // entity stays wedged longer than its measurement postponement
+            // (at most one cycle).
+            if (cfg_.faults.self_heal) {
+                ++stats.reissues;
+                ++health_.reissues;
+                const ControlResult r = guarded_signal(id, /*make_eligible=*/true);
+                if (r == ControlResult::kOk) {
+                    note_success(e);
+                } else if (r == ControlResult::kGone) {
+                    dead.push_back(id);
+                    continue;
+                } else {
+                    ++stats.control_failures;
+                    ++health_.control_failures;
+                    e.suspect = true;
+                    if (note_failure(e)) enter_quarantine(id, e);
+                }
+            }
+        } else {
+            note_success(e);
+        }
+        charge(e, s);
     }
 
-    // Entities that vanished take their remaining allowance with them.
-    for (EntityId id : dead) {
-        auto it = entities_.find(id);
-        total_shares_ -= it->second.share;
-        tc_ns_ -= it->second.allowance * quantum_ns;
-        entities_.erase(it);
+    // Entities that vanished take their remaining allowance with them;
+    // entities whose channel never recovered are dropped the same way (a
+    // final best-effort resume first — never leave a process stopped).
+    for (EntityId id : dropped) {
+        guarded_signal(id, /*make_eligible=*/true);
+        ++stats.dropped;
+        ++health_.drops;
+        if (tp != nullptr) trace.dropped.push_back(id);
+        forget(id);
     }
+    for (EntityId id : dead) forget(id);
     if (entities_.empty()) {
         if (tp != nullptr) {
             trace.tick = count_;
+            fill_fault_trace(trace, stats);
             tick_observer_(trace);
         }
         return stats;
@@ -182,9 +471,36 @@ TickStats Scheduler::tick() {
     }
 
     // --- Allowance refresh and partition (Figure 3, second for-all) ---
+    std::vector<EntityId> gone;
     for (auto& [id, e] : entities_) {
         e.allowance += static_cast<double>(e.share * cycles);
+        if (e.quarantined) continue;  // no signalling until the probe recovers
+        const int failures_before = e.fail_streak;
         transition(id, e, e.allowance > 0.0, stats, tp);
+        if (e.suspect && e.fail_streak == failures_before) {
+            // kGone surfaced through the control channel: an ineligible
+            // entity would never be measured again, so confirm by reading
+            // right here (counted as a verification retry).
+            ++stats.retries;
+            ++health_.retries;
+            const Sample s = guarded_read(id, stats);
+            if (s.ok && !s.alive) {
+                gone.push_back(id);
+                continue;
+            }
+            if (s.ok) {
+                note_success(e);
+            } else {
+                ++stats.read_failures;
+                ++health_.read_failures;
+                note_failure(e);
+            }
+        }
+        if (cfg_.faults.quarantine_after > 0 && !e.quarantined &&
+            e.fail_streak >= cfg_.faults.quarantine_after) {
+            enter_quarantine(id, e);
+            continue;
+        }
         if (!cfg_.lazy_measurement) continue;
         if (e.update <= count_) {
             // §2.3: entity i cannot exhaust its allowance in fewer than
@@ -195,11 +511,13 @@ TickStats Scheduler::tick() {
             e.update = count_ + static_cast<std::uint64_t>(quanta_until_due);
         }
     }
+    for (EntityId id : gone) forget(id);
 
     if (tp != nullptr) {
         trace.tick = count_;
         trace.cycle_completed = stats.cycle_completed;
         trace.cycle_time_remaining = cycle_time_remaining();
+        fill_fault_trace(trace, stats);
         trace.entities.reserve(entities_.size());
         trace.allowances.reserve(entities_.size());
         for (const auto& [id, e] : entities_) {

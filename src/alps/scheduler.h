@@ -37,6 +37,31 @@ namespace alps::core {
 using util::Duration;
 using util::Share;
 
+/// Degradation policy: how the scheduler reacts when the backend channel
+/// fails. The defaults keep the no-fault fast path bit-identical to a
+/// scheduler without any fault handling (every mechanism below only
+/// activates after a failure is actually observed).
+struct FaultPolicy {
+    /// Immediate same-tick retries of a failed progress read (bounded; the
+    /// cross-tick backoff below handles persistent failures).
+    int max_read_retries = 2;
+    /// After this many *consecutive* failures on one entity, stop signalling
+    /// it (quarantine): it is released to run freely, probed every tick, and
+    /// either recovers or is dropped. 0 disables quarantine.
+    int quarantine_after = 4;
+    /// After this many consecutive failures the entity is dropped from the
+    /// cycle entirely (its share and allowance leave the accounting).
+    /// Must be > quarantine_after when both are enabled.
+    int drop_after = 12;
+    /// Cap on the cross-tick measurement backoff after failed reads, in
+    /// ticks (backoff is 1, 2, 4, ... up to this).
+    int max_backoff_ticks = 8;
+    /// Self-healing watchdog: re-issue the desired-state signal to entities
+    /// whose last control op failed, and re-resume entities that a
+    /// measurement finds stopped while eligible (a lost SIGCONT).
+    bool self_heal = true;
+};
+
 struct SchedulerConfig {
     /// The ALPS quantum Q — the period between algorithm invocations and the
     /// unit of allowance. The paper evaluates 10–40 ms (100 ms in §5).
@@ -51,6 +76,8 @@ struct SchedulerConfig {
     /// lazy-measurement postponement divides by this so it stays a sound
     /// lower bound.
     double max_parallelism = 1.0;
+    /// Failure-degradation policy (see FaultPolicy).
+    FaultPolicy faults{};
 };
 
 /// Everything the algorithm did during one tick; the simulation backend
@@ -60,6 +87,35 @@ struct TickStats {
     int suspended = 0;   ///< eligible -> ineligible transitions (signals)
     int resumed = 0;     ///< ineligible -> eligible transitions (signals)
     bool cycle_completed = false;
+    // --- degraded-mode operations (all zero on a healthy channel) ---
+    int read_failures = 0;     ///< reads still failing after in-tick retries
+    int control_failures = 0;  ///< suspend/resume ops that did not take
+    int retries = 0;           ///< extra same-tick read attempts
+    int reissues = 0;          ///< watchdog re-sent signals (self-healing)
+    int rebaselines = 0;       ///< backwards CPU samples absorbed (PID reuse)
+    int quarantined = 0;       ///< entities that entered quarantine this tick
+    int dropped = 0;           ///< entities dropped after repeated failures
+};
+
+/// Cumulative channel-health counters since construction. `degraded()` is
+/// the "has this scheduler ever seen its backend misbehave" bit; until it
+/// flips, every hot path is exactly the infallible-backend code path.
+struct HealthReport {
+    std::uint64_t read_failures = 0;
+    std::uint64_t control_failures = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reissues = 0;
+    std::uint64_t rebaselines = 0;
+    std::uint64_t quarantines = 0;   ///< quarantine entries (not current count)
+    std::uint64_t drops = 0;
+    std::uint64_t exceptions = 0;    ///< backend calls that threw mid-tick
+    std::size_t quarantined_now = 0;
+
+    [[nodiscard]] bool degraded() const {
+        return read_failures + control_failures + reissues + quarantines +
+                   drops + exceptions >
+               0;
+    }
 };
 
 /// Per-cycle accounting record, for the accuracy evaluation (§3.1).
@@ -112,8 +168,11 @@ public:
     TickStats tick();
 
     /// Hands every entity back to the kernel (resumes all suspended ones).
-    /// Used at teardown so no process is left SIGSTOPped.
-    void release_all();
+    /// Used at teardown so no process is left SIGSTOPped. Never throws: a
+    /// backend failure on one entity must not leave the others stopped. On a
+    /// degraded channel each resume is verified with a read and retried a
+    /// bounded number of times.
+    void release_all() noexcept;
 
     // ----- observation -----
 
@@ -139,6 +198,11 @@ public:
     [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_done_; }
     [[nodiscard]] std::uint64_t total_measurements() const { return total_measurements_; }
 
+    /// Channel-health counters since construction (see HealthReport).
+    [[nodiscard]] HealthReport health() const;
+    /// True once the entity is in quarantine (signalling given up, probing).
+    [[nodiscard]] bool quarantined(EntityId id) const;
+
     /// Remaining allowance of an entity, in quanta.
     [[nodiscard]] double allowance(EntityId id) const;
     [[nodiscard]] bool eligible(EntityId id) const;
@@ -152,16 +216,35 @@ private:
     struct Entity {
         Share share = 0;
         double allowance = 0.0;         ///< in quanta
-        bool eligible = false;
+        bool eligible = false;          ///< *desired* state (what ALPS wants)
         std::uint64_t update = 0;       ///< next tick index at which to measure
         Duration last_cpu{0};           ///< cumulative CPU at last measurement
         Duration cycle_consumed{0};     ///< consumption logged this cycle
         bool have_baseline = false;     ///< first read_progress done
+        // --- fault bookkeeping (all quiescent on a healthy channel) ---
+        int fail_streak = 0;            ///< consecutive backend failures
+        bool suspect = false;           ///< last control op may not have taken
+        bool quarantined = false;       ///< signalling given up; probing
     };
 
     /// Applies an eligibility transition through the backend.
     void transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
                     TickTrace* trace);
+
+    /// read_progress with bounded same-tick retries; exceptions and !ok
+    /// samples become counted transient failures.
+    Sample guarded_read(EntityId id, TickStats& stats);
+    /// One suspend/resume through the backend; exceptions become kTransient.
+    ControlResult guarded_signal(EntityId id, bool make_eligible);
+    /// Records a failure on `e`; returns true when the entity just crossed
+    /// into quarantine (caller counts it).
+    bool note_failure(Entity& e);
+    void note_success(Entity& e) {
+        e.fail_streak = 0;
+        e.suspect = false;
+    }
+    /// Removes `id` from the cycle accounting (dead or dropped).
+    void forget(EntityId id);
 
     void emit_cycle_record();
 
@@ -175,6 +258,7 @@ private:
     std::uint64_t count_ = 0;
     std::uint64_t cycles_done_ = 0;
     std::uint64_t total_measurements_ = 0;
+    HealthReport health_{};
     CycleObserver observer_;
     TickObserver tick_observer_;
 };

@@ -22,18 +22,23 @@ Sample SimProcessHost::read_pid(HostPid pid) {
     Sample s;
     s.cpu_time = kernel_.cpu_time(p);
     s.blocked = kernel_.is_blocked(p);
+    s.stopped = kernel_.proc(p).stopped;
     s.alive = true;
     return s;
 }
 
-void SimProcessHost::stop_pid(HostPid pid) {
+ControlResult SimProcessHost::stop_pid(HostPid pid) {
     const auto p = static_cast<os::Pid>(pid);
-    if (kernel_.alive(p)) kernel_.send_signal(p, os::Signal::kStop);
+    if (!kernel_.alive(p)) return ControlResult::kGone;
+    kernel_.send_signal(p, os::Signal::kStop);
+    return ControlResult::kOk;
 }
 
-void SimProcessHost::cont_pid(HostPid pid) {
+ControlResult SimProcessHost::cont_pid(HostPid pid) {
     const auto p = static_cast<os::Pid>(pid);
-    if (kernel_.alive(p)) kernel_.send_signal(p, os::Signal::kCont);
+    if (!kernel_.alive(p)) return ControlResult::kGone;
+    kernel_.send_signal(p, os::Signal::kCont);
+    return ControlResult::kOk;
 }
 
 std::vector<HostPid> SimProcessHost::pids_of_user(HostUid uid) {
@@ -113,11 +118,14 @@ Duration AlpsDriverBehavior::lazy_run_duration(os::ProcContext) {
 // SimAlps
 
 SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
-                 std::string name, os::Uid uid)
+                 std::string name, os::Uid uid, FaultPlan faults)
     : kernel_(kernel) {
     host_ = std::make_unique<SimProcessHost>(kernel_);
     control_ = std::make_unique<PidProcessControl>(*host_);
-    scheduler_ = std::make_unique<Scheduler>(*control_, cfg);
+    // The fault layer always sits in the stack but starts disabled (a pure
+    // pass-through), so the no-fault configuration behaves identically.
+    fault_control_ = std::make_unique<FaultInjectingControl>(*control_, faults);
+    scheduler_ = std::make_unique<Scheduler>(*fault_control_, cfg);
     auto behavior = std::make_unique<AlpsDriverBehavior>(*scheduler_, cost);
     driver_ = behavior.get();
     driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior));

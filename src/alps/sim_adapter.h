@@ -15,6 +15,7 @@
 
 #include "alps/adaptive.h"
 #include "alps/cost_model.h"
+#include "alps/fault.h"
 #include "alps/group_control.h"
 #include "alps/host.h"
 #include "alps/scheduler.h"
@@ -29,8 +30,8 @@ public:
     explicit SimProcessHost(os::Kernel& kernel) : kernel_(kernel) {}
 
     Sample read_pid(HostPid pid) override;
-    void stop_pid(HostPid pid) override;
-    void cont_pid(HostPid pid) override;
+    ControlResult stop_pid(HostPid pid) override;
+    ControlResult cont_pid(HostPid pid) override;
     std::vector<HostPid> pids_of_user(HostUid uid) override;
 
 private:
@@ -72,8 +73,12 @@ private:
 /// long as the simulation runs.
 class SimAlps {
 public:
+    /// `faults` (optional) interposes a FaultInjectingControl between the
+    /// scheduler and the per-pid control. It starts *disabled* — enable it
+    /// via faults().set_enabled(true) once setup is done — so construction
+    /// and manage() always see a clean channel.
     explicit SimAlps(os::Kernel& kernel, SchedulerConfig cfg = {}, CostModel cost = {},
-                     std::string name = "alps", os::Uid uid = 0);
+                     std::string name = "alps", os::Uid uid = 0, FaultPlan faults = {});
     ~SimAlps();
 
     SimAlps(const SimAlps&) = delete;
@@ -91,10 +96,16 @@ public:
     /// CPU consumed by the ALPS process itself (the §3.2 overhead numerator).
     [[nodiscard]] util::Duration overhead_cpu() const;
 
+    /// The fault-injection layer (a pass-through until enabled).
+    [[nodiscard]] FaultInjectingControl& faults() { return *fault_control_; }
+    /// Scheduler channel-health counters (see HealthReport).
+    [[nodiscard]] HealthReport health() const { return scheduler_->health(); }
+
 private:
     os::Kernel& kernel_;
     std::unique_ptr<SimProcessHost> host_;
     std::unique_ptr<PidProcessControl> control_;
+    std::unique_ptr<FaultInjectingControl> fault_control_;
     std::unique_ptr<Scheduler> scheduler_;
     AlpsDriverBehavior* driver_ = nullptr;  // owned by the kernel's Proc
     os::Pid driver_pid_ = os::kNoPid;
@@ -154,6 +165,8 @@ public:
     [[nodiscard]] GroupProcessControl& groups() { return *control_; }
     [[nodiscard]] os::Pid driver_pid() const { return driver_pid_; }
     [[nodiscard]] util::Duration overhead_cpu() const;
+    /// Scheduler channel-health counters (see HealthReport).
+    [[nodiscard]] HealthReport health() const { return scheduler_->health(); }
 
 private:
     os::Kernel& kernel_;

@@ -37,12 +37,19 @@ void restore(Scheduler& sched, const SchedulerSnapshot& snap) {
         e.allowance = es.allowance;
         e.eligible = es.eligible;
         e.update = sched.count_;  // everyone is due at the next tick
-        e.have_baseline = true;
         // Charge unsupervised consumption at the next tick — unless the
-        // host's counters went backwards (different boot): re-baseline.
+        // host's counters went backwards (different boot): re-baseline. A
+        // failed read here defers the baseline to the first successful
+        // measurement (nothing charged until then).
         const Sample now_sample = sched.control_.read_progress(es.id);
-        e.last_cpu = now_sample.cpu_time < es.last_cpu ? now_sample.cpu_time
-                                                       : es.last_cpu;
+        if (now_sample.ok) {
+            e.have_baseline = true;
+            e.last_cpu = now_sample.cpu_time < es.last_cpu ? now_sample.cpu_time
+                                                           : es.last_cpu;
+        } else {
+            ++sched.health_.read_failures;
+            e.have_baseline = false;
+        }
         // Enforce the recorded eligibility on the backend.
         if (es.eligible) {
             sched.control_.resume(es.id);

@@ -21,11 +21,14 @@ void TraceLog::observe(TickTrace trace) {
 
 std::string TraceLog::to_csv() const {
     std::ostringstream out;
-    out << "tick,entity,allowance,measured,suspended,resumed,cycle_completed,tc_ms\n";
+    out << "tick,entity,allowance,measured,suspended,resumed,cycle_completed,tc_ms,"
+           "quarantined,dropped,faults\n";
     const auto contains = [](const std::vector<EntityId>& v, EntityId id) {
         return std::find(v.begin(), v.end(), id) != v.end();
     };
     for (const TickTrace& t : traces_) {
+        const int faults = t.read_failures + t.control_failures + t.retries +
+                           t.reissues + t.rebaselines;
         for (std::size_t i = 0; i < t.entities.size(); ++i) {
             const EntityId id = t.entities[i];
             out << t.tick << ',' << id << ',' << t.allowances[i] << ','
@@ -33,7 +36,9 @@ std::string TraceLog::to_csv() const {
                 << (contains(t.suspended, id) ? 1 : 0) << ','
                 << (contains(t.resumed, id) ? 1 : 0) << ','
                 << (t.cycle_completed ? 1 : 0) << ','
-                << util::to_ms(t.cycle_time_remaining) << '\n';
+                << util::to_ms(t.cycle_time_remaining) << ','
+                << (contains(t.quarantined, id) ? 1 : 0) << ','
+                << (contains(t.dropped, id) ? 1 : 0) << ',' << faults << '\n';
         }
     }
     return out.str();

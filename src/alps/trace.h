@@ -26,6 +26,14 @@ struct TickTrace {
     /// Post-tick allowance snapshot, parallel to `entities`.
     std::vector<EntityId> entities;
     std::vector<double> allowances;
+    // --- degraded-mode activity (all empty/zero on a healthy channel) ---
+    std::vector<EntityId> quarantined;   ///< entered quarantine this tick
+    std::vector<EntityId> dropped;       ///< dropped after repeated failures
+    int read_failures = 0;
+    int control_failures = 0;
+    int retries = 0;
+    int reissues = 0;
+    int rebaselines = 0;
 };
 
 /// Collects TickTraces; bounded so long experiments cannot exhaust memory.
@@ -40,7 +48,9 @@ public:
     [[nodiscard]] bool truncated() const { return truncated_; }
 
     /// CSV with one row per (tick, entity): tick, entity, allowance,
-    /// measured, suspended, resumed, cycle_completed, tc_ms.
+    /// measured, suspended, resumed, cycle_completed, tc_ms, plus the
+    /// degraded-mode columns quarantined, dropped, faults (per-tick sum of
+    /// read/control failures, retries, reissues, and rebaselines).
     [[nodiscard]] std::string to_csv() const;
 
 private:

@@ -1,6 +1,7 @@
 #include "posix/host.h"
 
 #include <dirent.h>
+#include <errno.h>
 #include <signal.h>
 #include <sys/stat.h>
 
@@ -11,15 +12,55 @@
 
 namespace alps::posix {
 
+namespace {
+
+core::ControlResult kill_result(int saved_errno) {
+    switch (saved_errno) {
+        case 0: return core::ControlResult::kOk;
+        case ESRCH: return core::ControlResult::kGone;
+        case EPERM: return core::ControlResult::kDenied;
+        default: return core::ControlResult::kTransient;  // EINTR, EAGAIN, ...
+    }
+}
+
+/// Does the pid exist at all right now? (kill with signal 0 probes without
+/// delivering; EPERM still means "exists".)
+bool pid_exists(core::HostPid pid) {
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+}  // namespace
+
 core::Sample PosixProcessHost::read_pid(core::HostPid pid) {
     core::Sample s;
     const auto stat = read_proc_stat(pid);
-    if (!stat || state_is_dead(stat->state)) {
+    if (!stat) {
+        if (pid_exists(pid)) {
+            // The process is there but its stat was unreadable (a torn read
+            // racing an exec, EMFILE, ...): a transient failure, not a death.
+            s.ok = false;
+            return s;
+        }
+        s.alive = false;
+        starttime_.erase(pid);
+        return s;
+    }
+    if (state_is_dead(stat->state)) {
+        s.alive = false;
+        starttime_.erase(pid);
+        return s;
+    }
+    // PID-reuse detection: same pid, different starttime => a new process
+    // now owns the pid, so the entity we were tracking is gone.
+    const auto [it, inserted] = starttime_.emplace(pid, stat->starttime_ticks);
+    if (!inserted && it->second != stat->starttime_ticks) {
+        starttime_.erase(it);
         s.alive = false;
         return s;
     }
     s.alive = true;
     s.blocked = state_is_blocked(stat->state);
+    s.stopped = stat->state == 'T' || stat->state == 't';
     // Prefer the nanosecond-precise schedstat; fall back to the clock-tick
     // utime+stime (10 ms granularity) if the kernel lacks schedstats.
     if (const auto ns = read_schedstat(pid)) {
@@ -30,12 +71,16 @@ core::Sample PosixProcessHost::read_pid(core::HostPid pid) {
     return s;
 }
 
-void PosixProcessHost::stop_pid(core::HostPid pid) {
-    ::kill(static_cast<pid_t>(pid), SIGSTOP);
+core::ControlResult PosixProcessHost::stop_pid(core::HostPid pid) {
+    errno = 0;
+    if (::kill(static_cast<pid_t>(pid), SIGSTOP) == 0) return core::ControlResult::kOk;
+    return kill_result(errno);
 }
 
-void PosixProcessHost::cont_pid(core::HostPid pid) {
-    ::kill(static_cast<pid_t>(pid), SIGCONT);
+core::ControlResult PosixProcessHost::cont_pid(core::HostPid pid) {
+    errno = 0;
+    if (::kill(static_cast<pid_t>(pid), SIGCONT) == 0) return core::ControlResult::kOk;
+    return kill_result(errno);
 }
 
 std::vector<core::HostPid> PosixProcessHost::pids_of_user(core::HostUid uid) {

@@ -1,7 +1,17 @@
 // ProcessHost over a real Linux system: /proc for progress, signals for
 // control. Everything here is doable by an unprivileged user on their own
 // processes — the paper's deployment constraint.
+//
+// The channels are fallible and the host says so: kill(2) errors map to
+// ControlResult (ESRCH -> kGone, EPERM -> kDenied, else kTransient), an
+// unreadable-but-extant pid comes back with Sample::ok = false, and a
+// starttime cache (stat field 22) detects pid reuse — the same pid with a
+// different start time is a different process, reported as the old entity
+// being gone.
 #pragma once
+
+#include <cstdint>
+#include <map>
 
 #include "alps/host.h"
 
@@ -10,9 +20,14 @@ namespace alps::posix {
 class PosixProcessHost final : public core::ProcessHost {
 public:
     core::Sample read_pid(core::HostPid pid) override;
-    void stop_pid(core::HostPid pid) override;
-    void cont_pid(core::HostPid pid) override;
+    core::ControlResult stop_pid(core::HostPid pid) override;
+    core::ControlResult cont_pid(core::HostPid pid) override;
     std::vector<core::HostPid> pids_of_user(core::HostUid uid) override;
+
+private:
+    /// starttime (clock ticks since boot) of each pid at first sight; a
+    /// later mismatch means the pid was recycled.
+    std::map<core::HostPid, std::uint64_t> starttime_;
 };
 
 }  // namespace alps::posix

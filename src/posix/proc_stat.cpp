@@ -62,11 +62,14 @@ std::optional<ProcStat> parse_proc_stat(std::string_view content) {
     st.comm = std::string(content.substr(open + 1, close - open - 1));
 
     const auto rest = split_ws(content.substr(close + 1));
-    // rest[0] = state; utime/stime are stat fields 14/15, i.e. rest[11]/[12].
-    if (rest.size() < 13 || rest[0].size() != 1) return std::nullopt;
+    // rest[0] = state; utime/stime are stat fields 14/15, i.e. rest[11]/[12];
+    // starttime is field 22, i.e. rest[19]. A real stat line has 52 fields —
+    // anything shorter than starttime is truncated and rejected.
+    if (rest.size() < 20 || rest[0].size() != 1) return std::nullopt;
     st.state = rest[0][0];
     if (!parse_number(rest[11], st.utime_ticks)) return std::nullopt;
     if (!parse_number(rest[12], st.stime_ticks)) return std::nullopt;
+    if (!parse_number(rest[19], st.starttime_ticks)) return std::nullopt;
     return st;
 }
 

@@ -23,6 +23,10 @@ struct ProcStat {
     char state = '?';
     std::uint64_t utime_ticks = 0;
     std::uint64_t stime_ticks = 0;
+    /// Stat field 22: the time the process started after boot, in clock
+    /// ticks. (pid, starttime) uniquely identifies a process incarnation, so
+    /// a changed starttime under the same pid means the pid was reused.
+    std::uint64_t starttime_ticks = 0;
 };
 
 /// Parses the contents of /proc/<pid>/stat. Handles comm values containing

@@ -1,6 +1,7 @@
 #include "workload/experiments.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 
@@ -255,6 +256,100 @@ MultiAlpsResult run_multi_alps_experiment(const MultiAlpsConfig& cfg) {
         }
     }
     res.mean_relative_error = all_errors.count() > 0 ? all_errors.mean() : 0.0;
+    return res;
+}
+
+// ----------------------------------------------------------------------------
+// Fault campaign
+
+FaultRunResult run_fault_experiment(const FaultRunConfig& cfg) {
+    ALPS_EXPECT(!cfg.shares.empty());
+    ALPS_EXPECT(cfg.fault_cycles > 0);
+    ALPS_EXPECT(cfg.warmup_cycles >= 0);
+    ALPS_EXPECT(cfg.drain_cycles >= 0);
+
+    sim::Engine engine;
+    os::Kernel kernel(engine);
+
+    core::SchedulerConfig scfg;
+    scfg.quantum = cfg.quantum;
+    scfg.faults = cfg.policy;
+
+    FaultRunResult res;
+    std::vector<os::Pid> pids;
+
+    {
+        core::SimAlps alps(kernel, scfg, cfg.cost, "alps", /*uid=*/0, cfg.faults);
+
+        metrics::ExactCycleLog log([&kernel](core::EntityId id) {
+            return kernel.cpu_time(static_cast<os::Pid>(id));
+        });
+        alps.scheduler().set_cycle_observer(log.observer());
+
+        for (std::size_t i = 0; i < cfg.shares.size(); ++i) {
+            const os::Pid pid = kernel.spawn("worker" + std::to_string(i), /*uid=*/100,
+                                             std::make_unique<os::CpuBoundBehavior>());
+            alps.manage(pid, cfg.shares[i]);
+            pids.push_back(pid);
+        }
+
+        const Duration cycle_len = cfg.quantum * util::total_shares(cfg.shares);
+        // Generous deadline: faults slow cycles down (quarantined entities
+        // free-run, shrinking everyone's measured progress per cycle).
+        const auto total_cycles = static_cast<std::size_t>(
+            cfg.warmup_cycles + cfg.fault_cycles + cfg.drain_cycles);
+        const Duration max_wall =
+            cycle_len * static_cast<std::int64_t>(6 * (total_cycles + 10));
+        const TimePoint deadline = TimePoint{} + max_wall;
+
+        bool ok = run_simulation_until(engine, deadline, [&] {
+            return log.cycle_count() >= static_cast<std::size_t>(cfg.warmup_cycles);
+        });
+        alps.faults().set_enabled(true);
+        ok = ok && run_simulation_until(engine, deadline, [&] {
+                 return log.cycle_count() >=
+                        static_cast<std::size_t>(cfg.warmup_cycles + cfg.fault_cycles);
+             });
+        alps.faults().disable();
+        ok = ok && run_simulation_until(engine, deadline, [&] {
+                 return log.cycle_count() >= total_cycles;
+             });
+        res.timed_out = !ok;
+
+        res.mean_rms_error = log.mean_rms_relative_error(
+            static_cast<std::size_t>(cfg.warmup_cycles),
+            static_cast<std::size_t>(cfg.fault_cycles));
+        res.cycles_completed = log.cycle_count();
+        res.ticks = alps.scheduler().tick_count();
+        res.health = alps.health();
+        res.injected = alps.faults().injected();
+        res.survivors = alps.scheduler().size();
+
+        // Liveness after the drain: a stopped process is only legitimate if
+        // the scheduler *wants* it ineligible right now. Anything else —
+        // stopped while desired-eligible, or stopped but no longer managed —
+        // is a wedge the self-healing failed to clear.
+        const core::Scheduler& sched = alps.scheduler();
+        for (const os::Pid pid : pids) {
+            if (!kernel.alive(pid) || !kernel.proc(pid).stopped) continue;
+            const auto id = static_cast<core::EntityId>(pid);
+            if (!sched.contains(id) || sched.eligible(id)) ++res.stopped_at_drain;
+        }
+
+        // The core invariant must have survived quarantines and drops.
+        double sum_allowance = 0.0;
+        for (const core::EntityId id : sched.ids()) sum_allowance += sched.allowance(id);
+        const double q_ns = static_cast<double>(cfg.quantum.count());
+        res.invariant_gap_quanta =
+            std::abs(sum_allowance * q_ns -
+                     static_cast<double>(sched.cycle_time_remaining().count())) /
+            q_ns;
+        // ~alps: release_all + driver teardown.
+    }
+
+    for (const os::Pid pid : pids) {
+        if (kernel.alive(pid) && kernel.proc(pid).stopped) ++res.stopped_after_release;
+    }
     return res;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "alps/cost_model.h"
+#include "alps/fault.h"
 #include "alps/scheduler.h"
 #include "metrics/slope_analysis.h"
 #include "util/shares.h"
@@ -113,5 +114,48 @@ struct MultiAlpsResult {
 };
 
 [[nodiscard]] MultiAlpsResult run_multi_alps_experiment(const MultiAlpsConfig& cfg);
+
+// ----------------------------------------------------------------------------
+// Fault campaign: accuracy and liveness under an unreliable control channel
+
+struct FaultRunConfig {
+    /// One compute-bound process per share entry.
+    std::vector<util::Share> shares;
+    util::Duration quantum = util::msec(10);
+    /// Injected failure modes (see FaultPlan); enabled only during the fault
+    /// phase — setup and drain always run on a clean channel.
+    core::FaultPlan faults{};
+    /// The scheduler's degradation policy under test.
+    core::FaultPolicy policy{};
+    int warmup_cycles = 5;    ///< clean cycles before injection starts
+    int fault_cycles = 100;   ///< cycles with injection enabled (measured)
+    int drain_cycles = 10;    ///< clean cycles after injection stops
+    core::CostModel cost{};
+};
+
+struct FaultRunResult {
+    /// Mean RMS relative fairness error over the fault-phase cycles,
+    /// against the kernel's ground-truth rusage.
+    double mean_rms_error = 0.0;
+    std::uint64_t cycles_completed = 0;
+    std::uint64_t ticks = 0;
+    core::HealthReport health;        ///< what the scheduler coped with
+    core::InjectedCounts injected;    ///< what the fault layer actually did
+    std::size_t survivors = 0;        ///< entities still managed at the end
+    /// Liveness: processes wedged in SIGSTOP against the scheduler's will
+    /// after the drain (must be 0 — self-healing worked) and after teardown
+    /// release (must be 0 — "never leave a process stopped").
+    int stopped_at_drain = 0;
+    int stopped_after_release = 0;
+    /// |Σ a_i·Q − t_c| in quanta at the end (the core invariant, which must
+    /// survive quarantines and drops).
+    double invariant_gap_quanta = 0.0;
+    bool timed_out = false;
+};
+
+/// Runs |shares| compute-bound processes under one ALPS whose backend is
+/// wrapped in a FaultInjectingControl, and measures how fairness and
+/// liveness degrade.
+[[nodiscard]] FaultRunResult run_fault_experiment(const FaultRunConfig& cfg);
 
 }  // namespace alps::workload

@@ -1,6 +1,7 @@
 // A scripted ProcessControl backend for unit-testing the ALPS core without
 // any kernel: the test advances each entity's CPU clock by hand (playing the
 // role of the kernel scheduler) and the mock records every backend call.
+// Faults can be scripted per entity: failing reads, lost or denied signals.
 #pragma once
 
 #include <map>
@@ -19,30 +20,60 @@ public:
         bool suspended = false;
         int resumed_count = 0;
         int suspended_count = 0;
+        // --- scripted faults (decremented as they fire; 0 = healthy) ---
+        int fail_reads = 0;     ///< next N reads return ok=false
+        int lose_signals = 0;   ///< next N suspend/resume report kOk, no effect
+        int deny_signals = 0;   ///< next N suspend/resume return kDenied
     };
 
     core::Sample read_progress(core::EntityId id) override {
         ++reads;
-        const Entity& e = entities.at(id);
+        Entity& e = entities.at(id);
         core::Sample s;
+        if (e.fail_reads > 0) {
+            --e.fail_reads;
+            s.ok = false;
+            return s;
+        }
         s.cpu_time = e.cpu;
         s.blocked = e.blocked;
+        s.stopped = e.suspended;
         s.alive = e.alive;
         return s;
     }
 
-    void suspend(core::EntityId id) override {
+    core::ControlResult suspend(core::EntityId id) override {
         ++suspends;
         Entity& e = entities[id];
+        if (e.lose_signals > 0) {
+            --e.lose_signals;
+            return core::ControlResult::kOk;  // reported delivered; was not
+        }
+        if (e.deny_signals > 0) {
+            --e.deny_signals;
+            return core::ControlResult::kDenied;
+        }
+        if (!e.alive) return core::ControlResult::kGone;
         e.suspended = true;
         ++e.suspended_count;
+        return core::ControlResult::kOk;
     }
 
-    void resume(core::EntityId id) override {
+    core::ControlResult resume(core::EntityId id) override {
         ++resumes;
         Entity& e = entities[id];
+        if (e.lose_signals > 0) {
+            --e.lose_signals;
+            return core::ControlResult::kOk;
+        }
+        if (e.deny_signals > 0) {
+            --e.deny_signals;
+            return core::ControlResult::kDenied;
+        }
+        if (!e.alive) return core::ControlResult::kGone;
         e.suspended = false;
         ++e.resumed_count;
+        return core::ControlResult::kOk;
     }
 
     /// Registers an entity the scheduler may talk about.

@@ -37,10 +37,17 @@ public:
         Sample s;
         s.cpu_time = it->second.cpu;
         s.blocked = it->second.blocked;
+        s.stopped = it->second.stopped;
         return s;
     }
-    void stop_pid(HostPid pid) override { procs[pid].stopped = true; }
-    void cont_pid(HostPid pid) override { procs[pid].stopped = false; }
+    ControlResult stop_pid(HostPid pid) override {
+        procs[pid].stopped = true;
+        return ControlResult::kOk;
+    }
+    ControlResult cont_pid(HostPid pid) override {
+        procs[pid].stopped = false;
+        return ControlResult::kOk;
+    }
     std::vector<HostPid> pids_of_user(HostUid uid) override {
         std::vector<HostPid> out;
         for (const auto& [pid, p] : procs) {

@@ -154,7 +154,7 @@ TEST(TraceLog, CsvRowCountAtCapacity) {
 TEST(TraceLog, CsvOfEmptyLogIsHeaderOnly) {
     TraceLog log(4);
     EXPECT_EQ(log.to_csv(), "tick,entity,allowance,measured,suspended,resumed,"
-                            "cycle_completed,tc_ms\n");
+                            "cycle_completed,tc_ms,quarantined,dropped,faults\n");
 }
 
 TEST(TraceLog, EntityLessTicksRenderNoCsvRows) {

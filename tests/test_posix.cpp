@@ -33,6 +33,7 @@ TEST(ProcStatParse, TypicalLine) {
     EXPECT_EQ(st->state, 'R');
     EXPECT_EQ(st->utime_ticks, 250u);
     EXPECT_EQ(st->stime_ticks, 50u);
+    EXPECT_EQ(st->starttime_ticks, 12345u);  // field 22, the pid-reuse guard
 }
 
 TEST(ProcStatParse, CommWithSpacesAndParens) {
@@ -44,6 +45,7 @@ TEST(ProcStatParse, CommWithSpacesAndParens) {
     EXPECT_EQ(st->state, 'S');
     EXPECT_EQ(st->utime_ticks, 7u);
     EXPECT_EQ(st->stime_ticks, 3u);
+    EXPECT_EQ(st->starttime_ticks, 0u);
 }
 
 TEST(ProcStatParse, MalformedInputsRejected) {
@@ -52,6 +54,19 @@ TEST(ProcStatParse, MalformedInputsRejected) {
     EXPECT_FALSE(parse_proc_stat("1234 (x)").has_value());
     EXPECT_FALSE(parse_proc_stat("1234 (x) R 1 2").has_value());  // too few fields
     EXPECT_FALSE(parse_proc_stat("x (y) R 1 2 3 4 5 6 7 8 9 10 11 12 13").has_value());
+}
+
+TEST(ProcStatParse, TruncatedBeforeStarttimeRejected) {
+    // 19 fields after the comm: utime/stime are present but starttime (the
+    // 20th) is not — a torn read must not yield a half-valid ProcStat.
+    EXPECT_FALSE(parse_proc_stat(
+                     "9 (x) R 1 9 9 0 -1 0 100 0 0 0 250 50 0 0 20 0 1 0")
+                     .has_value());
+    // One more field (starttime) and the same line parses.
+    const auto st = parse_proc_stat(
+        "9 (x) R 1 9 9 0 -1 0 100 0 0 0 250 50 0 0 20 0 1 0 777");
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->starttime_ticks, 777u);
 }
 
 TEST(ProcStatParse, StateClassification) {
