@@ -1,0 +1,21 @@
+// Times the simulation substrate itself (engine, run queues, an end-to-end
+// fig8_fig9-style run) — a thin registration over the sweep harness
+// (bench/exp_sim_perf.cpp), emitting BENCH_sim_perf.json. Build in Release:
+// Debug timings are not comparable to the checked-in baseline.
+//
+// These are host wall-clock timings, so this is the one BENCH_*.json that is
+// not bit-identical across runs; the repo-root copy is the perf-trajectory
+// baseline scripts/check.sh regresses against.
+#include "../bench/common.h"
+#include "../bench/experiments.h"
+#include "harness/runner.h"
+
+int main(int argc, char** argv) {
+    using namespace alps;
+    bench::register_all_experiments();
+    harness::SweepOptions options;
+    options.out_dir = ".";
+    if (!harness::parse_sweep_args(argc, argv, options)) return 2;
+    bench::print_header("Simulation substrate — wall-clock throughput");
+    return harness::run_and_report("sim_perf", options);
+}

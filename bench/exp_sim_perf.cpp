@@ -1,0 +1,164 @@
+// Simulation-substrate performance ("sim_perf"): wall-clock throughput of the
+// three layers the O(1) rework touched — the event engine (schedule/cancel/
+// fire churn), the BsdPolicy run queues (enqueue/pop cycling), and an
+// end-to-end fig8_fig9-style run at N=40 and N=120.
+//
+// Unlike every other experiment, these metrics are *timings of the host
+// machine*, so the BENCH_sim_perf.json report is NOT bit-identical across
+// runs or --jobs values (the simulated results the timings are derived from
+// still are). scripts/check.sh runs this experiment single-job in Release
+// and compares engine_events_per_sec against the checked-in baseline to
+// catch substrate performance regressions.
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "../bench/experiments.h"
+#include "harness/registry.h"
+#include "os/bsd_policy.h"
+#include "os/proc.h"
+#include "sim/engine.h"
+#include "util/table.h"
+#include "workload/experiments.h"
+
+namespace alps::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Engine churn: keep a window of pending timers; each iteration cancels the
+// window's oldest handle (often already fired — the benign-miss path), arms a
+// replacement, and fires the earliest event. This is the kernel's usage
+// pattern (re-armed decision timers) with a heavy cancel mix.
+harness::Result engine_task(bool full) {
+    sim::Engine eng;
+    constexpr std::size_t kWindow = 512;
+    const std::int64_t iters = full ? 4'000'000 : 800'000;
+    std::uint64_t fired = 0;
+    std::vector<sim::EventId> ids(kWindow, 0);
+    for (std::size_t k = 0; k < kWindow; ++k) {
+        ids[k] = eng.schedule_after(util::usec(100 + 13 * static_cast<std::int64_t>(k)),
+                                    [&fired] { ++fired; });
+    }
+    const auto t0 = Clock::now();
+    std::uint64_t cancelled = 0;
+    for (std::int64_t i = 0; i < iters; ++i) {
+        const std::size_t slot = static_cast<std::size_t>(i) % kWindow;
+        if (eng.cancel(ids[slot])) ++cancelled;
+        ids[slot] = eng.schedule_after(util::usec(100 + (i * 7919) % 1009),
+                                       [&fired] { ++fired; });
+        eng.step();
+    }
+    const double wall = seconds_since(t0);
+    // Each iteration is one schedule + one cancel attempt + one fire.
+    const double ops = 3.0 * static_cast<double>(iters);
+    return harness::Result{}
+        .metric("engine_events_per_sec", static_cast<double>(fired) / wall)
+        .metric("engine_ops_per_sec", ops / wall)
+        .metric("engine_cancel_hits", static_cast<double>(cancelled))
+        .metric("engine_final_pending", static_cast<double>(eng.pending_count()));
+}
+
+// Run-queue cycling: enqueue a priority-spread population, pop it dry, repeat.
+// Exercises whichqs find-first-set and the intrusive unlink on every op.
+harness::Result policy_task(bool full) {
+    os::BsdPolicy policy;
+    constexpr int kProcs = 128;
+    const int rounds = full ? 40'000 : 8'000;
+    std::vector<os::Proc> procs(kProcs);
+    for (int i = 0; i < kProcs; ++i) {
+        procs[static_cast<std::size_t>(i)].pid = i + 1;
+        policy.add(procs[static_cast<std::size_t>(i)]);
+        // Spread across the queue range via estcpu (usrpri = PUSER + estcpu/4).
+        procs[static_cast<std::size_t>(i)].estcpu = static_cast<double>((i * 9) % 300);
+        policy.charge(procs[static_cast<std::size_t>(i)], util::Duration::zero());
+    }
+    const auto t0 = Clock::now();
+    std::uint64_t pops = 0;
+    for (int r = 0; r < rounds; ++r) {
+        for (os::Proc& p : procs) policy.enqueue(p);
+        while (policy.pop() != nullptr) ++pops;
+    }
+    const double wall = seconds_since(t0);
+    const double ops = 2.0 * static_cast<double>(pops);  // one enqueue per pop
+    return harness::Result{}
+        .metric("policy_ops_per_sec", ops / wall)
+        .metric("policy_pops", static_cast<double>(pops));
+}
+
+// End-to-end: a fig8_fig9-style run (equal shares, Q=10ms) timed on the host.
+harness::Result e2e_task(int n, bool full) {
+    workload::SimRunConfig cfg;
+    cfg.shares.assign(static_cast<std::size_t>(n), 5);
+    cfg.quantum = util::msec(10);
+    cfg.measure_cycles = full ? 30 : 10;
+    cfg.warmup_cycles = 3;
+    const auto t0 = Clock::now();
+    const auto r = workload::run_cpu_bound_experiment(cfg);
+    const double wall = seconds_since(t0);
+    return harness::Result{}
+        .metric("wall_ms", 1e3 * wall)
+        .metric("sim_ms_per_wall_s", util::to_ms(r.wall) / wall)
+        .metric("cycles", static_cast<double>(r.cycles_completed));
+}
+
+std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
+    const int reps = options.full_scale ? 5 : 3;
+    std::vector<harness::Task> tasks;
+    auto push = [&](std::string point, auto fn) {
+        for (int rep = 0; rep < reps; ++rep) {
+            harness::Task task;
+            task.point = point;
+            task.rep = rep;
+            task.params = {{"layer", point}};
+            task.fn = [fn](const harness::TaskContext& ctx) {
+                return fn(ctx.full_scale);
+            };
+            tasks.push_back(std::move(task));
+        }
+    };
+    push("engine", [](bool full) { return engine_task(full); });
+    push("policy", [](bool full) { return policy_task(full); });
+    push("e2e_n40", [](bool full) { return e2e_task(40, full); });
+    push("e2e_n120", [](bool full) { return e2e_task(120, full); });
+    return tasks;
+}
+
+void present(const harness::SweepReport& report, std::ostream& out) {
+    out << "\nSimulation-substrate throughput (host wall-clock; higher is "
+           "better, except wall_ms)\n";
+    util::TextTable t({"Layer", "Metric", "Mean"});
+    t.add_row({"engine", "events/sec",
+               util::fmt(report.metric_mean("engine", "engine_events_per_sec"), 0)});
+    t.add_row({"engine", "ops/sec (sched+cancel+fire)",
+               util::fmt(report.metric_mean("engine", "engine_ops_per_sec"), 0)});
+    t.add_row({"policy", "runq ops/sec",
+               util::fmt(report.metric_mean("policy", "policy_ops_per_sec"), 0)});
+    t.add_row({"e2e_n40", "wall ms/run",
+               util::fmt(report.metric_mean("e2e_n40", "wall_ms"), 2)});
+    t.add_row({"e2e_n120", "wall ms/run",
+               util::fmt(report.metric_mean("e2e_n120", "wall_ms"), 2)});
+    t.print(out);
+    out << "\nTimings are host-dependent: this JSON is the one exception to "
+           "the sweep's bit-identity guarantee.\n";
+}
+
+}  // namespace
+
+void register_sim_perf_experiment() {
+    harness::Experiment e;
+    e.name = "sim_perf";
+    e.description =
+        "Substrate throughput: engine events/sec, run-queue ops/sec, e2e wall-clock";
+    e.make_tasks = make_tasks;
+    e.present = present;
+    harness::ExperimentRegistry::instance().add(std::move(e));
+}
+
+}  // namespace alps::bench

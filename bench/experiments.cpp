@@ -8,6 +8,7 @@ void register_all_experiments() {
         register_scalability_experiment();
         register_reproduction_gate_experiment();
         register_fault_campaign_experiment();
+        register_sim_perf_experiment();
         return true;
     }();
     (void)once;

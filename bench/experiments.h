@@ -22,6 +22,10 @@ void register_reproduction_gate_experiment();
 /// Robustness under injected control-channel faults ("fault_campaign").
 void register_fault_campaign_experiment();
 
+/// Wall-clock throughput of the simulation substrate itself ("sim_perf").
+/// The one experiment whose JSON is host-timing-dependent (not bit-identical).
+void register_sim_perf_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

@@ -43,4 +43,43 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 run_suite build-asan address,undefined "$@"
 
-echo "check.sh: TSan + ASan/UBSan builds + ctest passed"
+# --- Release perf smoke: the simulation substrate must not regress ---
+# Runs the sim_perf experiment (engine schedule/cancel/fire churn, run-queue
+# cycling, an end-to-end run) in a Release build and compares the engine's
+# events/sec against the checked-in baseline BENCH_sim_perf.json. Best-of-N
+# is compared (less scheduling-noise-prone than the mean); anything more than
+# ALPS_PERF_TOLERANCE percent (default 20) below the baseline fails.
+# ALPS_PERF_SKIP=1 skips the leg (e.g. on heavily loaded or throttled CI).
+if [[ "${ALPS_PERF_SKIP:-0}" != "1" ]]; then
+  cmake -B build-perf -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DALPS_SANITIZE=OFF \
+    -DALPS_BUILD_BENCH=ON \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-perf -j "$JOBS" --target alps-sweep
+  build-perf/tools/alps-sweep --experiment sim_perf --jobs 1 --quiet \
+    --out build-perf
+  python3 - build-perf/BENCH_sim_perf.json BENCH_sim_perf.json \
+    "${ALPS_PERF_TOLERANCE:-20}" <<'PY'
+import json, sys
+
+new_path, base_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def best_events_per_sec(path):
+    doc = json.load(open(path))
+    for point in doc["points"]:
+        if point["point"] == "engine":
+            return point["metrics"]["engine_events_per_sec"]["max"]
+    raise SystemExit(f"{path}: no 'engine' point")
+
+new, base = best_events_per_sec(new_path), best_events_per_sec(base_path)
+floor = base * (1.0 - tol_pct / 100.0)
+verdict = "OK" if new >= floor else "REGRESSION"
+print(f"perf smoke: engine {new:,.0f} events/s vs baseline {base:,.0f} "
+      f"(floor {floor:,.0f}, tolerance {tol_pct:.0f}%) -> {verdict}")
+if new < floor:
+    raise SystemExit(1)
+PY
+fi
+
+echo "check.sh: TSan + ASan/UBSan builds + ctest + perf smoke passed"

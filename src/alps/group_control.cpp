@@ -75,7 +75,10 @@ void GroupProcessControl::remove_member(EntityId principal, HostPid pid) {
 int GroupProcessControl::refresh(EntityId principal) {
     Principal& pr = get(principal);
     if (!pr.uid.has_value()) return 0;
-    const std::vector<HostPid> current = host_.pids_of_user(*pr.uid);
+    // Allocation-free sampling: the host refills our reusable buffer (the
+    // simulated kernel serves it straight from its per-uid cache).
+    host_.pids_of_user(*pr.uid, refresh_scratch_);
+    const std::vector<HostPid>& current = refresh_scratch_;
 
     // Drop members that are gone (their charged consumption stays in cum).
     std::erase_if(pr.members, [&](const Member& m) {
@@ -113,7 +116,8 @@ Sample GroupProcessControl::read_progress(EntityId id) {
     bool all_blocked = true;
     bool any_stopped = false;
     std::size_t failed = 0;
-    std::vector<HostPid> dead;
+    dead_scratch_.clear();
+    std::vector<HostPid>& dead = dead_scratch_;
     for (Member& m : pr.members) {
         const Sample s = host_.read_pid(m.pid);
         if (!s.ok) {

@@ -94,6 +94,10 @@ private:
     std::map<EntityId, Principal> principals_;
     EntityId next_id_ = 1;
     MemberFaults faults_;
+    /// Reused across refresh() calls so the once-per-second membership scan
+    /// does not allocate.
+    std::vector<HostPid> refresh_scratch_;
+    std::vector<HostPid> dead_scratch_;
 };
 
 }  // namespace alps::core

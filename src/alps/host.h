@@ -34,6 +34,13 @@ public:
     /// Live pids owned by a user (kvm_getprocs analogue), for group-principal
     /// membership refresh.
     virtual std::vector<HostPid> pids_of_user(HostUid uid) = 0;
+
+    /// Allocation-free variant for periodic refresh loops: clears and refills
+    /// `out`. Backends with a cheap path (the simulated kernel's per-uid
+    /// cache) override this; the default simply wraps the allocating call.
+    virtual void pids_of_user(HostUid uid, std::vector<HostPid>& out) {
+        out = pids_of_user(uid);
+    }
 };
 
 /// The ordinary one-entity-per-process control: EntityId is the pid.

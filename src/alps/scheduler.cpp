@@ -26,7 +26,7 @@ Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg)
 
 void Scheduler::add(EntityId id, Share share) {
     ALPS_EXPECT(share > 0);
-    ALPS_EXPECT(!entities_.contains(id));
+    ALPS_EXPECT(!contains(id));
     Entity e;
     e.share = share;
     e.allowance = static_cast<double>(share);  // paper: allowance_i <- share_i
@@ -49,7 +49,7 @@ void Scheduler::add(EntityId id, Share share) {
         e.suspect = true;  // the watchdog re-issues the desired state
         e.fail_streak = 1;
     }
-    entities_.emplace(id, e);
+    insert_entity(id, e);
     total_shares_ += share;
     // Keep the invariant sum(a_i)*Q == t_c: the newcomer brings its
     // allowance into the cycle.
@@ -57,7 +57,7 @@ void Scheduler::add(EntityId id, Share share) {
 }
 
 void Scheduler::remove(EntityId id) {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     Entity& e = it->second;
     if (!e.eligible) control_.resume(id);  // leave nothing suspended behind
@@ -67,7 +67,7 @@ void Scheduler::remove(EntityId id) {
 }
 
 void Scheduler::forget(EntityId id) {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     if (it == entities_.end()) return;
     total_shares_ -= it->second.share;
     tc_ns_ -= it->second.allowance * static_cast<double>(cfg_.quantum.count());
@@ -88,32 +88,32 @@ void Scheduler::set_quantum(Duration quantum) {
 
 void Scheduler::set_share(EntityId id, Share share) {
     ALPS_EXPECT(share > 0);
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     total_shares_ += share - it->second.share;
     it->second.share = share;
 }
 
 double Scheduler::allowance(EntityId id) const {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     return it->second.allowance;
 }
 
 bool Scheduler::eligible(EntityId id) const {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     return it->second.eligible;
 }
 
 bool Scheduler::quarantined(EntityId id) const {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     return it->second.quarantined;
 }
 
 Share Scheduler::share(EntityId id) const {
-    auto it = entities_.find(id);
+    auto it = find_entity(id);
     ALPS_EXPECT(it != entities_.end());
     return it->second.share;
 }
@@ -306,6 +306,7 @@ TickStats Scheduler::tick() {
     for (auto& [id, e] : entities_) {
         if (e.quarantined) {
             // Probe the channel every tick: recover, or escalate to drop.
+            e.touched = true;
             const Sample s = guarded_read(id, stats);
             if (!s.ok) {
                 ++stats.read_failures;
@@ -352,6 +353,7 @@ TickStats Scheduler::tick() {
             // failure mode the eligible-path watchdog cannot see.
             if (!cfg_.faults.self_heal || !health_.degraded()) continue;
             if (cfg_.lazy_measurement && e.update > count_) continue;
+            e.touched = true;
             const Sample s = guarded_read(id, stats);
             if (!s.ok) {
                 ++stats.read_failures;
@@ -391,6 +393,7 @@ TickStats Scheduler::tick() {
         }
         if (cfg_.lazy_measurement && e.update > count_) continue;
 
+        e.touched = true;
         const Sample s = guarded_read(id, stats);
         if (!s.ok) {
             ++stats.read_failures;
@@ -473,10 +476,28 @@ TickStats Scheduler::tick() {
     // --- Allowance refresh and partition (Figure 3, second for-all) ---
     std::vector<EntityId> gone;
     for (auto& [id, e] : entities_) {
+        // Fast path: nothing about this entity changed this tick — it was
+        // not measured (allowance unchanged), is not suspect or quarantined,
+        // its desired eligibility already holds, no cycle boundary refreshed
+        // its allowance, and its lazy-measurement postponement is not due
+        // for recomputation. Every statement below is then a no-op, so
+        // skipping is behaviour-preserving (runs replay bit-identically);
+        // under lazy measurement this is the vast majority of entities.
+        if (cycles == 0 && !e.touched && !e.suspect && !e.quarantined &&
+            e.eligible == (e.allowance > 0.0) &&
+            (!cfg_.lazy_measurement || e.update > count_)) {
+            continue;
+        }
+        e.touched = false;
         e.allowance += static_cast<double>(e.share * cycles);
         if (e.quarantined) continue;  // no signalling until the probe recovers
         const int failures_before = e.fail_streak;
-        transition(id, e, e.allowance > 0.0, stats, tp);
+        const bool want_eligible = e.allowance > 0.0;
+        // Duplicates transition()'s no-change early return so the common
+        // case pays no call overhead.
+        if (e.eligible != want_eligible || (e.suspect && cfg_.faults.self_heal)) {
+            transition(id, e, want_eligible, stats, tp);
+        }
         if (e.suspect && e.fail_streak == failures_before) {
             // kGone surfaced through the control channel: an ineligible
             // entity would never be measured again, so confirm by reading

@@ -22,9 +22,10 @@
 // "unoptimized" comparison version.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "alps/process_control.h"
@@ -159,7 +160,9 @@ public:
     /// postponements are reset (they were computed under the old quantum).
     void set_quantum(Duration quantum);
 
-    [[nodiscard]] bool contains(EntityId id) const { return entities_.contains(id); }
+    [[nodiscard]] bool contains(EntityId id) const {
+        return find_entity(id) != entities_.end();
+    }
     [[nodiscard]] std::size_t size() const { return entities_.size(); }
 
     // ----- operation -----
@@ -225,7 +228,40 @@ private:
         int fail_streak = 0;            ///< consecutive backend failures
         bool suspect = false;           ///< last control op may not have taken
         bool quarantined = false;       ///< signalling given up; probing
+        /// Measured or probed by this tick's measurement loop. The refresh
+        /// loop skips untouched entities when nothing else (cycle boundary,
+        /// suspect state, pending eligibility flip, due lazy-update
+        /// recompute) concerns them — for those the loop body is provably a
+        /// no-op, and they are the vast majority under lazy measurement.
+        bool touched = false;
     };
+
+    /// Flat entity table, sorted by id — the same deterministic iteration
+    /// order as the std::map it replaces, but contiguous: tick() walks every
+    /// entity twice per quantum, and the map's node hops dominated that walk.
+    /// Membership changes are rare (admission, death), so O(n) sorted
+    /// insert/erase is the right trade.
+    using EntityTable = std::vector<std::pair<EntityId, Entity>>;
+
+    [[nodiscard]] EntityTable::iterator find_entity(EntityId id) {
+        const auto it = std::lower_bound(
+            entities_.begin(), entities_.end(), id,
+            [](const auto& p, EntityId v) { return p.first < v; });
+        return (it != entities_.end() && it->first == id) ? it : entities_.end();
+    }
+    [[nodiscard]] EntityTable::const_iterator find_entity(EntityId id) const {
+        const auto it = std::lower_bound(
+            entities_.begin(), entities_.end(), id,
+            [](const auto& p, EntityId v) { return p.first < v; });
+        return (it != entities_.end() && it->first == id) ? it : entities_.end();
+    }
+    void insert_entity(EntityId id, const Entity& e) {
+        entities_.insert(std::lower_bound(entities_.begin(), entities_.end(), id,
+                                          [](const auto& p, EntityId v) {
+                                              return p.first < v;
+                                          }),
+                         {id, e});
+    }
 
     /// Applies an eligibility transition through the backend.
     void transition(EntityId id, Entity& e, bool make_eligible, TickStats& stats,
@@ -251,8 +287,7 @@ private:
     ProcessControl& control_;
     SchedulerConfig cfg_;
 
-    // std::map: deterministic iteration order (by id) for reproducible runs.
-    std::map<EntityId, Entity> entities_;
+    EntityTable entities_;
     Share total_shares_ = 0;
     double tc_ns_ = 0.0;  ///< remaining cycle time, in ns (t_c)
     std::uint64_t count_ = 0;

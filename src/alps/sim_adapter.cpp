@@ -13,17 +13,15 @@ using util::TimePoint;
 // SimProcessHost
 
 Sample SimProcessHost::read_pid(HostPid pid) {
-    const auto p = static_cast<os::Pid>(pid);
-    if (!kernel_.alive(p)) {
-        Sample s;
-        s.alive = false;
-        return s;
-    }
+    // One table lookup per measurement: this runs once per managed entity
+    // per quantum, so the split alive/cpu_time/is_blocked/proc reads (four
+    // lookups) used to dominate the whole sampling path.
+    const os::Kernel::SampleView v = kernel_.sample(static_cast<os::Pid>(pid));
     Sample s;
-    s.cpu_time = kernel_.cpu_time(p);
-    s.blocked = kernel_.is_blocked(p);
-    s.stopped = kernel_.proc(p).stopped;
-    s.alive = true;
+    s.cpu_time = v.cpu_time;
+    s.blocked = v.blocked;
+    s.stopped = v.stopped;
+    s.alive = v.alive;
     return s;
 }
 
@@ -43,10 +41,15 @@ ControlResult SimProcessHost::cont_pid(HostPid pid) {
 
 std::vector<HostPid> SimProcessHost::pids_of_user(HostUid uid) {
     std::vector<HostPid> out;
-    for (os::Pid p : kernel_.pids_of_uid(static_cast<os::Uid>(uid))) {
-        out.push_back(p);
-    }
+    pids_of_user(uid, out);
     return out;
+}
+
+void SimProcessHost::pids_of_user(HostUid uid, std::vector<HostPid>& out) {
+    kernel_.pids_of_uid(static_cast<os::Uid>(uid), pid_scratch_);
+    out.clear();
+    out.reserve(pid_scratch_.size());
+    for (const os::Pid p : pid_scratch_) out.push_back(p);
 }
 
 // ----------------------------------------------------------------------------

@@ -33,9 +33,13 @@ public:
     ControlResult stop_pid(HostPid pid) override;
     ControlResult cont_pid(HostPid pid) override;
     std::vector<HostPid> pids_of_user(HostUid uid) override;
+    void pids_of_user(HostUid uid, std::vector<HostPid>& out) override;
 
 private:
     os::Kernel& kernel_;
+    /// Reused by pids_of_user so the once-per-second membership refresh does
+    /// not allocate (single-threaded with its scheduler, like all hosts).
+    std::vector<os::Pid> pid_scratch_;
 };
 
 /// The ALPS process body: sleep to the next quantum boundary, tick, pay the

@@ -57,7 +57,7 @@ void restore(Scheduler& sched, const SchedulerSnapshot& snap) {
             sched.control_.suspend(es.id);
         }
         sched.total_shares_ += es.share;
-        sched.entities_.emplace(es.id, e);
+        sched.insert_entity(es.id, e);
     }
 }
 

@@ -1,6 +1,7 @@
 #include "os/bsd_policy.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/assert.h"
@@ -41,41 +42,55 @@ void BsdPolicy::remove(Proc& p) {
 }
 
 void BsdPolicy::enqueue(Proc& p) {
-    auto& q = queues_[static_cast<std::size_t>(queue_index(p))];
-    // Contract: never enqueue twice.
-    ALPS_EXPECT(std::find(q.begin(), q.end(), &p) == q.end());
-    q.push_back(&p);
+    // Contract: never enqueue twice (the cached index doubles as the
+    // membership flag, replacing the old O(n) std::find check).
+    ALPS_EXPECT(p.rq_index < 0);
+    const int idx = queue_index(p);
+    RunQueue& q = queues_[static_cast<std::size_t>(idx)];
+    p.rq_index = idx;
+    p.rq_next = nullptr;
+    p.rq_prev = q.tail;
+    if (q.tail != nullptr) {
+        q.tail->rq_next = &p;
+    } else {
+        q.head = &p;
+        whichqs_ |= 1u << idx;
+    }
+    q.tail = &p;
     ++runnable_;
 }
 
 void BsdPolicy::dequeue(Proc& p) {
-    for (auto& q : queues_) {
-        auto it = std::find(q.begin(), q.end(), &p);
-        if (it != q.end()) {
-            q.erase(it);
-            --runnable_;
-            return;
-        }
+    // Benign on a non-queued process, like the old scan (remove() and stop
+    // handling call this unconditionally).
+    if (p.rq_index < 0) return;
+    RunQueue& q = queues_[static_cast<std::size_t>(p.rq_index)];
+    if (p.rq_prev != nullptr) {
+        p.rq_prev->rq_next = p.rq_next;
+    } else {
+        q.head = p.rq_next;
     }
+    if (p.rq_next != nullptr) {
+        p.rq_next->rq_prev = p.rq_prev;
+    } else {
+        q.tail = p.rq_prev;
+    }
+    if (q.head == nullptr) whichqs_ &= ~(1u << p.rq_index);
+    p.rq_prev = nullptr;
+    p.rq_next = nullptr;
+    p.rq_index = -1;
+    --runnable_;
 }
 
 Proc* BsdPolicy::peek() {
-    for (auto& q : queues_) {
-        if (!q.empty()) return q.front();
-    }
-    return nullptr;
+    if (whichqs_ == 0) return nullptr;
+    return queues_[static_cast<std::size_t>(std::countr_zero(whichqs_))].head;
 }
 
 Proc* BsdPolicy::pop() {
-    for (auto& q : queues_) {
-        if (!q.empty()) {
-            Proc* p = q.front();
-            q.pop_front();
-            --runnable_;
-            return p;
-        }
-    }
-    return nullptr;
+    Proc* p = peek();
+    if (p != nullptr) dequeue(*p);
+    return p;
 }
 
 bool BsdPolicy::preempts(const Proc& cand, const Proc& running) const {
@@ -101,7 +116,34 @@ void BsdPolicy::on_wakeup(Proc& p, util::Duration slept) {
     const auto seconds = slept / util::sec(1);
     if (seconds >= 1) {
         const double d = decay_factor(std::max(last_loadavg_, 0.0));
-        p.estcpu *= std::pow(d, static_cast<double>(seconds));
+        // Sleeps of 1-3 whole seconds dominate; spare them the per-wakeup
+        // libm pow() call. Replay determinism demands the *same doubles* the
+        // uncached pow(d, seconds) produced, and multiplications are not
+        // that: libm's pow is off the correctly-rounded square/cube by an
+        // ulp for a fraction of decay factors (d*d for ~0.1%, d*d*d for
+        // ~25% — test_os_bsd_policy pins this down), so only seconds==1 may
+        // shortcut (pow(d, 1) returns d exactly). The squares and cubes are
+        // libm values cached per decay factor: under steady load that is one
+        // pow() per schedcpu load change instead of one per wakeup.
+        double f;
+        if (seconds == 1) {
+            f = d;
+        } else if (seconds <= 3) {
+            if (d != pow_base_) {
+                pow_base_ = d;
+                // Volatile exponents force the real libm calls: the
+                // compiler folds pow(d, 2.0) into d*d, which is exactly the
+                // ulp divergence this cache exists to avoid.
+                volatile double two = 2.0;
+                volatile double three = 3.0;
+                pow2_ = std::pow(d, two);
+                pow3_ = std::pow(d, three);
+            }
+            f = seconds == 2 ? pow2_ : pow3_;
+        } else {
+            f = std::pow(d, static_cast<double>(seconds));
+        }
+        p.estcpu *= f;
         recompute_priority(p);
     }
 }
@@ -119,7 +161,9 @@ void BsdPolicy::second_tick(std::span<Proc* const> procs, double loadavg,
             continue;
         }
         if (p->stopped && now - p->stop_start > util::sec(1)) continue;
-        const bool queued = p->state == RunState::kRunnable && !p->stopped;
+        // The cached run-queue index is the ground truth for membership —
+        // no scan, and requeueing below is O(1) unlink + append.
+        const bool queued = p->rq_index >= 0;
         const double new_estcpu =
             std::min(d * p->estcpu + static_cast<double>(p->nice), cfg_.estcpu_limit);
         if (new_estcpu == p->estcpu) continue;

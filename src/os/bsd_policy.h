@@ -18,7 +18,7 @@
 #pragma once
 
 #include <array>
-#include <deque>
+#include <cstdint>
 
 #include "os/policy.h"
 
@@ -59,6 +59,15 @@ public:
 
 private:
     static constexpr int kNumQueues = 32;
+    static_assert(kNumQueues <= 32, "whichqs_ is a 32-bit ready-queue bitmap");
+
+    /// One run queue: an intrusive doubly-linked FIFO threaded through
+    /// Proc::rq_prev/rq_next, exactly like the 4.4BSD qs[] TAILQs. All four
+    /// queue operations are O(1).
+    struct RunQueue {
+        Proc* head = nullptr;
+        Proc* tail = nullptr;
+    };
 
     [[nodiscard]] int queue_index(const Proc& p) const;
     void recompute_priority(Proc& p) const;
@@ -66,9 +75,18 @@ private:
     [[nodiscard]] static double decay_factor(double loadavg);
 
     BsdPolicyConfig cfg_;
-    std::array<std::deque<Proc*>, kNumQueues> queues_;
+    std::array<RunQueue, kNumQueues> queues_;
+    /// 4.4BSD `whichqs`: bit q set iff queues_[q] is non-empty, so the
+    /// dispatcher's "best queue" is a find-first-set, not a 32-queue scan.
+    std::uint32_t whichqs_ = 0;
     std::size_t runnable_ = 0;
     double last_loadavg_ = 0.0;  ///< load used for wakeup credit between ticks
+    /// Once-per-loadavg cache of pow(d, 2) and pow(d, 3) for the dominant
+    /// short wakeup decays (see on_wakeup): keyed by the decay factor, so
+    /// steady load pays one libm call per load change instead of per wakeup.
+    double pow_base_ = -1.0;
+    double pow2_ = 0.0;
+    double pow3_ = 0.0;
 };
 
 }  // namespace alps::os

@@ -21,6 +21,7 @@ Kernel::Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy, KernelC
     running_.assign(static_cast<std::size_t>(cfg_.ncpus), nullptr);
     decision_events_.assign(static_cast<std::size_t>(cfg_.ncpus), 0);
     last_on_cpu_.assign(static_cast<std::size_t>(cfg_.ncpus), kNoPid);
+    table_.emplace_back(nullptr);  // slot 0: kNoPid, never issued
     engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
 }
 
@@ -41,8 +42,13 @@ Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior,
     p.state = RunState::kRunnable;
     p.behavior = std::move(behavior);
     p.last_charge = now();
-    table_.emplace(pid, std::move(owned));
+    ALPS_ENSURE(static_cast<std::size_t>(pid) == table_.size());
+    table_.push_back(std::move(owned));
+    p.ordered_index = ordered_.size();
     ordered_.push_back(&p);
+    std::vector<Proc*>& members = by_uid_[uid];
+    p.uid_index = members.size();
+    members.push_back(&p);
     policy_->add(p);
 
     const Action first = p.behavior->next_action({*this, pid});
@@ -54,28 +60,44 @@ Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior,
 void Kernel::reap(Pid pid) {
     Proc& p = proc_mut(pid);
     ALPS_EXPECT(p.state == RunState::kZombie);
-    ordered_.erase(std::find(ordered_.begin(), ordered_.end(), &p));
-    table_.erase(pid);
+    // ordered_'s iteration order IS observed — wakeup_channel wakes in
+    // creation order for determinism, second_tick hands the span to the
+    // policy, and live_pids reports creation order — so the erase must keep
+    // order (shift + reindex the tail), not swap with the tail. The stored
+    // index still removes the old O(N) pointer scan to *find* the entry.
+    ALPS_ENSURE(ordered_[p.ordered_index] == &p);
+    ordered_.erase(ordered_.begin() + static_cast<std::ptrdiff_t>(p.ordered_index));
+    for (std::size_t i = p.ordered_index; i < ordered_.size(); ++i) {
+        ordered_[i]->ordered_index = i;
+    }
+    table_[static_cast<std::size_t>(pid)].reset();
+}
+
+const Proc* Kernel::lookup(Pid pid) const {
+    if (pid <= 0 || static_cast<std::size_t>(pid) >= table_.size()) return nullptr;
+    return table_[static_cast<std::size_t>(pid)].get();
 }
 
 Proc& Kernel::proc_mut(Pid pid) {
-    auto it = table_.find(pid);
-    ALPS_EXPECT(it != table_.end());
-    return *it->second;
+    Proc* p = pid > 0 && static_cast<std::size_t>(pid) < table_.size()
+                  ? table_[static_cast<std::size_t>(pid)].get()
+                  : nullptr;
+    ALPS_EXPECT(p != nullptr);
+    return *p;
 }
 
 const Proc& Kernel::proc(Pid pid) const {
-    auto it = table_.find(pid);
-    ALPS_EXPECT(it != table_.end());
-    return *it->second;
+    const Proc* p = lookup(pid);
+    ALPS_EXPECT(p != nullptr);
+    return *p;
 }
 
 bool Kernel::alive(Pid pid) const {
-    auto it = table_.find(pid);
-    return it != table_.end() && it->second->state != RunState::kZombie;
+    const Proc* p = lookup(pid);
+    return p != nullptr && p->state != RunState::kZombie;
 }
 
-bool Kernel::exists(Pid pid) const { return table_.contains(pid); }
+bool Kernel::exists(Pid pid) const { return lookup(pid) != nullptr; }
 
 Duration Kernel::cpu_time(Pid pid) const {
     const Proc& p = proc(pid);
@@ -86,20 +108,43 @@ Duration Kernel::cpu_time(Pid pid) const {
 
 bool Kernel::is_blocked(Pid pid) const { return proc(pid).blocked(); }
 
+Kernel::SampleView Kernel::sample(Pid pid) const {
+    SampleView s;
+    const Proc* p = lookup(pid);
+    if (p == nullptr || p->state == RunState::kZombie) return s;
+    s.cpu_time = p->cpu_consumed;
+    if (p->on_cpu >= 0) s.cpu_time += now() - p->last_charge;
+    s.blocked = p->blocked();
+    s.stopped = p->stopped;
+    s.alive = true;
+    return s;
+}
+
 std::vector<Pid> Kernel::pids_of_uid(Uid uid) const {
     std::vector<Pid> out;
-    for (const Proc* p : ordered_) {
-        if (p->uid == uid && p->state != RunState::kZombie) out.push_back(p->pid);
-    }
+    pids_of_uid(uid, out);
     return out;
+}
+
+void Kernel::pids_of_uid(Uid uid, std::vector<Pid>& out) const {
+    out.clear();
+    const auto it = by_uid_.find(uid);
+    if (it == by_uid_.end()) return;
+    out.reserve(it->second.size());
+    for (const Proc* p : it->second) out.push_back(p->pid);
 }
 
 std::vector<Pid> Kernel::live_pids() const {
     std::vector<Pid> out;
+    live_pids(out);
+    return out;
+}
+
+void Kernel::live_pids(std::vector<Pid>& out) const {
+    out.clear();
     for (const Proc* p : ordered_) {
         if (p->state != RunState::kZombie) out.push_back(p->pid);
     }
-    return out;
 }
 
 util::Duration Kernel::busy_time() const {
@@ -241,6 +286,14 @@ void Kernel::do_exit(Proc& p) {
     }
     p.state = RunState::kZombie;
     p.wchan = nullptr;
+    // Zombies are invisible to pids_of_uid: drop the process from the per-uid
+    // cache here (not at reap), keeping the survivors' creation order.
+    std::vector<Proc*>& members = by_uid_[p.uid];
+    ALPS_ENSURE(members[p.uid_index] == &p);
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(p.uid_index));
+    for (std::size_t i = p.uid_index; i < members.size(); ++i) {
+        members[i]->uid_index = i;
+    }
     policy_->remove(p);
 }
 

@@ -87,11 +87,29 @@ public:
     /// The paper's §2.4 test: is the process sleeping on a wait channel?
     [[nodiscard]] bool is_blocked(Pid pid) const;
 
+    /// Everything one ALPS measurement needs about a process, read with a
+    /// single table lookup (the per-quantum sampling hot path; cpu_time +
+    /// is_blocked + proc().stopped would pay the lookup three times).
+    /// `alive == false` (with zeroed fields) for unknown and zombie pids.
+    struct SampleView {
+        util::Duration cpu_time{0};
+        bool blocked = false;
+        bool stopped = false;
+        bool alive = false;
+    };
+    [[nodiscard]] SampleView sample(Pid pid) const;
+
     /// Live pids owned by `uid`, in creation order (kvm_getprocs analogue).
     [[nodiscard]] std::vector<Pid> pids_of_uid(Uid uid) const;
+    /// Allocation-free variant for periodic sampling: clears and refills
+    /// `out` from the per-uid member cache (maintained on spawn/exit, so
+    /// this is O(answer), not O(process table)).
+    void pids_of_uid(Uid uid, std::vector<Pid>& out) const;
 
     /// All live pids, in creation order.
     [[nodiscard]] std::vector<Pid> live_pids() const;
+    /// Allocation-free variant: clears and refills `out`.
+    void live_pids(std::vector<Pid>& out) const;
 
     // ----- introspection (tests, metrics) -----
 
@@ -112,6 +130,8 @@ public:
     [[nodiscard]] Pid running_pid_on(int cpu) const;
 
 private:
+    /// O(1) pid lookup; nullptr for pids never issued or already reaped.
+    [[nodiscard]] const Proc* lookup(Pid pid) const;
     Proc& proc_mut(Pid pid);
 
     /// The dispatcher: one global pass that charges, completes phases, and
@@ -153,8 +173,17 @@ private:
     KernelConfig cfg_;
 
     Pid next_pid_ = 1;
-    std::unordered_map<Pid, std::unique_ptr<Proc>> table_;
+    /// Process table indexed directly by pid (pids are issued sequentially
+    /// and never reused, so slot pid holds that process; reaped slots stay
+    /// null). Replaces an unordered_map whose hashing dominated the sampling
+    /// hot path; the 8 bytes a reaped pid leaves behind are irrelevant at
+    /// simulation scale. Slot 0 is the unissued kNoPid.
+    std::vector<std::unique_ptr<Proc>> table_;
     std::vector<Proc*> ordered_;  ///< creation order, live + zombie
+    /// Live (non-zombie) processes per uid, in creation order — the cached
+    /// answer to pids_of_uid, maintained at spawn/exit (not reap: zombies
+    /// are already invisible to pids_of_uid).
+    std::unordered_map<Uid, std::vector<Proc*>> by_uid_;
 
     std::vector<Proc*> running_;            ///< per-CPU occupant (or null)
     std::vector<sim::EventId> decision_events_;  ///< per-CPU decision timer

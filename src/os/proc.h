@@ -34,6 +34,16 @@ struct Proc {
     double estcpu = 0.0;  ///< decaying estimate of recent CPU use, in stat ticks
     double usrpri = 0.0;  ///< user-mode priority; lower is better
 
+    // --- intrusive run-queue links (maintained by BsdPolicy, like the
+    // --- p_forw/p_back TAILQ links of the real struct proc) ---
+    Proc* rq_prev = nullptr;
+    Proc* rq_next = nullptr;
+    int rq_index = -1;  ///< run-queue index while queued, else -1
+
+    // --- kernel bookkeeping indices (maintained by Kernel) ---
+    std::size_t ordered_index = 0;  ///< position in the creation-order list
+    std::size_t uid_index = 0;      ///< position in the per-uid live list
+
     // --- accounting (the simulated getrusage) ---
     util::Duration cpu_consumed{0};  ///< total CPU time ever consumed
     std::uint64_t dispatches = 0;    ///< times placed on a CPU

@@ -23,6 +23,9 @@ public:
     core::ControlResult stop_pid(core::HostPid pid) override;
     core::ControlResult cont_pid(core::HostPid pid) override;
     std::vector<core::HostPid> pids_of_user(core::HostUid uid) override;
+    // Keep the base's out-param refresh variant visible alongside the
+    // allocating override (it wraps the call above).
+    using core::ProcessHost::pids_of_user;
 
 private:
     /// starttime (clock ticks since boot) of each pid at first sight; a

@@ -4,13 +4,83 @@
 
 namespace alps::sim {
 
+void Engine::sift_up(std::uint32_t pos) {
+    const std::uint32_t slot = heap_[pos];
+    while (pos > 0) {
+        const std::uint32_t parent_pos = (pos - 1) / 2;
+        const std::uint32_t parent = heap_[parent_pos];
+        if (!before(slot, parent)) break;
+        heap_[pos] = parent;
+        slots_[parent].heap_pos = pos;
+        pos = parent_pos;
+    }
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+}
+
+void Engine::sift_down(std::uint32_t pos) {
+    const std::uint32_t slot = heap_[pos];
+    const auto size = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+        std::uint32_t child_pos = 2 * pos + 1;
+        if (child_pos >= size) break;
+        if (child_pos + 1 < size && before(heap_[child_pos + 1], heap_[child_pos])) {
+            ++child_pos;
+        }
+        const std::uint32_t child = heap_[child_pos];
+        if (!before(child, slot)) break;
+        heap_[pos] = child;
+        slots_[child].heap_pos = pos;
+        pos = child_pos;
+    }
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+}
+
+void Engine::heap_erase(std::uint32_t pos) {
+    const std::uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;  // removed the tail entry itself
+    heap_[pos] = last;
+    slots_[last].heap_pos = pos;
+    // The moved entry may need to travel either way relative to its new
+    // neighbourhood; only one of the two sifts will do anything.
+    sift_up(pos);
+    sift_down(slots_[last].heap_pos);
+}
+
+Engine::Callback Engine::take_and_free(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    Callback cb = std::move(s.cb);
+    s.cb = nullptr;  // drop captured state now; the slot may idle for a while
+    ++s.gen;         // invalidate every outstanding id for this slot
+    s.heap_pos = kNoPos;
+    s.next_free = free_head_;
+    free_head_ = slot;
+    return cb;
+}
+
 EventId Engine::schedule_at(TimePoint t, Callback cb) {
     ALPS_EXPECT(t >= now_);
     ALPS_EXPECT(cb != nullptr);
-    const EventId id = next_id_++;
-    queue_.push(QueueEntry{t, next_seq_++, id});
-    callbacks_.emplace(id, std::move(cb));
-    return id;
+    std::uint32_t slot;
+    if (free_head_ != kNoPos) {
+        slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.time = t;
+    s.seq = next_seq_++;
+    s.next_free = kNoPos;
+    s.cb = std::move(cb);
+    const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(slot);
+    s.heap_pos = pos;
+    sift_up(pos);
+    return make_id(slot, s.gen);
 }
 
 EventId Engine::schedule_after(Duration d, Callback cb) {
@@ -18,37 +88,32 @@ EventId Engine::schedule_after(Duration d, Callback cb) {
     return schedule_at(now_ + d, std::move(cb));
 }
 
-bool Engine::cancel(EventId id) { return callbacks_.erase(id) > 0; }
-
-bool Engine::pop_live(QueueEntry& out) {
-    while (!queue_.empty()) {
-        QueueEntry e = queue_.top();
-        if (callbacks_.contains(e.id)) {
-            out = e;
-            return true;
-        }
-        queue_.pop();  // cancelled; discard lazily
-    }
-    return false;
+bool Engine::cancel(EventId id) {
+    if (!pending(id)) return false;
+    const std::uint32_t slot = slot_of(id);
+    heap_erase(slots_[slot].heap_pos);
+    take_and_free(slot);  // discard the callback
+    return true;
 }
 
 bool Engine::step() {
-    QueueEntry e;
-    if (!pop_live(e)) return false;
-    queue_.pop();
-    auto it = callbacks_.find(e.id);
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    ALPS_ENSURE(e.time >= now_);
-    now_ = e.time;
+    if (heap_.empty()) return false;
+    const std::uint32_t slot = heap_[0];
+    const TimePoint t = slots_[slot].time;
+    ALPS_ENSURE(t >= now_);
+    heap_erase(0);
+    // Free before invoking: during its own callback an event is no longer
+    // pending (cancel on the in-flight id returns false), and the callback
+    // may schedule new events into the recycled slot.
+    const Callback cb = take_and_free(slot);
+    now_ = t;
     cb();
     return true;
 }
 
 void Engine::run_until(TimePoint t) {
     ALPS_EXPECT(t >= now_);
-    QueueEntry e;
-    while (pop_live(e) && e.time <= t) {
+    while (!heap_.empty() && slots_[heap_[0]].time <= t) {
         step();
     }
     now_ = t;

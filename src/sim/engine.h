@@ -6,12 +6,25 @@
 //
 // The kernel simulator (src/os) runs entirely on top of this engine: there is
 // no tick — CPU consumption is charged in bulk between scheduling points.
+//
+// Implementation: an indexed binary min-heap over a slab (free-list) of event
+// records. Every scheduled event owns one slab slot holding its callback and
+// its current heap position, so
+//  * schedule is O(log n) with no per-event heap allocation in steady state
+//    (slots and their callback small-object buffers are recycled);
+//  * cancel unlinks the record from the heap in O(log n) — cancelled events
+//    leave no tombstones behind, so the heap never holds dead entries and
+//    cancel-heavy workloads (the kernel re-arms a decision timer on every
+//    scheduling pass) cannot grow it beyond the live-event count;
+//  * pending is an O(1) generation check.
+// EventIds encode (slot, generation); freeing a slot bumps its generation, so
+// stale ids from fired or cancelled events can never alias a recycled slot.
+// The (time, seq) total order is exactly the one the previous
+// priority_queue-based engine used, so every seeded run replays identically.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "util/assert.h"
@@ -44,10 +57,18 @@ public:
     bool cancel(EventId id);
 
     /// True if an event with this id is still pending.
-    [[nodiscard]] bool pending(EventId id) const { return callbacks_.contains(id); }
+    [[nodiscard]] bool pending(EventId id) const {
+        const std::uint32_t slot = slot_of(id);
+        return slot < slots_.size() && slots_[slot].gen == gen_of(id);
+    }
 
     /// Number of pending (non-cancelled) events.
-    [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+    [[nodiscard]] std::size_t pending_count() const { return heap_.size(); }
+
+    /// Size of the internal heap. Equal to pending_count() by construction —
+    /// cancellation removes entries instead of tombstoning them — and exposed
+    /// so tests can assert that invariant under cancel churn.
+    [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
 
     /// Runs the single earliest event. Returns false if the queue is empty.
     bool step();
@@ -61,26 +82,52 @@ public:
     void run();
 
 private:
-    struct QueueEntry {
+    static constexpr std::uint32_t kNoPos = 0xffffffffu;
+
+    struct Slot {
         TimePoint time;
-        std::uint64_t seq;  // tie-break: FIFO among same-time events
-        EventId id;
-        // Min-heap by (time, seq).
-        friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-            if (a.time != b.time) return a.time > b.time;
-            return a.seq > b.seq;
-        }
+        std::uint64_t seq = 0;  ///< tie-break: FIFO among same-time events
+        /// Bumped when the slot is freed (fire/cancel); ids carry the
+        /// generation they were issued under, so an id is pending iff its
+        /// generation still matches its slot's. Starts at 1 so id 0 is never
+        /// issued.
+        std::uint32_t gen = 1;
+        std::uint32_t heap_pos = kNoPos;   ///< index into heap_ while pending
+        std::uint32_t next_free = kNoPos;  ///< free-list link while free
+        Callback cb;
     };
 
-    /// Pops entries until one refers to a live (not cancelled) callback.
-    /// Returns false when the queue is exhausted.
-    bool pop_live(QueueEntry& out);
+    [[nodiscard]] static std::uint32_t slot_of(EventId id) {
+        return static_cast<std::uint32_t>(id & 0xffffffffu);
+    }
+    [[nodiscard]] static std::uint32_t gen_of(EventId id) {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+    [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    /// Min-order over (time, seq); seq is unique, so this is a strict total
+    /// order and heap extraction is fully deterministic.
+    [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
+        const Slot& sa = slots_[a];
+        const Slot& sb = slots_[b];
+        if (sa.time != sb.time) return sa.time < sb.time;
+        return sa.seq < sb.seq;
+    }
+
+    void sift_up(std::uint32_t pos);
+    void sift_down(std::uint32_t pos);
+    /// Removes the heap entry at `pos` (swap-with-last + re-sift).
+    void heap_erase(std::uint32_t pos);
+    /// Returns the slot's callback and recycles the slot onto the free list.
+    Callback take_and_free(std::uint32_t slot);
 
     TimePoint now_{};
-    std::uint64_t next_id_ = 1;
     std::uint64_t next_seq_ = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-    std::unordered_map<EventId, Callback> callbacks_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> heap_;  ///< slot indices, min-heap by (time, seq)
+    std::uint32_t free_head_ = kNoPos;
 };
 
 }  // namespace alps::sim

@@ -46,6 +46,7 @@ public:
         return ControlResult::kOk;
     }
 
+    using ProcessHost::pids_of_user;
     std::vector<HostPid> pids_of_user(HostUid uid) override {
         std::vector<HostPid> out;
         for (const auto& [pid, p] : procs) {

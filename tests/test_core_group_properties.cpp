@@ -48,6 +48,7 @@ public:
         procs[pid].stopped = false;
         return ControlResult::kOk;
     }
+    using ProcessHost::pids_of_user;
     std::vector<HostPid> pids_of_user(HostUid uid) override {
         std::vector<HostPid> out;
         for (const auto& [pid, p] : procs) {

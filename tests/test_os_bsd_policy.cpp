@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/assert.h"
 
 namespace alps::os {
@@ -183,6 +185,72 @@ TEST(BsdPolicy, RemoveWhileQueuedIsSafe) {
     pol.enqueue(a);
     pol.remove(a);
     EXPECT_EQ(pol.pop(), nullptr);
+}
+
+// on_wakeup special-cases sleeps of 1-3 whole seconds to avoid a per-wakeup
+// libm pow() call. The replacement must be *bit-identical* to what the
+// uncached std::pow(d, seconds) produced — estcpu feeds the priority, so one
+// ULP would change dispatch order and break replay determinism. The decay
+// factor is 2L/(2L+1) for loadavg L, always in (0, 1).
+//
+// All pow() calls below go through volatile exponents: with a literal
+// exponent the compiler folds pow(d, 2.0) into d*d at compile time, which is
+// precisely the substitution whose validity is in question.
+TEST(BsdPolicy, WakeupIdentityShortcutIsBitExactOverDecayDomain) {
+    // Dense sweep over the reachable decay-factor domain: L in steps of
+    // 1/1024 covers every load shape the kernel's 1-minute average produces,
+    // plus the exact values common in tests and small simulations. libm
+    // returns x for pow(x, 1) exactly, so seconds==1 may shortcut to d.
+    for (int i = 1; i <= 64 * 1024; ++i) {
+        const double load = static_cast<double>(i) / 1024.0;
+        const double d = (2.0 * load) / (2.0 * load + 1.0);
+        volatile double one = 1.0;
+        ASSERT_EQ(std::pow(d, one), d) << "load " << load;
+    }
+}
+
+TEST(BsdPolicy, MultiplicationIsNotLibmPowWhichIsWhyPowersAreCached) {
+    // libm's pow is not correctly rounded here: pow(d, 2) differs from the
+    // (correctly rounded) d*d for a small fraction of decay factors, and
+    // pow(d, 3) from d*d*d for a large one. Witnesses for both exist in the
+    // domain, so on_wakeup must cache libm's values rather than multiply —
+    // the cache exists to reproduce pow()'s bits, warts and all.
+    bool square_mismatch = false;
+    bool cube_mismatch = false;
+    for (int i = 1; i <= 64 * 1024 && !(square_mismatch && cube_mismatch); ++i) {
+        const double load = static_cast<double>(i) / 1024.0;
+        const double d = (2.0 * load) / (2.0 * load + 1.0);
+        volatile double two = 2.0;
+        volatile double three = 3.0;
+        square_mismatch = square_mismatch || std::pow(d, two) != d * d;
+        cube_mismatch = cube_mismatch || std::pow(d, three) != d * d * d;
+    }
+    EXPECT_TRUE(square_mismatch);
+    EXPECT_TRUE(cube_mismatch);
+}
+
+TEST(BsdPolicy, WakeupShortcutsMatchPowForOneToThreeSeconds) {
+    // End-to-end check through on_wakeup: for every decay factor in a sweep
+    // and every sleep of 1, 2, 3 (and 4, the general path) seconds, the
+    // resulting estcpu equals the reference estcpu * pow(d, seconds) exactly.
+    for (int i = 1; i <= 512; ++i) {
+        const double load = static_cast<double>(i) / 64.0;
+        BsdPolicy pol;
+        Proc loadsetter = make_proc(99);
+        Proc* procs[] = {&loadsetter};
+        pol.second_tick(procs, load, util::TimePoint{} + sec(10));
+        const double d = (2.0 * load) / (2.0 * load + 1.0);
+        for (int seconds = 1; seconds <= 4; ++seconds) {
+            Proc p = make_proc(1);
+            pol.add(p);
+            p.estcpu = 200.0 + static_cast<double>(i) / 8.0;
+            const double expect =
+                p.estcpu * std::pow(d, static_cast<double>(seconds));
+            pol.on_wakeup(p, sec(seconds));
+            ASSERT_EQ(p.estcpu, expect)
+                << "load " << load << " seconds " << seconds;
+        }
+    }
 }
 
 }  // namespace

@@ -230,6 +230,50 @@ TEST(Engine, CancelInsideCallbackOfAlreadyFiredEventIsBenign) {
     EXPECT_TRUE(ran);
 }
 
+TEST(Engine, CancelChurnLeavesNoTombstones) {
+    // The kernel cancels and re-arms a decision timer on every scheduling
+    // pass, so dead entries must never accumulate: the heap has to track the
+    // live-event count exactly, not merely stay "bounded".
+    Engine e;
+    std::vector<EventId> live;
+    for (int round = 0; round < 1000; ++round) {
+        // Three schedules and two cancels per round; a tombstoning queue
+        // would end this loop ~2000 entries heavier than the live set.
+        for (int k = 0; k < 3; ++k) {
+            live.push_back(e.schedule_at(TimePoint{} + msec(10 + round % 7), [] {}));
+        }
+        e.cancel(live[live.size() - 2]);
+        live.erase(live.end() - 2);
+        e.cancel(live[live.size() / 2]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
+        ASSERT_EQ(e.pending_count(), live.size());
+        ASSERT_EQ(e.heap_size(), e.pending_count());
+    }
+    for (const EventId id : live) EXPECT_TRUE(e.pending(id));
+    e.run();
+    EXPECT_EQ(e.heap_size(), 0u);
+    EXPECT_EQ(e.pending_count(), 0u);
+}
+
+TEST(Engine, SlotReuseDoesNotResurrectStaleIds) {
+    // Fired and cancelled ids must stay dead even after their slots are
+    // recycled for new events (generation check).
+    Engine e;
+    const EventId fired = e.schedule_at(TimePoint{} + msec(1), [] {});
+    e.run();
+    const EventId cancelled = e.schedule_at(TimePoint{} + msec(2), [] {});
+    EXPECT_TRUE(e.cancel(cancelled));
+    std::vector<EventId> fresh;
+    for (int i = 0; i < 4; ++i) {
+        fresh.push_back(e.schedule_at(TimePoint{} + msec(5), [] {}));
+    }
+    EXPECT_FALSE(e.pending(fired));
+    EXPECT_FALSE(e.pending(cancelled));
+    EXPECT_FALSE(e.cancel(fired));
+    EXPECT_FALSE(e.cancel(cancelled));
+    for (const EventId id : fresh) EXPECT_TRUE(e.pending(id));
+}
+
 TEST(Engine, CancelledEventDoesNotBlockQueueProgress) {
     Engine e;
     bool second = false;
