@@ -59,6 +59,7 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
                         cfg.quantum = util::msec(q);
                         cfg.measure_cycles = measure_cycles(ctx.full_scale);
                         cfg.warmup_cycles = 5 + rep;  // de-phase repeated runs
+                        cfg.metrics = ctx.metrics;
                         const auto r = workload::run_cpu_bound_experiment(cfg);
                         return harness::Result{}
                             .metric("rms_error_pct", 100.0 * r.mean_rms_error)

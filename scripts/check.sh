@@ -50,20 +50,31 @@ run_suite build-asan address,undefined "$@"
 # is compared (less scheduling-noise-prone than the mean); anything more than
 # ALPS_PERF_TOLERANCE percent (default 20) below the baseline fails.
 # ALPS_PERF_SKIP=1 skips the leg (e.g. on heavily loaded or throttled CI).
+#
+# The same leg also gates the telemetry subsystem:
+#   - records a fig4 sweep to an .alpstrace and runs `alps-trace verify`
+#     on it (the recorder, serializer, and semantic validator must agree
+#     end-to-end on a real workload, every CI run);
+#   - the sim_perf run above executes with tracing *disabled*, so its
+#     events/sec doubles as the instrumentation-overhead probe: the
+#     disabled-path cost of every telemetry::active() site must stay within
+#     ALPS_TRACE_OVERHEAD_TOLERANCE percent (default 5) of the committed
+#     baseline — much tighter than the general ALPS_PERF_TOLERANCE.
 if [[ "${ALPS_PERF_SKIP:-0}" != "1" ]]; then
   cmake -B build-perf -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DALPS_SANITIZE=OFF \
     -DALPS_BUILD_BENCH=ON \
     -DALPS_BUILD_EXAMPLES=OFF
-  cmake --build build-perf -j "$JOBS" --target alps-sweep
+  cmake --build build-perf -j "$JOBS" --target alps-sweep alps-trace
   build-perf/tools/alps-sweep --experiment sim_perf --jobs 1 --quiet \
     --out build-perf
   python3 - build-perf/BENCH_sim_perf.json BENCH_sim_perf.json \
-    "${ALPS_PERF_TOLERANCE:-20}" <<'PY'
+    "${ALPS_PERF_TOLERANCE:-20}" "${ALPS_TRACE_OVERHEAD_TOLERANCE:-5}" <<'PY'
 import json, sys
 
-new_path, base_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+new_path, base_path = sys.argv[1], sys.argv[2]
+tol_pct, trace_tol_pct = float(sys.argv[3]), float(sys.argv[4])
 
 def best_events_per_sec(path):
     doc = json.load(open(path))
@@ -73,13 +84,22 @@ def best_events_per_sec(path):
     raise SystemExit(f"{path}: no 'engine' point")
 
 new, base = best_events_per_sec(new_path), best_events_per_sec(base_path)
-floor = base * (1.0 - tol_pct / 100.0)
-verdict = "OK" if new >= floor else "REGRESSION"
-print(f"perf smoke: engine {new:,.0f} events/s vs baseline {base:,.0f} "
-      f"(floor {floor:,.0f}, tolerance {tol_pct:.0f}%) -> {verdict}")
-if new < floor:
+failed = False
+for label, pct in (("perf smoke", tol_pct),
+                   ("tracing-disabled overhead", trace_tol_pct)):
+    floor = base * (1.0 - pct / 100.0)
+    verdict = "OK" if new >= floor else "REGRESSION"
+    print(f"{label}: engine {new:,.0f} events/s vs baseline {base:,.0f} "
+          f"(floor {floor:,.0f}, tolerance {pct:.0f}%) -> {verdict}")
+    failed = failed or new < floor
+if failed:
     raise SystemExit(1)
 PY
+
+  # Record a real trace and validate it end-to-end.
+  build-perf/tools/alps-sweep --experiment fig4 --quiet --no-json \
+    --trace build-perf/fig4.alpstrace
+  build-perf/tools/alps-trace verify build-perf/fig4.alpstrace
 fi
 
-echo "check.sh: TSan + ASan/UBSan builds + ctest + perf smoke passed"
+echo "check.sh: TSan + ASan/UBSan builds + ctest + perf smoke + trace verify passed"

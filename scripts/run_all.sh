@@ -5,7 +5,14 @@
 #   scripts/run_all.sh [--full]
 #
 # --full runs the benches at the paper's full scale (ALPS_BENCH_FULL=1);
-# outputs land in test_output.txt and bench_output.txt at the repo root.
+# outputs land in test_output.txt and bench_output.txt at the repo root, plus
+# one BENCH_<name>.json per registry experiment.
+#
+# Registry experiments are enumerated from `alps-sweep --list` (the harness
+# registry), not a hard-coded list, so a newly registered experiment can't be
+# silently skipped. Standalone bench binaries that are *not* thin wrappers
+# over the registry (detected by the absence of run_and_report in their
+# source) still run directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,13 +26,36 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+SWEEP=build/tools/alps-sweep
+SWEEP_FLAGS=()
+if [[ "$FULL" == "1" ]]; then
+  SWEEP_FLAGS+=(--full)
+fi
+
 {
+  # Every experiment in the harness registry, via the sweep CLI (emits
+  # BENCH_<name>.json next to the text output).
+  "$SWEEP" --list | sed 's/ — .*//' | while read -r exp; do
+    [[ -n "$exp" ]] || continue
+    echo
+    echo "=== registry experiment: $exp ==="
+    "$SWEEP" --experiment "$exp" --out . "${SWEEP_FLAGS[@]}"
+  done
+
+  # Standalone benches that are not yet registry-backed. The registry-backed
+  # ones (thin mains calling run_and_report) already ran above.
   for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue
+    name=$(basename "$b")
+    src="bench/${name}.cpp"
+    if [[ -f "$src" ]] && grep -q "run_and_report" "$src"; then
+      continue
+    fi
     echo
+    echo "=== standalone bench: $name ==="
     ALPS_BENCH_FULL=$FULL "$b"
   done
 } 2>&1 | tee bench_output.txt
 
 echo
-echo "done: test_output.txt, bench_output.txt"
+echo "done: test_output.txt, bench_output.txt, BENCH_*.json"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "util/assert.h"
 
 namespace alps::core {
@@ -12,6 +14,36 @@ namespace {
 /// channel (each verified with a read; with independent loss probability p
 /// the chance of leaving an entity stopped is p^8).
 constexpr int kReleaseAttempts = 8;
+
+// ----- telemetry (all no-ops without an attached sink) -----
+//
+// Each entity gets one state-span timeline on track == its id: an
+// "eligible" or "ineligible" span is always open between admission and
+// removal, switching at every *desired*-eligibility flip (what ALPS wants,
+// which is exactly what Entity::eligible stores). The simulated kernel emits
+// the matching "running" spans, so a Perfetto timeline shows desire vs.
+// reality per process.
+
+std::uint32_t track_of(EntityId id) { return static_cast<std::uint32_t>(id); }
+
+std::uint16_t state_name(bool eligible) {
+    return eligible ? telemetry::kNameEligible : telemetry::kNameIneligible;
+}
+
+void trace_state_open(EntityId id, bool eligible) {
+    if (telemetry::active()) telemetry::span_begin(state_name(eligible), track_of(id));
+}
+
+void trace_state_close(EntityId id, bool eligible) {
+    if (telemetry::active()) telemetry::span_end(state_name(eligible), track_of(id));
+}
+
+void trace_state_flip(EntityId id, bool was_eligible, bool now_eligible) {
+    if (was_eligible == now_eligible || !telemetry::active()) return;
+    telemetry::span_end(state_name(was_eligible), track_of(id));
+    telemetry::span_begin(state_name(now_eligible), track_of(id));
+}
+
 }  // namespace
 
 Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg)
@@ -50,6 +82,7 @@ void Scheduler::add(EntityId id, Share share) {
         e.fail_streak = 1;
     }
     insert_entity(id, e);
+    trace_state_open(id, e.eligible);
     total_shares_ += share;
     // Keep the invariant sum(a_i)*Q == t_c: the newcomer brings its
     // allowance into the cycle.
@@ -61,6 +94,7 @@ void Scheduler::remove(EntityId id) {
     ALPS_EXPECT(it != entities_.end());
     Entity& e = it->second;
     if (!e.eligible) control_.resume(id);  // leave nothing suspended behind
+    trace_state_close(id, e.eligible);
     total_shares_ -= e.share;
     tc_ns_ -= e.allowance * static_cast<double>(cfg_.quantum.count());
     entities_.erase(it);
@@ -69,6 +103,7 @@ void Scheduler::remove(EntityId id) {
 void Scheduler::forget(EntityId id) {
     auto it = find_entity(id);
     if (it == entities_.end()) return;
+    trace_state_close(id, it->second.eligible);
     total_shares_ -= it->second.share;
     tc_ns_ -= it->second.allowance * static_cast<double>(cfg_.quantum.count());
     entities_.erase(it);
@@ -134,6 +169,22 @@ HealthReport Scheduler::health() const {
     return h;
 }
 
+void Scheduler::export_metrics(telemetry::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+    reg.counter(prefix + "ticks").add(count_);
+    reg.counter(prefix + "cycles").add(cycles_done_);
+    reg.counter(prefix + "measurements").add(total_measurements_);
+    const HealthReport h = health();
+    reg.counter(prefix + "read_failures").add(h.read_failures);
+    reg.counter(prefix + "control_failures").add(h.control_failures);
+    reg.counter(prefix + "retries").add(h.retries);
+    reg.counter(prefix + "reissues").add(h.reissues);
+    reg.counter(prefix + "rebaselines").add(h.rebaselines);
+    reg.counter(prefix + "quarantines").add(h.quarantines);
+    reg.counter(prefix + "drops").add(h.drops);
+    reg.counter(prefix + "exceptions").add(h.exceptions);
+}
+
 Sample Scheduler::guarded_read(EntityId id, TickStats& stats) {
     Sample s;
     for (int attempt = 0;; ++attempt) {
@@ -178,6 +229,7 @@ void Scheduler::transition(EntityId id, Entity& e, bool make_eligible, TickStats
     const bool changing = e.eligible != make_eligible;
     const bool healing = e.suspect && cfg_.faults.self_heal;
     if (!changing && !healing) return;
+    trace_state_flip(id, e.eligible, make_eligible);
     e.eligible = make_eligible;  // desired state, regardless of delivery
     const ControlResult r = guarded_signal(id, make_eligible);
     if (r == ControlResult::kOk) {
@@ -213,6 +265,7 @@ void Scheduler::release_all() noexcept {
     const bool verify = health_.degraded();
     for (auto& [id, e] : entities_) {
         if (e.eligible && !verify) continue;
+        trace_state_flip(id, e.eligible, true);
         for (int attempt = 0; attempt < kReleaseAttempts; ++attempt) {
             ControlResult r = ControlResult::kOk;
             try {
@@ -239,6 +292,7 @@ void Scheduler::release_all() noexcept {
 TickStats Scheduler::tick() {
     TickStats stats;
     ++count_;  // paper: count <- count + 1
+    if (telemetry::active()) telemetry::instant(telemetry::kNameTick, 0, count_);
     TickTrace trace;
     TickTrace* tp = tick_observer_ ? &trace : nullptr;
     if (entities_.empty()) {
@@ -267,9 +321,13 @@ TickStats Scheduler::tick() {
         ++stats.quarantined;
         ++health_.quarantines;
         if (tp != nullptr) trace.quarantined.push_back(id);
+        if (telemetry::active()) {
+            telemetry::instant(telemetry::kNameQuarantine, track_of(id));
+        }
         // Quarantine must never wedge a process in SIGSTOP: release it
         // (best-effort) and let it free-run while we probe the channel.
         if (!e.eligible) guarded_signal(id, /*make_eligible=*/true);
+        trace_state_flip(id, e.eligible, true);
         e.eligible = true;
     };
 
@@ -329,6 +387,7 @@ TickStats Scheduler::tick() {
             const ControlResult r = guarded_signal(id, want_eligible);
             if (r == ControlResult::kOk) {
                 e.quarantined = false;
+                trace_state_flip(id, e.eligible, want_eligible);
                 e.eligible = want_eligible;
                 note_success(e);
                 e.update = count_ + 1;
@@ -451,6 +510,7 @@ TickStats Scheduler::tick() {
         ++stats.dropped;
         ++health_.drops;
         if (tp != nullptr) trace.dropped.push_back(id);
+        if (telemetry::active()) telemetry::instant(telemetry::kNameDrop, track_of(id));
         forget(id);
     }
     for (EntityId id : dead) forget(id);
@@ -471,6 +531,9 @@ TickStats Scheduler::tick() {
         stats.cycle_completed = true;
         emit_cycle_record();
         ++cycles_done_;
+        if (telemetry::active()) {
+            telemetry::instant(telemetry::kNameCycle, 0, cycles_done_);
+        }
     }
 
     // --- Allowance refresh and partition (Figure 3, second for-all) ---

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "alps/trace.h"
 #include "util/shares.h"
 #include "util/time.h"
+
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
 
 namespace alps::core {
 
@@ -203,6 +208,13 @@ public:
 
     /// Channel-health counters since construction (see HealthReport).
     [[nodiscard]] HealthReport health() const;
+
+    /// Registers algorithm totals (`<prefix>ticks`, `<prefix>cycles`,
+    /// `<prefix>measurements`) and every HealthReport counter in `reg` —
+    /// the one metrics surface for scheduler health, replacing ad-hoc
+    /// plumbing of HealthReport fields.
+    void export_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "alps.") const;
     /// True once the entity is in quarantine (signalling given up, probing).
     [[nodiscard]] bool quarantined(EntityId id) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/metrics.h"
 #include "util/assert.h"
 
 namespace alps::core {
@@ -13,10 +14,16 @@ TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
 
 void TraceLog::observe(TickTrace trace) {
     if (traces_.size() >= capacity_) {
-        truncated_ = true;
+        ++dropped_ticks_;
         return;
     }
     traces_.push_back(std::move(trace));
+}
+
+void TraceLog::register_metrics(telemetry::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+    reg.counter(prefix + "ticks_logged").add(traces_.size());
+    reg.counter(prefix + "dropped_ticks").add(dropped_ticks_);
 }
 
 std::string TraceLog::to_csv() const {
@@ -41,6 +48,7 @@ std::string TraceLog::to_csv() const {
                 << (contains(t.dropped, id) ? 1 : 0) << ',' << faults << '\n';
         }
     }
+    if (dropped_ticks_ > 0) out << "# dropped_ticks," << dropped_ticks_ << '\n';
     return out.str();
 }
 

@@ -13,6 +13,10 @@
 #include "util/shares.h"
 #include "util/time.h"
 
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
+
 namespace alps::core {
 
 /// One tick's decisions (emitted after the Figure-3 pass completes).
@@ -45,17 +49,26 @@ public:
 
     [[nodiscard]] const std::vector<TickTrace>& traces() const { return traces_; }
     [[nodiscard]] std::size_t size() const { return traces_.size(); }
-    [[nodiscard]] bool truncated() const { return truncated_; }
+    [[nodiscard]] bool truncated() const { return dropped_ticks_ > 0; }
+    /// Ticks observed after the log filled (the trace is an exact prefix —
+    /// how much is missing is no longer silent).
+    [[nodiscard]] std::uint64_t dropped_ticks() const { return dropped_ticks_; }
+
+    /// Registers `<prefix>ticks_logged` and `<prefix>dropped_ticks` in `reg`.
+    void register_metrics(telemetry::MetricsRegistry& reg,
+                          const std::string& prefix = "trace_log.") const;
 
     /// CSV with one row per (tick, entity): tick, entity, allowance,
     /// measured, suspended, resumed, cycle_completed, tc_ms, plus the
     /// degraded-mode columns quarantined, dropped, faults (per-tick sum of
-    /// read/control failures, retries, reissues, and rebaselines).
+    /// read/control failures, retries, reissues, and rebaselines). A
+    /// truncated log appends a `# dropped_ticks,<N>` trailer so downstream
+    /// analysis can tell a short run from a clipped one.
     [[nodiscard]] std::string to_csv() const;
 
 private:
     std::size_t capacity_;
-    bool truncated_ = false;
+    std::uint64_t dropped_ticks_ = 0;
     std::vector<TickTrace> traces_;
 };
 

@@ -26,6 +26,10 @@ struct SweepOptions {
     bool full_scale = false;      ///< paper-scale grid / cycle counts
     std::string out_dir;          ///< where BENCH_<name>.json lands; "" = skip
     bool quiet = false;           ///< suppress progress/ETA on stderr
+    /// Record an .alpstrace of the whole sweep here ("" = tracing off).
+    /// Tracing forces jobs = 1 so two same-seed runs produce byte-identical
+    /// traces (`alps-trace diff` reports zero differences).
+    std::string trace_path;
 };
 
 struct Experiment {

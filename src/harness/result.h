@@ -14,6 +14,10 @@
 #include <utility>
 #include <vector>
 
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
+
 namespace alps::harness {
 
 /// Everything a task may depend on. Tasks must not read globals, the clock,
@@ -22,6 +26,11 @@ struct TaskContext {
     std::size_t index = 0;       ///< position in the sweep's task list
     std::uint64_t seed = 0;      ///< derive_task_seed(sweep seed, index)
     bool full_scale = false;     ///< paper-scale parameters (--full)
+    /// The sweep's metrics registry (never null during a sweep). Tasks
+    /// export cumulative counters/histograms here; counter adds commute, so
+    /// the totals are --jobs-independent. Serialized into the report's
+    /// non-deterministic "run" section.
+    telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// One task's output: ordered named metrics + optional criterion verdicts.

@@ -13,6 +13,9 @@
 #include <thread>
 
 #include "harness/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
+#include "telemetry/trace_file.h"
 #include "util/assert.h"
 
 namespace alps::harness {
@@ -23,6 +26,14 @@ unsigned effective_jobs(unsigned requested) {
     if (requested != 0) return requested;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+std::size_t trace_ring_capacity() {
+    if (const char* v = std::getenv("ALPS_TRACE_CAPACITY")) {
+        const auto n = std::strtoull(v, nullptr, 10);
+        if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{1} << 22;  // 4M records = 128 MiB, ~a full fig4 sweep
 }
 
 /// Serialized progress/ETA line, overwritten in place on a terminal-ish
@@ -84,8 +95,16 @@ SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
     report.experiment = experiment.name;
     report.seed = options.seed;
     report.full_scale = options.full_scale;
-    report.jobs = effective_jobs(options.jobs);
+    // Tracing forces a single worker: per-thread rings and emission order
+    // would otherwise interleave nondeterministically, and the acceptance
+    // bar is that two same-seed traced runs diff clean.
+    const bool tracing = !options.trace_path.empty();
+    report.jobs = tracing ? 1 : effective_jobs(options.jobs);
     report.tasks.resize(tasks.size());
+
+    telemetry::MetricsRegistry metrics;
+    telemetry::Session session({.ring_capacity = trace_ring_capacity()});
+    if (tracing) telemetry::attach(session);
 
     ProgressMeter meter(options.quiet ? nullptr : progress, tasks.size(),
                         experiment.name);
@@ -94,7 +113,7 @@ SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
         for (std::size_t i = 0; i < tasks.size(); ++i) {
             // Each worker writes only to its own pre-sized slot; the vector is
             // never resized while the pool runs.
-            pool.submit([&, i] {
+            pool.submit([&, i, tracing] {
                 const Task& task = tasks[i];
                 TaskOutcome& out = report.tasks[i];
                 out.point = task.point;
@@ -104,6 +123,11 @@ SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
                 ctx.index = i;
                 ctx.seed = derive_task_seed(options.seed, i);
                 ctx.full_scale = options.full_scale;
+                ctx.metrics = &metrics;
+                if (tracing) {
+                    telemetry::set_scope(static_cast<std::uint32_t>(i));
+                }
+                const auto task_t0 = std::chrono::steady_clock::now();
                 try {
                     out.result = task.fn(ctx);
                 } catch (const std::exception& e) {
@@ -113,16 +137,39 @@ SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
                     out.ok = false;
                     out.error = "unknown exception";
                 }
+                const auto task_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - task_t0);
+                metrics.histogram("harness.task_wall_us")
+                    .record(static_cast<std::uint64_t>(task_us.count()));
                 meter.task_done();
             });
         }
         pool.wait_idle();
+        pool.export_metrics(metrics, "harness.pool.");
+    }
+
+    if (tracing) {
+        // The pool has joined, so every producer is quiescent; drain after
+        // detach is the recorder's documented consumption contract.
+        telemetry::detach();
+        telemetry::TraceFile trace;
+        trace.names = session.names();
+        trace.dropped_records = session.dropped();
+        trace.records = session.drain();
+        metrics.counter("harness.trace_records").add(trace.records.size());
+        metrics.counter("harness.trace_dropped_records").add(trace.dropped_records);
+        try {
+            telemetry::write_trace_file(options.trace_path, trace);
+        } catch (const std::exception& e) {
+            std::cerr << "warning: trace not written: " << e.what() << "\n";
+        }
     }
 
     aggregate_points(report);
     report.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     report.git_sha = current_git_sha();
+    if (!metrics.empty()) report.telemetry = metrics.to_json();
     return report;
 }
 
@@ -138,11 +185,12 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
         options.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     }
     if (const char* v = env("ALPS_BENCH_JSON")) options.out_dir = v;
+    if (const char* v = env("ALPS_BENCH_TRACE")) options.trace_path = v;
 
     const auto usage = [&] {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
-                     " [--quiet]\n";
+                     " [--quiet] [--trace FILE.alpstrace]\n";
         return false;
     };
     for (int i = 1; i < argc; ++i) {
@@ -179,6 +227,10 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             options.out_dir = v;
         } else if (arg == "--no-json") {
             options.out_dir.clear();
+        } else if (arg == "--trace") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            options.trace_path = v;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else {

@@ -62,6 +62,11 @@ struct SweepReport {
     unsigned jobs = 0;
     double wall_seconds = 0.0;
     std::string git_sha;
+    /// Serialized sweep MetricsRegistry (telemetry::MetricsRegistry::to_json);
+    /// null when no metrics were registered. Emitted inside "run" — counter
+    /// totals are jobs-independent, but wall-time histograms are not, so the
+    /// whole block stays out of the determinism-compared payload.
+    util::Json telemetry;
 
     /// The point named `point`; nullptr when absent.
     [[nodiscard]] const PointAggregate* find_point(const std::string& point) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/assert.h"
 
 namespace alps::harness {
@@ -51,12 +52,19 @@ void ThreadPool::worker_loop() {
             ++active_;
         }
         task();
+        executed_.fetch_add(1, std::memory_order_relaxed);
         {
             std::unique_lock lock(mu_);
             --active_;
             if (queue_.empty() && active_ == 0) became_idle_.notify_all();
         }
     }
+}
+
+void ThreadPool::export_metrics(telemetry::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+    reg.counter(prefix + "workers").add(workers_.size());
+    reg.counter(prefix + "tasks_executed").add(tasks_executed());
 }
 
 }  // namespace alps::harness

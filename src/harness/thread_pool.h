@@ -11,13 +11,20 @@
 // pool size yields identical results (see harness::run_sweep).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
 
 namespace alps::harness {
 
@@ -43,9 +50,19 @@ public:
 
     [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+    /// Tasks completed so far (lifetime total).
+    [[nodiscard]] std::uint64_t tasks_executed() const {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /// Registers `<prefix>workers` and `<prefix>tasks_executed` in `reg`.
+    void export_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "pool.") const;
+
 private:
     void worker_loop();
 
+    std::atomic<std::uint64_t> executed_{0};
     std::mutex mu_;
     std::condition_variable work_available_;
     std::condition_variable became_idle_;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "os/bsd_policy.h"
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "util/assert.h"
 
 namespace alps::os {
@@ -411,6 +413,11 @@ void Kernel::dispatch(Proc& p, int cpu) {
         ++context_switches_;
         last_on_cpu_[static_cast<std::size_t>(cpu)] = p.pid;
     }
+    if (telemetry::active()) {
+        telemetry::span_begin_at(
+            static_cast<std::uint64_t>(now().since_epoch.count()),
+            telemetry::kNameRunning, static_cast<std::uint32_t>(p.pid));
+    }
     if (p.wake_boost) {
         // The boost covered kernel exit; from here the process runs at user
         // priority. Re-evaluate preemption: past its scalability threshold,
@@ -427,6 +434,11 @@ void Kernel::vacate(int cpu) {
     if (p->state == RunState::kRunning) p->state = RunState::kRunnable;
     p->on_cpu = -1;
     running_[static_cast<std::size_t>(cpu)] = nullptr;
+    if (telemetry::active()) {
+        telemetry::span_end_at(
+            static_cast<std::uint64_t>(now().since_epoch.count()),
+            telemetry::kNameRunning, static_cast<std::uint32_t>(p->pid));
+    }
 }
 
 void Kernel::arm_decision_timer(int cpu) {
@@ -554,6 +566,15 @@ void Kernel::second_tick() {
 
     engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
     schedule();
+}
+
+void Kernel::export_metrics(telemetry::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+    reg.counter(prefix + "context_switches").add(context_switches_);
+    reg.counter(prefix + "spawned").add(static_cast<std::uint64_t>(next_pid_ - 1));
+    reg.counter(prefix + "busy_us")
+        .add(static_cast<std::uint64_t>(busy_time().count() / 1000));
+    reg.gauge(prefix + "loadavg").set(loadavg_);
 }
 
 }  // namespace alps::os

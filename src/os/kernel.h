@@ -30,6 +30,10 @@
 #include "sim/engine.h"
 #include "util/time.h"
 
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
+
 namespace alps::os {
 
 struct KernelConfig {
@@ -128,6 +132,11 @@ public:
     [[nodiscard]] Pid running_pid() const { return running_pid_on(0); }
     /// Pid of the process on the given CPU (kNoPid when idle).
     [[nodiscard]] Pid running_pid_on(int cpu) const;
+
+    /// Registers kernel-wide accounting (`<prefix>context_switches`,
+    /// `<prefix>spawned`, `<prefix>busy_us`, `<prefix>loadavg`) in `reg`.
+    void export_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "kernel.") const;
 
 private:
     /// O(1) pid lookup; nullptr for pids never issued or already reaped.

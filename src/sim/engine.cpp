@@ -2,7 +2,24 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
+
 namespace alps::sim {
+
+namespace {
+
+/// Publishes the virtual clock as the thread's ambient telemetry time so
+/// records emitted from event callbacks (scheduler ticks, kernel dispatches)
+/// carry simulated timestamps. Guarded by active(): with no sink attached the
+/// engine's only tracing cost is this one relaxed load per clock advance.
+void publish_clock(TimePoint t) {
+    if (telemetry::active()) {
+        telemetry::set_now_ns(static_cast<std::uint64_t>(t.since_epoch.count()));
+    }
+}
+
+}  // namespace
 
 void Engine::sift_up(std::uint32_t pos) {
     const std::uint32_t slot = heap_[pos];
@@ -80,6 +97,7 @@ EventId Engine::schedule_at(TimePoint t, Callback cb) {
     heap_.push_back(slot);
     s.heap_pos = pos;
     sift_up(pos);
+    ++scheduled_;
     return make_id(slot, s.gen);
 }
 
@@ -93,6 +111,7 @@ bool Engine::cancel(EventId id) {
     const std::uint32_t slot = slot_of(id);
     heap_erase(slots_[slot].heap_pos);
     take_and_free(slot);  // discard the callback
+    ++cancelled_;
     return true;
 }
 
@@ -107,6 +126,8 @@ bool Engine::step() {
     // may schedule new events into the recycled slot.
     const Callback cb = take_and_free(slot);
     now_ = t;
+    ++fired_;
+    publish_clock(t);
     cb();
     return true;
 }
@@ -117,6 +138,14 @@ void Engine::run_until(TimePoint t) {
         step();
     }
     now_ = t;
+    publish_clock(t);
+}
+
+void Engine::export_metrics(telemetry::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+    reg.counter(prefix + "events_scheduled").add(scheduled_);
+    reg.counter(prefix + "events_fired").add(fired_);
+    reg.counter(prefix + "events_cancelled").add(cancelled_);
 }
 
 void Engine::run() {

@@ -25,10 +25,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/assert.h"
 #include "util/time.h"
+
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
 
 namespace alps::sim {
 
@@ -81,6 +86,16 @@ public:
     /// are driven by run_until with a horizon.
     void run();
 
+    /// Lifetime totals (never reset; cheap plain counters — the engine is
+    /// single-threaded by contract).
+    [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
+    [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+    [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+    /// Registers the lifetime totals as `<prefix>scheduled` etc. in `reg`.
+    void export_metrics(telemetry::MetricsRegistry& reg,
+                        const std::string& prefix = "engine.") const;
+
 private:
     static constexpr std::uint32_t kNoPos = 0xffffffffu;
 
@@ -125,6 +140,9 @@ private:
 
     TimePoint now_{};
     std::uint64_t next_seq_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t fired_ = 0;
+    std::uint64_t cancelled_ = 0;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> heap_;  ///< slot indices, min-heap by (time, seq)
     std::uint32_t free_head_ = kNoPos;

@@ -1,0 +1,102 @@
+#include "telemetry/chrome_export.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace alps::telemetry {
+
+namespace {
+
+std::string record_name(const TraceFile& trace, const Record& r) {
+    if (r.name < trace.names.size() && !trace.names[r.name].empty()) {
+        return trace.names[r.name];
+    }
+    return "name#" + std::to_string(r.name);
+}
+
+bool is_running(const TraceFile& trace, const Record& r) {
+    return r.name < trace.names.size() && trace.names[r.name] == "running";
+}
+
+}  // namespace
+
+util::Json to_chrome_trace(const TraceFile& trace) {
+    auto events = util::Json::array();
+
+    // Metadata first so viewers label lanes before any event references them.
+    std::set<std::uint32_t> pids;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> lanes;  // (pid, tid)
+    for (const Record& r : trace.records) {
+        pids.insert(r.scope);
+        const std::uint32_t lane = r.track * 2 + (is_running(trace, r) ? 1u : 0u);
+        lanes.insert({r.scope, lane});
+    }
+    for (std::uint32_t pid : pids) {
+        auto meta = util::Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", std::uint64_t{pid});
+        auto args = util::Json::object();
+        args.set("name", "scope " + std::to_string(pid));
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+    for (const auto& [pid, tid] : lanes) {
+        auto meta = util::Json::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", std::uint64_t{pid});
+        meta.set("tid", std::uint64_t{tid});
+        auto args = util::Json::object();
+        const std::uint32_t track = tid / 2;
+        args.set("name", "proc " + std::to_string(track) +
+                             (tid % 2 == 1 ? " cpu" : " state"));
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+
+    for (const Record& r : trace.records) {
+        const std::string name = record_name(trace, r);
+        const std::uint32_t tid = r.track * 2 + (is_running(trace, r) ? 1u : 0u);
+        const double ts_us = static_cast<double>(r.ts_ns) / 1000.0;
+
+        auto ev = util::Json::object();
+        ev.set("name", name);
+        switch (static_cast<EventType>(r.type)) {
+            case EventType::kSpanBegin: ev.set("ph", "B"); break;
+            case EventType::kSpanEnd: ev.set("ph", "E"); break;
+            case EventType::kInstant: ev.set("ph", "i"); break;
+            case EventType::kCounter: ev.set("ph", "C"); break;
+            default: continue;  // verify_trace flags these; skip here
+        }
+        ev.set("pid", std::uint64_t{r.scope});
+        ev.set("tid", std::uint64_t{tid});
+        ev.set("ts", ts_us);
+        switch (static_cast<EventType>(r.type)) {
+            case EventType::kInstant: {
+                ev.set("s", "t");  // thread-scoped instant
+                auto args = util::Json::object();
+                args.set("value", r.value);
+                ev.set("args", std::move(args));
+                break;
+            }
+            case EventType::kCounter: {
+                auto args = util::Json::object();
+                args.set(name, r.value);
+                ev.set("args", std::move(args));
+                break;
+            }
+            default: break;
+        }
+        events.push(std::move(ev));
+    }
+
+    auto doc = util::Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+}  // namespace alps::telemetry

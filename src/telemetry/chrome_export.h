@@ -1,0 +1,22 @@
+// Chrome trace_event exporter: .alpstrace -> JSON loadable by Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: each scope becomes a process (pid), each track two timeline lanes
+// within it — tid = track*2 carries the eligible/ineligible state spans and
+// instants, tid = track*2 + 1 carries the kernel's running spans. Splitting
+// the lanes matters because trace_event "B"/"E" pairs must nest within a tid,
+// and a running span can begin inside an eligible span yet end inside an
+// ineligible one. Counter records become "C" events on the state lane;
+// timestamps convert from ns to the format's microseconds.
+#pragma once
+
+#include "telemetry/trace_file.h"
+#include "util/json.h"
+
+namespace alps::telemetry {
+
+/// Builds the {"traceEvents": [...]} document, including process_name /
+/// thread_name metadata so Perfetto labels scopes and lanes.
+[[nodiscard]] util::Json to_chrome_trace(const TraceFile& trace);
+
+}  // namespace alps::telemetry

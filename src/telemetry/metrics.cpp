@@ -1,0 +1,109 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace alps::telemetry {
+
+void Histogram::record(std::uint64_t v) {
+    const int bucket = static_cast<int>(std::bit_width(v));  // 0 for v == 0
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+    ALPS_EXPECT(q >= 0.0 && q <= 1.0);
+    std::uint64_t counts[kBuckets];
+    std::uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    // Rank of the q-quantile, 1-based; q == 0 maps to the first sample.
+    const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[i];
+        if (seen >= rank && counts[i] > 0) {
+            if (i == 0) return 0.0;
+            // Bucket i spans [2^(i-1), 2^i - 1]; report the geometric midpoint.
+            const double lo = std::ldexp(1.0, i - 1);
+            const double hi = std::ldexp(1.0, i);
+            return std::sqrt(lo * hi);
+        }
+    }
+    return 0.0;  // unreachable: total > 0 guarantees the loop returns
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::scoped_lock lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::scoped_lock lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    std::scoped_lock lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+bool MetricsRegistry::empty() const {
+    std::scoped_lock lock(mu_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+    std::scoped_lock lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+util::Json MetricsRegistry::to_json() const {
+    std::scoped_lock lock(mu_);
+    auto doc = util::Json::object();
+    if (!counters_.empty()) {
+        auto obj = util::Json::object();
+        for (const auto& [name, c] : counters_) obj.set(name, c->value());
+        doc.set("counters", std::move(obj));
+    }
+    if (!gauges_.empty()) {
+        auto obj = util::Json::object();
+        for (const auto& [name, g] : gauges_) obj.set(name, g->value());
+        doc.set("gauges", std::move(obj));
+    }
+    if (!histograms_.empty()) {
+        auto obj = util::Json::object();
+        for (const auto& [name, h] : histograms_) {
+            auto stats = util::Json::object();
+            stats.set("count", h->count());
+            stats.set("sum", h->sum());
+            stats.set("p50", h->quantile(0.50));
+            stats.set("p95", h->quantile(0.95));
+            stats.set("p99", h->quantile(0.99));
+            obj.set(name, std::move(stats));
+        }
+        doc.set("histograms", std::move(obj));
+    }
+    return doc;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+}  // namespace alps::telemetry

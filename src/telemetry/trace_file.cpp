@@ -1,0 +1,278 @@
+#include "telemetry/trace_file.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace alps::telemetry {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kRecordBytes = sizeof(Record);  // 32
+
+// Explicit little-endian accessors: the on-disk format must not depend on
+// host byte order.
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+}
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+        out.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+}
+
+class ByteReader {
+public:
+    ByteReader(const std::string& buf, std::string path)
+        : buf_(buf), path_(std::move(path)) {}
+
+    std::uint16_t u16() { return static_cast<std::uint16_t>(raw(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(raw(4)); }
+    std::uint64_t u64() { return raw(8); }
+
+    std::string bytes(std::size_t n) {
+        need(n);
+        std::string s = buf_.substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error(path_ + ": " + why);
+    }
+
+private:
+    std::uint64_t raw(int n) {
+        need(static_cast<std::size_t>(n));
+        std::uint64_t v = 0;
+        for (int i = 0; i < n; ++i) {
+            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf_[pos_ + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+        }
+        pos_ += static_cast<std::size_t>(n);
+        return v;
+    }
+
+    void need(std::size_t n) const {
+        if (buf_.size() - pos_ < n) fail("truncated file");
+    }
+
+    const std::string& buf_;
+    std::string path_;
+    std::size_t pos_ = 0;
+};
+
+const char* type_name(std::uint16_t type) {
+    switch (static_cast<EventType>(type)) {
+        case EventType::kSpanBegin: return "span_begin";
+        case EventType::kSpanEnd: return "span_end";
+        case EventType::kInstant: return "instant";
+        case EventType::kCounter: return "counter";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void write_trace_file(const std::string& path, const TraceFile& trace) {
+    ALPS_EXPECT(trace.names.size() <= 0xffff);
+    std::string out;
+    out.reserve(kHeaderBytes + trace.records.size() * kRecordBytes);
+
+    out.append(kTraceMagic, sizeof(kTraceMagic));
+    put_u32(out, trace.version);
+    put_u32(out, static_cast<std::uint32_t>(kRecordBytes));
+    put_u32(out, static_cast<std::uint32_t>(trace.names.size()));
+    put_u32(out, 0);  // reserved
+    put_u64(out, trace.records.size());
+    put_u64(out, trace.dropped_records);
+    out.append(kHeaderBytes - out.size(), '\0');
+
+    for (const auto& name : trace.names) {
+        ALPS_EXPECT(name.size() <= 0xffff);
+        put_u16(out, static_cast<std::uint16_t>(name.size()));
+        out.append(name);
+    }
+    for (const Record& r : trace.records) {
+        put_u64(out, r.ts_ns);
+        put_u32(out, r.scope);
+        put_u32(out, r.track);
+        put_u16(out, r.type);
+        put_u16(out, r.name);
+        put_u32(out, r.reserved);
+        put_u64(out, r.value);
+    }
+
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error(path + ": cannot open for writing");
+    file.write(out.data(), static_cast<std::streamsize>(out.size()));
+    file.flush();
+    if (!file) throw std::runtime_error(path + ": write failed");
+}
+
+TraceFile read_trace_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw std::runtime_error(path + ": cannot open");
+    std::string buf((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+
+    ByteReader in(buf, path);
+    if (in.remaining() < kHeaderBytes) in.fail("truncated header");
+    if (in.bytes(sizeof(kTraceMagic)) != std::string(kTraceMagic, sizeof(kTraceMagic))) {
+        in.fail("bad magic (not an .alpstrace file)");
+    }
+
+    TraceFile trace;
+    trace.version = in.u32();
+    if (trace.version != kTraceVersion) {
+        in.fail("unsupported version " + std::to_string(trace.version));
+    }
+    const std::uint32_t record_bytes = in.u32();
+    if (record_bytes != kRecordBytes) {
+        in.fail("record size " + std::to_string(record_bytes) + ", expected " +
+                std::to_string(kRecordBytes));
+    }
+    const std::uint32_t name_count = in.u32();
+    if (in.u32() != 0) in.fail("nonzero reserved header field");
+    const std::uint64_t record_count = in.u64();
+    trace.dropped_records = in.u64();
+    for (int i = 0; i < 3; ++i) {
+        if (in.u64() != 0) in.fail("nonzero header padding");
+    }
+
+    trace.names.reserve(name_count);
+    for (std::uint32_t i = 0; i < name_count; ++i) {
+        const std::uint16_t len = in.u16();
+        trace.names.push_back(in.bytes(len));
+    }
+
+    if (in.remaining() != record_count * kRecordBytes) {
+        in.fail("record region is " + std::to_string(in.remaining()) +
+                " bytes, header promises " + std::to_string(record_count * kRecordBytes));
+    }
+    trace.records.reserve(record_count);
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+        Record r;
+        r.ts_ns = in.u64();
+        r.scope = in.u32();
+        r.track = in.u32();
+        r.type = in.u16();
+        r.name = in.u16();
+        r.reserved = in.u32();
+        r.value = in.u64();
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<std::string> verify_trace(const TraceFile& trace) {
+    std::vector<std::string> problems;
+    auto report = [&](std::size_t index, const std::string& why) {
+        problems.push_back("record " + std::to_string(index) + ": " + why);
+    };
+
+    // Open-span depth per (scope, track, name): an end must close a begin.
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t>, std::uint64_t> open;
+    std::map<std::uint32_t, std::uint64_t> last_ts;  // per-scope monotonicity
+
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        const Record& r = trace.records[i];
+        const auto type = static_cast<EventType>(r.type);
+        if (type != EventType::kSpanBegin && type != EventType::kSpanEnd &&
+            type != EventType::kInstant && type != EventType::kCounter) {
+            report(i, "unknown event type " + std::to_string(r.type));
+            continue;
+        }
+        if (r.name >= trace.names.size()) {
+            report(i, "name id " + std::to_string(r.name) + " out of range (table has " +
+                          std::to_string(trace.names.size()) + ")");
+        }
+        if (r.reserved != 0) report(i, "nonzero reserved field");
+
+        auto [it, first] = last_ts.try_emplace(r.scope, r.ts_ns);
+        if (!first && r.ts_ns < it->second) {
+            report(i, "timestamp " + std::to_string(r.ts_ns) + " before " +
+                          std::to_string(it->second) + " in scope " +
+                          std::to_string(r.scope));
+        }
+        it->second = std::max(it->second, r.ts_ns);
+
+        if (type == EventType::kSpanBegin) {
+            ++open[{r.scope, r.track, r.name}];
+        } else if (type == EventType::kSpanEnd) {
+            auto& depth = open[{r.scope, r.track, r.name}];
+            if (depth == 0) {
+                report(i, std::string("span_end without matching begin (name \"") +
+                              (r.name < trace.names.size() ? trace.names[r.name] : "?") +
+                              "\")");
+            } else {
+                --depth;
+            }
+        }
+    }
+    // Spans still open at end-of-trace are deliberately NOT reported: rings
+    // drop the suffix on overflow and teardown can outlive the recording, so
+    // every valid trace is a prefix.
+    return problems;
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b, std::size_t max_details) {
+    TraceDiff diff;
+    if (a.names != b.names) {
+        diff.names_differ = true;
+        diff.details.push_back("string tables differ (" + std::to_string(a.names.size()) +
+                               " vs " + std::to_string(b.names.size()) + " names)");
+    }
+    const std::size_t common = std::min(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.records[i] == b.records[i]) continue;
+        ++diff.differing_records;
+        if (diff.details.size() < max_details) {
+            diff.details.push_back("record " + std::to_string(i) + ": " +
+                                   format_record(a, a.records[i]) + "  vs  " +
+                                   format_record(b, b.records[i]));
+        }
+    }
+    const std::size_t extra = std::max(a.records.size(), b.records.size()) - common;
+    if (extra > 0) {
+        diff.differing_records += extra;
+        if (diff.details.size() < max_details) {
+            diff.details.push_back(std::to_string(extra) + " trailing record(s) only in " +
+                                   (a.records.size() > b.records.size() ? "first" : "second") +
+                                   " trace");
+        }
+    }
+    return diff;
+}
+
+std::string format_record(const TraceFile& trace, const Record& r) {
+    std::string out = std::to_string(r.ts_ns) + "ns scope=" + std::to_string(r.scope) +
+                      " track=" + std::to_string(r.track) + " " + type_name(r.type) + " ";
+    if (r.name < trace.names.size() && !trace.names[r.name].empty()) {
+        out += trace.names[r.name];
+    } else {
+        out += "name#" + std::to_string(r.name);
+    }
+    const auto type = static_cast<EventType>(r.type);
+    if (r.value != 0 || type == EventType::kCounter || type == EventType::kInstant) {
+        out += " value=" + std::to_string(r.value);
+    }
+    return out;
+}
+
+}  // namespace alps::telemetry

@@ -1,0 +1,73 @@
+// The .alpstrace container: versioned binary serialization of one recording.
+//
+// Layout (all integers little-endian, independent of host endianness):
+//
+//   header   64 bytes  magic "ALPSTRC1", version, record size, name count,
+//                      record count, dropped-record count, zero padding
+//   names    for each: u16 byte length + that many UTF-8 bytes (id == index)
+//   records  record_count * 32 bytes, each field serialized in order
+//
+// The reader is strict: wrong magic/version/record size, a name table or
+// record region that ends early, or trailing bytes after the last record are
+// hard errors (throws std::runtime_error) — a truncated or corrupt file never
+// yields a silently short trace. Semantic problems (unbalanced spans, unknown
+// types, out-of-range name ids) are the province of verify_trace(), which
+// reports them all instead of stopping at the first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.h"
+
+namespace alps::telemetry {
+
+inline constexpr char kTraceMagic[8] = {'A', 'L', 'P', 'S', 'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// An in-memory .alpstrace: everything needed to rewrite the file
+/// byte-identically.
+struct TraceFile {
+    std::uint32_t version = kTraceVersion;
+    std::uint64_t dropped_records = 0;  ///< ring overflow during recording
+    std::vector<std::string> names;     ///< string table; index == Record::name
+    std::vector<Record> records;
+};
+
+/// Serializes `trace` to `path`. Throws std::runtime_error on I/O failure and
+/// ContractViolation on malformed input (name longer than a u16, more than
+/// 0xffff names).
+void write_trace_file(const std::string& path, const TraceFile& trace);
+
+/// Parses `path` strictly (see the format notes above). Throws
+/// std::runtime_error with a one-line reason on any structural problem.
+[[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+/// Semantic validation: returns human-readable problems, empty == valid.
+/// Checks per (scope, track): kSpanEnd must close an open span of the same
+/// name. Spans still open at end-of-trace are fine — rings drop the suffix
+/// under overflow and teardown may outlive the recording, so a trace is a
+/// prefix. Also checks: known event types, in-range name ids, zero reserved
+/// fields, and non-decreasing ts within each scope.
+[[nodiscard]] std::vector<std::string> verify_trace(const TraceFile& trace);
+
+/// Record-for-record comparison of two traces.
+struct TraceDiff {
+    bool names_differ = false;
+    std::uint64_t differing_records = 0;  ///< mismatched + length difference
+    std::vector<std::string> details;     ///< first few differences, rendered
+
+    [[nodiscard]] bool identical() const {
+        return !names_differ && differing_records == 0;
+    }
+};
+
+[[nodiscard]] TraceDiff diff_traces(const TraceFile& a, const TraceFile& b,
+                                    std::size_t max_details = 10);
+
+/// One-line human rendering ("12500ns scope=3 track=1 span_begin eligible"),
+/// shared by `alps-trace inspect` and diff details.
+[[nodiscard]] std::string format_record(const TraceFile& trace, const Record& r);
+
+}  // namespace alps::telemetry

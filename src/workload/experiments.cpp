@@ -10,6 +10,7 @@
 #include "os/behaviors.h"
 #include "os/kernel.h"
 #include "sim/engine.h"
+#include "telemetry/metrics.h"
 #include "util/assert.h"
 
 namespace alps::workload {
@@ -90,6 +91,11 @@ SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg) {
     res.ticks = alps.scheduler().tick_count();
     res.measurements = alps.scheduler().total_measurements();
     res.boundaries_missed = alps.driver().boundaries_missed();
+    if (cfg.metrics != nullptr) {
+        engine.export_metrics(*cfg.metrics);
+        kernel.export_metrics(*cfg.metrics);
+        alps.scheduler().export_metrics(*cfg.metrics);
+    }
     return res;
 }
 

@@ -16,6 +16,10 @@
 #include "util/shares.h"
 #include "util/time.h"
 
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
+
 namespace alps::workload {
 
 // ----------------------------------------------------------------------------
@@ -36,6 +40,10 @@ struct SimRunConfig {
     /// Kernel signal-delivery latency model (see KernelConfig): 0 = ideal
     /// instant stops; 10 ms models FreeBSD's hardclock-tick delivery.
     util::Duration stop_latency_grid{0};
+    /// When set, the run exports its engine/kernel/scheduler totals here
+    /// ("engine.", "kernel.", "alps." prefixes) before returning. Sweeps pass
+    /// TaskContext::metrics so every task's counters land in one registry.
+    telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimRunResult {

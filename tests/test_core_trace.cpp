@@ -4,6 +4,7 @@
 
 #include "alps/scheduler.h"
 #include "mock_control.h"
+#include "telemetry/metrics.h"
 #include "util/assert.h"
 
 namespace alps::core {
@@ -130,8 +131,8 @@ TEST(TraceLog, TruncationKeepsTheEarliestTraces) {
 
 TEST(TraceLog, CsvRowCountAtCapacity) {
     // One CSV row per (tick, entity): a truncated log renders exactly
-    // capacity * entities_per_tick rows plus the header, nothing from the
-    // dropped traces.
+    // capacity * entities_per_tick rows plus the header and the
+    // dropped-ticks trailer, nothing from the dropped traces.
     TraceLog log(2);
     for (std::uint64_t i = 0; i < 5; ++i) {
         TickTrace t;
@@ -145,10 +146,44 @@ TEST(TraceLog, CsvRowCountAtCapacity) {
     for (const char c : csv) {
         if (c == '\n') ++rows;
     }
-    EXPECT_EQ(rows, 1u + 2u * 3u);  // header + capacity * entities
+    EXPECT_EQ(rows, 1u + 2u * 3u + 1u);  // header + capacity * entities + trailer
     EXPECT_NE(csv.find("0,1,0.5"), std::string::npos);
     EXPECT_NE(csv.find("1,3,1.5"), std::string::npos);
     EXPECT_EQ(csv.find("\n2,"), std::string::npos);  // tick 2 was dropped
+}
+
+TEST(TraceLog, DroppedTicksCountsEveryOverflowObservation) {
+    TraceLog log(2);
+    for (std::uint64_t i = 0; i < 7; ++i) {
+        TickTrace t;
+        t.tick = i;
+        log.observe(t);
+    }
+    EXPECT_EQ(log.dropped_ticks(), 5u);
+    EXPECT_TRUE(log.truncated());
+    EXPECT_NE(log.to_csv().find("# dropped_ticks,5\n"), std::string::npos);
+}
+
+TEST(TraceLog, UntruncatedCsvHasNoDroppedTicksTrailer) {
+    TraceLog log(4);
+    TickTrace t;
+    t.tick = 1;
+    log.observe(t);
+    EXPECT_EQ(log.dropped_ticks(), 0u);
+    EXPECT_EQ(log.to_csv().find("# dropped_ticks"), std::string::npos);
+}
+
+TEST(TraceLog, RegistersDroppedTicksInMetricsRegistry) {
+    TraceLog log(1);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        TickTrace t;
+        t.tick = i;
+        log.observe(t);
+    }
+    telemetry::MetricsRegistry reg;
+    log.register_metrics(reg);
+    EXPECT_EQ(reg.counter("trace_log.ticks_logged").value(), 1u);
+    EXPECT_EQ(reg.counter("trace_log.dropped_ticks").value(), 3u);
 }
 
 TEST(TraceLog, CsvOfEmptyLogIsHeaderOnly) {

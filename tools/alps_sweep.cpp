@@ -34,7 +34,10 @@ void print_usage(std::ostream& out) {
            "  --full       the paper's full-scale parameters\n"
            "  --out DIR    directory for BENCH_<name>.json (default: .)\n"
            "  --no-json    skip the JSON report\n"
-           "  --quiet      no progress/ETA on stderr\n";
+           "  --quiet      no progress/ETA on stderr\n"
+           "  --trace FILE record an .alpstrace of the sweep (forces --jobs 1\n"
+           "               so same-seed traces are byte-identical; inspect\n"
+           "               with alps-trace)\n";
 }
 
 }  // namespace

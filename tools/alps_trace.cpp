@@ -1,0 +1,210 @@
+// alps-trace — inspect, validate, export, and compare .alpstrace recordings.
+//
+//   alps-trace inspect FILE [--limit N]   print records (human-readable)
+//   alps-trace stats FILE                 per-scope/type/name summary
+//   alps-trace verify FILE                semantic validation; exit 1 on problems
+//   alps-trace export --chrome FILE [-o OUT.json]
+//                                         Chrome trace_event JSON (load in
+//                                         ui.perfetto.dev or chrome://tracing)
+//   alps-trace diff FILE_A FILE_B         record-for-record comparison; exit 1
+//                                         when the traces differ
+//
+// Traces come from `alps-sweep --trace FILE` (or any code using
+// telemetry::Session + write_trace_file).
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/chrome_export.h"
+#include "telemetry/trace_file.h"
+
+namespace {
+
+using alps::telemetry::EventType;
+using alps::telemetry::Record;
+using alps::telemetry::TraceDiff;
+using alps::telemetry::TraceFile;
+
+void print_usage(std::ostream& out) {
+    out << "usage: alps-trace inspect FILE [--limit N]\n"
+           "       alps-trace stats FILE\n"
+           "       alps-trace verify FILE\n"
+           "       alps-trace export --chrome FILE [-o OUT.json]\n"
+           "       alps-trace diff FILE_A FILE_B\n";
+}
+
+int cmd_inspect(const TraceFile& trace, std::size_t limit) {
+    std::cout << "version " << trace.version << ", " << trace.records.size()
+              << " records, " << trace.names.size() << " names, "
+              << trace.dropped_records << " dropped during recording\n";
+    std::size_t shown = 0;
+    for (const Record& r : trace.records) {
+        if (limit != 0 && shown >= limit) {
+            std::cout << "... (" << trace.records.size() - shown << " more)\n";
+            break;
+        }
+        std::cout << format_record(trace, r) << "\n";
+        ++shown;
+    }
+    return 0;
+}
+
+int cmd_stats(const TraceFile& trace) {
+    std::map<std::uint32_t, std::uint64_t> per_scope;
+    std::map<std::string, std::uint64_t> per_kind;  // "type name" keys
+    std::uint64_t ts_min = ~std::uint64_t{0};
+    std::uint64_t ts_max = 0;
+    for (const Record& r : trace.records) {
+        ++per_scope[r.scope];
+        std::string kind;
+        switch (static_cast<EventType>(r.type)) {
+            case EventType::kSpanBegin: kind = "span_begin "; break;
+            case EventType::kSpanEnd: kind = "span_end "; break;
+            case EventType::kInstant: kind = "instant "; break;
+            case EventType::kCounter: kind = "counter "; break;
+            default: kind = "unknown "; break;
+        }
+        kind += r.name < trace.names.size() ? trace.names[r.name]
+                                            : "name#" + std::to_string(r.name);
+        ++per_kind[kind];
+        ts_min = std::min(ts_min, r.ts_ns);
+        ts_max = std::max(ts_max, r.ts_ns);
+    }
+    std::cout << "records:          " << trace.records.size() << "\n";
+    std::cout << "dropped:          " << trace.dropped_records << "\n";
+    std::cout << "names:            " << trace.names.size() << "\n";
+    std::cout << "scopes:           " << per_scope.size() << "\n";
+    if (!trace.records.empty()) {
+        std::cout << "time range:       " << ts_min << " .. " << ts_max << " ns ("
+                  << static_cast<double>(ts_max - ts_min) / 1e9 << " s simulated)\n";
+    }
+    std::cout << "by event kind:\n";
+    for (const auto& [kind, count] : per_kind) {
+        std::cout << "  " << kind << ": " << count << "\n";
+    }
+    return 0;
+}
+
+int cmd_verify(const std::string& path) {
+    TraceFile trace;
+    try {
+        trace = alps::telemetry::read_trace_file(path);
+    } catch (const std::exception& e) {
+        std::cerr << "structurally invalid: " << e.what() << "\n";
+        return 1;
+    }
+    const std::vector<std::string> problems = alps::telemetry::verify_trace(trace);
+    if (problems.empty()) {
+        std::cout << path << ": OK (" << trace.records.size() << " records, "
+                  << trace.dropped_records << " dropped)\n";
+        return 0;
+    }
+    for (const std::string& p : problems) std::cerr << path << ": " << p << "\n";
+    std::cerr << problems.size() << " problem(s)\n";
+    return 1;
+}
+
+int cmd_export_chrome(const TraceFile& trace, const std::string& out_path) {
+    const std::string json = alps::telemetry::to_chrome_trace(trace).dump(0);
+    if (out_path.empty() || out_path == "-") {
+        std::cout << json << "\n";
+        return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << json << "\n";
+    std::cout << "wrote " << out_path << " (open in ui.perfetto.dev)\n";
+    return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+    const TraceFile a = alps::telemetry::read_trace_file(path_a);
+    const TraceFile b = alps::telemetry::read_trace_file(path_b);
+    const TraceDiff d = alps::telemetry::diff_traces(a, b);
+    if (d.identical()) {
+        std::cout << "identical (" << a.records.size() << " records)\n";
+        return 0;
+    }
+    for (const std::string& line : d.details) std::cout << line << "\n";
+    std::cout << d.differing_records << " differing record(s)\n";
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        print_usage(std::cerr);
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "--help" || cmd == "-h") {
+            print_usage(std::cout);
+            return 0;
+        }
+        if (cmd == "inspect") {
+            std::string path;
+            std::size_t limit = 40;
+            for (int i = 2; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
+                    limit = std::strtoull(argv[++i], nullptr, 10);
+                } else if (path.empty()) {
+                    path = argv[i];
+                } else {
+                    print_usage(std::cerr);
+                    return 2;
+                }
+            }
+            if (path.empty()) {
+                print_usage(std::cerr);
+                return 2;
+            }
+            return cmd_inspect(alps::telemetry::read_trace_file(path), limit);
+        }
+        if (cmd == "stats" && argc == 3) {
+            return cmd_stats(alps::telemetry::read_trace_file(argv[2]));
+        }
+        if (cmd == "verify" && argc == 3) {
+            return cmd_verify(argv[2]);
+        }
+        if (cmd == "export") {
+            bool chrome = false;
+            std::string path;
+            std::string out_path;
+            for (int i = 2; i < argc; ++i) {
+                if (std::strcmp(argv[i], "--chrome") == 0) {
+                    chrome = true;
+                } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+                    out_path = argv[++i];
+                } else if (path.empty()) {
+                    path = argv[i];
+                } else {
+                    print_usage(std::cerr);
+                    return 2;
+                }
+            }
+            if (!chrome || path.empty()) {
+                std::cerr << "export requires --chrome and a FILE\n";
+                return 2;
+            }
+            return cmd_export_chrome(alps::telemetry::read_trace_file(path), out_path);
+        }
+        if (cmd == "diff" && argc == 4) {
+            return cmd_diff(argv[2], argv[3]);
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    print_usage(std::cerr);
+    return 2;
+}
