@@ -62,7 +62,75 @@ harness::Result engine_task(bool full) {
         .metric("engine_events_per_sec", static_cast<double>(fired) / wall)
         .metric("engine_ops_per_sec", ops / wall)
         .metric("engine_cancel_hits", static_cast<double>(cancelled))
-        .metric("engine_final_pending", static_cast<double>(eng.pending_count()));
+        .metric("engine_final_pending", static_cast<double>(eng.live_events()));
+}
+
+// Pure timer-op throughput on the two mixes the timing wheel optimizes for:
+//   cancel-heavy  — schedule-then-cancel pairs over a warm pending set, the
+//                   kernel's re-armed-decision-timer pattern distilled (no
+//                   fires, so it isolates O(1) schedule+cancel);
+//   expire        — schedule a batch, run it dry (schedule+fire incl. any
+//                   cascade work as the clock sweeps the wheel);
+//   far-future    — events beyond the wheel horizon (spill list), half
+//                   cancelled, the rest expired (spill insert/unlink and the
+//                   promotion path).
+harness::Result timer_ops_task(bool full) {
+    using util::usec;
+    const std::int64_t iters = full ? 3'000'000 : 600'000;
+    harness::Result res;
+
+    {
+        sim::Engine eng;
+        // A warm pending set so schedule/cancel run against a populated wheel.
+        for (std::int64_t k = 0; k < 256; ++k) {
+            eng.schedule_after(util::sec(1) + usec(k), [] {});
+        }
+        const auto t0 = Clock::now();
+        sim::EventId id = 0;
+        for (std::int64_t i = 0; i < iters; ++i) {
+            if (id != 0) eng.cancel(id);
+            id = eng.schedule_after(usec(100 + i % 997), [] {});
+        }
+        const double wall = seconds_since(t0);
+        res.metric("timer_cancel_heavy_ops_per_sec",
+                   2.0 * static_cast<double>(iters) / wall);
+    }
+
+    {
+        sim::Engine eng;
+        const std::int64_t batch = iters / 4;
+        const auto t0 = Clock::now();
+        std::uint64_t fired = 0;
+        for (std::int64_t i = 0; i < batch; ++i) {
+            // Deterministic spread across ~1 s: exercises every wheel level
+            // reachable without the spill list.
+            eng.schedule_after(usec((i * 7919) % 1'000'000), [&fired] { ++fired; });
+        }
+        eng.run();
+        const double wall = seconds_since(t0);
+        res.metric("timer_expire_ops_per_sec",
+                   2.0 * static_cast<double>(batch) / wall);
+    }
+
+    {
+        sim::Engine eng;
+        const std::int64_t batch = iters / 16;
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<std::size_t>(batch));
+        const auto t0 = Clock::now();
+        for (std::int64_t i = 0; i < batch; ++i) {
+            // ~21 h + i µs: beyond the ~19.5 h wheel horizon, mostly-ascending
+            // times (the realistic far-future arrival order).
+            ids.push_back(eng.schedule_after(util::sec(75'000) + usec(i), [] {}));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2) eng.cancel(ids[i]);
+        eng.run();
+        const double wall = seconds_since(t0);
+        // schedule + cancel-half + fire-half = 2 ops per event.
+        res.metric("timer_far_future_ops_per_sec",
+                   2.0 * static_cast<double>(batch) / wall);
+    }
+    return res;
 }
 
 // Run-queue cycling: enqueue a priority-spread population, pop it dry, repeat.
@@ -124,6 +192,7 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
         }
     };
     push("engine", [](bool full) { return engine_task(full); });
+    push("timer_ops", [](bool full) { return timer_ops_task(full); });
     push("policy", [](bool full) { return policy_task(full); });
     push("e2e_n40", [](bool full) { return e2e_task(40, full); });
     push("e2e_n120", [](bool full) { return e2e_task(120, full); });
@@ -138,6 +207,12 @@ void present(const harness::SweepReport& report, std::ostream& out) {
                util::fmt(report.metric_mean("engine", "engine_events_per_sec"), 0)});
     t.add_row({"engine", "ops/sec (sched+cancel+fire)",
                util::fmt(report.metric_mean("engine", "engine_ops_per_sec"), 0)});
+    t.add_row({"timer_ops", "cancel-heavy ops/sec",
+               util::fmt(report.metric_mean("timer_ops", "timer_cancel_heavy_ops_per_sec"), 0)});
+    t.add_row({"timer_ops", "expire ops/sec",
+               util::fmt(report.metric_mean("timer_ops", "timer_expire_ops_per_sec"), 0)});
+    t.add_row({"timer_ops", "far-future ops/sec",
+               util::fmt(report.metric_mean("timer_ops", "timer_far_future_ops_per_sec"), 0)});
     t.add_row({"policy", "runq ops/sec",
                util::fmt(report.metric_mean("policy", "policy_ops_per_sec"), 0)});
     t.add_row({"e2e_n40", "wall ms/run",

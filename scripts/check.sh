@@ -43,6 +43,26 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 run_suite build-asan address,undefined "$@"
 
+# --- Release + LTO leg: the engine's tagged/devirtualized event dispatch and
+# the arena's placement-new slabs are exactly the kind of code where
+# link-time optimization licenses new assumptions (strict aliasing across
+# TUs, devirtualization of the registered trampolines). Build the simulation
+# tests with interprocedural optimization and run them, so LTO-only breakage
+# fails CI instead of first appearing in a user's -flto build.
+# ALPS_LTO_SKIP=1 skips the leg (e.g. toolchains without a working LTO
+# plugin).
+if [[ "${ALPS_LTO_SKIP:-0}" != "1" ]]; then
+  cmake -B build-lto -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_INTERPROCEDURAL_OPTIMIZATION=ON \
+    -DALPS_SANITIZE=OFF \
+    -DALPS_BUILD_BENCH=OFF \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-lto -j "$JOBS" --target test_sim test_os
+  ctest --test-dir build-lto --output-on-failure -j "$JOBS" \
+    --timeout "$CTEST_TIMEOUT" -R 'Engine|WheelDiff|Replay|Kernel'
+fi
+
 # --- Release perf smoke: the simulation substrate must not regress ---
 # Runs the sim_perf experiment (engine schedule/cancel/fire churn, run-queue
 # cycling, an end-to-end run) in a Release build and compares the engine's
@@ -76,22 +96,31 @@ import json, sys
 new_path, base_path = sys.argv[1], sys.argv[2]
 tol_pct, trace_tol_pct = float(sys.argv[3]), float(sys.argv[4])
 
-def best_events_per_sec(path):
+def best_metric(path, point_name, metric):
     doc = json.load(open(path))
     for point in doc["points"]:
-        if point["point"] == "engine":
-            return point["metrics"]["engine_events_per_sec"]["max"]
-    raise SystemExit(f"{path}: no 'engine' point")
+        if point["point"] == point_name:
+            return point["metrics"][metric]["max"]
+    raise SystemExit(f"{path}: no '{point_name}' point")
 
-new, base = best_events_per_sec(new_path), best_events_per_sec(base_path)
 failed = False
-for label, pct in (("perf smoke", tol_pct),
-                   ("tracing-disabled overhead", trace_tol_pct)):
+def gate(label, point, metric, pct):
+    global failed
+    new = best_metric(new_path, point, metric)
+    base = best_metric(base_path, point, metric)
     floor = base * (1.0 - pct / 100.0)
     verdict = "OK" if new >= floor else "REGRESSION"
-    print(f"{label}: engine {new:,.0f} events/s vs baseline {base:,.0f} "
+    print(f"{label}: {point} {new:,.0f}/s vs baseline {base:,.0f} "
           f"(floor {floor:,.0f}, tolerance {pct:.0f}%) -> {verdict}")
     failed = failed or new < floor
+
+# Engine throughput (also the tracing-disabled overhead probe, at a tighter
+# tolerance) and the timer-op mixes the timing wheel is accountable for.
+gate("perf smoke", "engine", "engine_events_per_sec", tol_pct)
+gate("tracing-disabled overhead", "engine", "engine_events_per_sec", trace_tol_pct)
+gate("timer ops (cancel-heavy)", "timer_ops", "timer_cancel_heavy_ops_per_sec", tol_pct)
+gate("timer ops (expire)", "timer_ops", "timer_expire_ops_per_sec", tol_pct)
+gate("timer ops (far-future)", "timer_ops", "timer_far_future_ops_per_sec", tol_pct)
 if failed:
     raise SystemExit(1)
 PY
@@ -102,4 +131,4 @@ PY
   build-perf/tools/alps-trace verify build-perf/fig4.alpstrace
 fi
 
-echo "check.sh: TSan + ASan/UBSan builds + ctest + perf smoke + trace verify passed"
+echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify passed"

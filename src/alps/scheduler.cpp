@@ -46,8 +46,10 @@ void trace_state_flip(EntityId id, bool was_eligible, bool now_eligible) {
 
 }  // namespace
 
-Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg)
-    : control_(control), cfg_(cfg) {
+Scheduler::Scheduler(ProcessControl& control, SchedulerConfig cfg, util::Arena* arena)
+    : control_(control),
+      cfg_(cfg),
+      entities_(util::ArenaAllocator<std::pair<EntityId, Entity>>(arena)) {
     ALPS_EXPECT(cfg_.quantum > Duration::zero());
     ALPS_EXPECT(cfg_.max_parallelism >= 1.0);
     ALPS_EXPECT(cfg_.faults.max_read_retries >= 0);

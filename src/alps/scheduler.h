@@ -31,6 +31,7 @@
 
 #include "alps/process_control.h"
 #include "alps/trace.h"
+#include "util/arena.h"
 #include "util/shares.h"
 #include "util/time.h"
 
@@ -139,7 +140,11 @@ struct SchedulerSnapshot;
 
 class Scheduler {
 public:
-    Scheduler(ProcessControl& control, SchedulerConfig cfg = {});
+    /// `arena` (optional) backs the entity table with a per-run arena (the
+    /// simulation backends pass their engine's); null keeps it on the heap,
+    /// which is right for hosts without a run arena (POSIX, unit tests).
+    Scheduler(ProcessControl& control, SchedulerConfig cfg = {},
+              util::Arena* arena = nullptr);
 
     // ----- membership -----
 
@@ -252,8 +257,12 @@ private:
     /// order as the std::map it replaces, but contiguous: tick() walks every
     /// entity twice per quantum, and the map's node hops dominated that walk.
     /// Membership changes are rare (admission, death), so O(n) sorted
-    /// insert/erase is the right trade.
-    using EntityTable = std::vector<std::pair<EntityId, Entity>>;
+    /// insert/erase is the right trade. Arena-backed when the scheduler is
+    /// given a per-run arena (growth strands the old buffer there — fine for
+    /// a table that reaches its run's population and stays).
+    using EntityTable =
+        std::vector<std::pair<EntityId, Entity>,
+                    util::ArenaAllocator<std::pair<EntityId, Entity>>>;
 
     [[nodiscard]] EntityTable::iterator find_entity(EntityId id) {
         const auto it = std::lower_bound(

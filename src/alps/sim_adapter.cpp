@@ -128,7 +128,8 @@ SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
     // The fault layer always sits in the stack but starts disabled (a pure
     // pass-through), so the no-fault configuration behaves identically.
     fault_control_ = std::make_unique<FaultInjectingControl>(*control_, faults);
-    scheduler_ = std::make_unique<Scheduler>(*fault_control_, cfg);
+    scheduler_ =
+        std::make_unique<Scheduler>(*fault_control_, cfg, &kernel_.engine().arena());
     auto behavior = std::make_unique<AlpsDriverBehavior>(*scheduler_, cost);
     driver_ = behavior.get();
     driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior));
@@ -157,8 +158,15 @@ SimAdaptiveQuantum::SimAdaptiveQuantum(SimAlps& alps, AdaptiveQuantumConfig cfg,
     ALPS_EXPECT(window > Duration::zero());
     last_cpu_ = alps_.overhead_cpu();
     last_eval_ = alps_.kernel().now();
-    event_ = alps_.kernel().engine().schedule_after(effective_window(),
-                                                    [this] { on_window(); });
+    // The window timer recurs for the whole run: register it on the engine's
+    // devirtualized dispatch path (registrations are engine-lifetime, and so
+    // is this controller by contract).
+    window_kind_ = alps_.kernel().engine().register_hot(
+        [](void* self, std::uint64_t) {
+            static_cast<SimAdaptiveQuantum*>(self)->on_window();
+        },
+        this);
+    event_ = alps_.kernel().engine().schedule_after(effective_window(), window_kind_, 0);
 }
 
 SimAdaptiveQuantum::~SimAdaptiveQuantum() {
@@ -183,8 +191,7 @@ void SimAdaptiveQuantum::on_window() {
         alps_.scheduler().set_quantum(new_q);
         ++adjustments_;
     }
-    event_ = alps_.kernel().engine().schedule_after(effective_window(),
-                                                    [this] { on_window(); });
+    event_ = alps_.kernel().engine().schedule_after(effective_window(), window_kind_, 0);
 }
 
 // ----------------------------------------------------------------------------
@@ -196,7 +203,7 @@ SimGroupAlps::SimGroupAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel co
     ALPS_EXPECT(refresh_period > Duration::zero());
     host_ = std::make_unique<SimProcessHost>(kernel_);
     control_ = std::make_unique<GroupProcessControl>(*host_);
-    scheduler_ = std::make_unique<Scheduler>(*control_, cfg);
+    scheduler_ = std::make_unique<Scheduler>(*control_, cfg, &kernel_.engine().arena());
     next_refresh_ = kernel_.now();
 
     // Once per refresh period, reconcile every principal's membership with

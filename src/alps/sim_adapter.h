@@ -145,6 +145,7 @@ private:
     util::Duration last_cpu_{0};
     util::TimePoint last_eval_{};
     sim::EventId event_ = 0;
+    sim::Engine::HotKind window_kind_ = 0;  ///< devirtualized on_window timer
     int adjustments_ = 0;
 };
 

@@ -23,11 +23,32 @@ Kernel::Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy, KernelC
     running_.assign(static_cast<std::size_t>(cfg_.ncpus), nullptr);
     decision_events_.assign(static_cast<std::size_t>(cfg_.ncpus), 0);
     last_on_cpu_.assign(static_cast<std::size_t>(cfg_.ncpus), kNoPid);
-    table_.emplace_back(nullptr);  // slot 0: kNoPid, never issued
-    engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
+    table_.push_back(nullptr);  // slot 0: kNoPid, never issued
+    decision_kind_ = engine_.register_hot(&Kernel::on_decision_timer, this);
+    wake_kind_ = engine_.register_hot(&Kernel::on_timer_wake, this);
+    tick_kind_ = engine_.register_hot(&Kernel::on_second_tick, this);
+    engine_.schedule_after(cfg_.schedcpu_period, tick_kind_, 0);
 }
 
-Kernel::~Kernel() = default;
+Kernel::~Kernel() {
+    // Proc records live in the arena; run their destructors (name, behaviour)
+    // here — the bytes go back with the arena.
+    for (Proc* p : table_) {
+        if (p != nullptr) p->~Proc();
+    }
+}
+
+void Kernel::on_decision_timer(void* self, std::uint64_t) {
+    static_cast<Kernel*>(self)->schedule();
+}
+
+void Kernel::on_timer_wake(void* self, std::uint64_t arg) {
+    static_cast<Kernel*>(self)->timer_wake(static_cast<Pid>(arg));
+}
+
+void Kernel::on_second_tick(void* self, std::uint64_t) {
+    static_cast<Kernel*>(self)->second_tick();
+}
 
 // ----------------------------------------------------------------------------
 // Process table
@@ -35,7 +56,7 @@ Kernel::~Kernel() = default;
 Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice) {
     ALPS_EXPECT(behavior != nullptr);
     const Pid pid = next_pid_++;
-    auto owned = std::make_unique<Proc>();
+    Proc* owned = engine_.arena().create<Proc>();
     Proc& p = *owned;
     p.pid = pid;
     p.name = std::move(name);
@@ -45,7 +66,7 @@ Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior,
     p.behavior = std::move(behavior);
     p.last_charge = now();
     ALPS_ENSURE(static_cast<std::size_t>(pid) == table_.size());
-    table_.push_back(std::move(owned));
+    table_.push_back(owned);
     p.ordered_index = ordered_.size();
     ordered_.push_back(&p);
     std::vector<Proc*>& members = by_uid_[uid];
@@ -72,17 +93,18 @@ void Kernel::reap(Pid pid) {
     for (std::size_t i = p.ordered_index; i < ordered_.size(); ++i) {
         ordered_[i]->ordered_index = i;
     }
-    table_[static_cast<std::size_t>(pid)].reset();
+    p.~Proc();  // arena-backed: destroy in place, the arena keeps the bytes
+    table_[static_cast<std::size_t>(pid)] = nullptr;
 }
 
 const Proc* Kernel::lookup(Pid pid) const {
     if (pid <= 0 || static_cast<std::size_t>(pid) >= table_.size()) return nullptr;
-    return table_[static_cast<std::size_t>(pid)].get();
+    return table_[static_cast<std::size_t>(pid)];
 }
 
 Proc& Kernel::proc_mut(Pid pid) {
     Proc* p = pid > 0 && static_cast<std::size_t>(pid) < table_.size()
-                  ? table_[static_cast<std::size_t>(pid)].get()
+                  ? table_[static_cast<std::size_t>(pid)]
                   : nullptr;
     ALPS_EXPECT(p != nullptr);
     return *p;
@@ -355,8 +377,8 @@ void Kernel::begin_sleep(Proc& p, bool timed, TimePoint wake_at, WaitChannel cha
     p.sleep_start = now();
     ++p.voluntary_sleeps;
     if (timed) {
-        const Pid pid = p.pid;
-        p.sleep_event = engine_.schedule_at(wake_at, [this, pid] { timer_wake(pid); });
+        p.sleep_event =
+            engine_.schedule_at(wake_at, wake_kind_, static_cast<std::uint64_t>(p.pid));
     }
 }
 
@@ -453,7 +475,7 @@ void Kernel::arm_decision_timer(int cpu) {
     if (p->run_remaining != kRunForever) {
         next = std::min(next, now() + p->run_remaining);
     }
-    ev = engine_.schedule_at(next, [this] { schedule(); });
+    ev = engine_.schedule_at(next, decision_kind_, 0);
 }
 
 void Kernel::schedule() {
@@ -564,7 +586,7 @@ void Kernel::second_tick() {
     }
     policy_->second_tick(ordered_, loadavg_, now());
 
-    engine_.schedule_after(cfg_.schedcpu_period, [this] { second_tick(); });
+    engine_.schedule_after(cfg_.schedcpu_period, tick_kind_, 0);
     schedule();
 }
 

@@ -56,6 +56,9 @@ class Kernel {
 public:
     /// The kernel drives (and is driven by) the given event engine. The
     /// policy defaults to the 4.4BSD scheduler when null.
+    /// The kernel also adopts the engine's per-run arena for its Proc
+    /// records and registers its recurring timers (decision timer, sleep
+    /// wakeups, schedcpu tick) on the engine's devirtualized dispatch path.
     Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy = nullptr,
            KernelConfig cfg = {});
     ~Kernel();
@@ -174,6 +177,13 @@ private:
     void arm_decision_timer(int cpu);
     void second_tick();
 
+    // Trampolines for the engine's devirtualized (hot) dispatch: the three
+    // recurring timer kinds that dominate steady-state event traffic. They
+    // fire with `this` as ctx, so the event loop never builds a std::function.
+    static void on_decision_timer(void* self, std::uint64_t arg);
+    static void on_timer_wake(void* self, std::uint64_t arg);
+    static void on_second_tick(void* self, std::uint64_t arg);
+
     /// Count of processes that want the CPU (running + queued).
     [[nodiscard]] std::size_t eligible_count() const;
 
@@ -186,8 +196,11 @@ private:
     /// and never reused, so slot pid holds that process; reaped slots stay
     /// null). Replaces an unordered_map whose hashing dominated the sampling
     /// hot path; the 8 bytes a reaped pid leaves behind are irrelevant at
-    /// simulation scale. Slot 0 is the unissued kNoPid.
-    std::vector<std::unique_ptr<Proc>> table_;
+    /// simulation scale. Slot 0 is the unissued kNoPid. Proc records are
+    /// placement-newed from the engine's per-run arena (spawn is
+    /// allocation-free once the arena is warm); reap and the destructor run
+    /// the destructors, the arena reclaims the bytes.
+    std::vector<Proc*> table_;
     std::vector<Proc*> ordered_;  ///< creation order, live + zombie
     /// Live (non-zombie) processes per uid, in creation order — the cached
     /// answer to pids_of_uid, maintained at spawn/exit (not reap: zombies
@@ -197,6 +210,10 @@ private:
     std::vector<Proc*> running_;            ///< per-CPU occupant (or null)
     std::vector<sim::EventId> decision_events_;  ///< per-CPU decision timer
     std::vector<Pid> last_on_cpu_;          ///< per-CPU, for switch counting
+
+    sim::Engine::HotKind decision_kind_ = 0;  ///< fires schedule()
+    sim::Engine::HotKind wake_kind_ = 0;      ///< fires timer_wake(arg = pid)
+    sim::Engine::HotKind tick_kind_ = 0;      ///< fires second_tick()
 
     bool in_schedule_ = false;
     bool resched_ = false;

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <bit>
 #include <utility>
 
 #include "telemetry/metrics.h"
@@ -21,84 +22,248 @@ void publish_clock(TimePoint t) {
 
 }  // namespace
 
-void Engine::sift_up(std::uint32_t pos) {
-    const std::uint32_t slot = heap_[pos];
-    while (pos > 0) {
-        const std::uint32_t parent_pos = (pos - 1) / 2;
-        const std::uint32_t parent = heap_[parent_pos];
-        if (!before(slot, parent)) break;
-        heap_[pos] = parent;
-        slots_[parent].heap_pos = pos;
-        pos = parent_pos;
-    }
-    heap_[pos] = slot;
-    slots_[slot].heap_pos = pos;
+Engine::~Engine() {
+    // Slabs are raw arena storage, so run the record destructors explicitly
+    // (generic events may still hold captured std::function state); the
+    // bytes themselves go back with the arena.
+    for (std::uint32_t i = 0; i < slot_count_; ++i) slot_ref(i).~Slot();
 }
 
-void Engine::sift_down(std::uint32_t pos) {
-    const std::uint32_t slot = heap_[pos];
-    const auto size = static_cast<std::uint32_t>(heap_.size());
-    for (;;) {
-        std::uint32_t child_pos = 2 * pos + 1;
-        if (child_pos >= size) break;
-        if (child_pos + 1 < size && before(heap_[child_pos + 1], heap_[child_pos])) {
-            ++child_pos;
+Engine::HotKind Engine::register_hot(HotFn fn, void* ctx) {
+    ALPS_EXPECT(fn != nullptr);
+    ALPS_EXPECT(hot_.size() < 255);  // kind 0 is the generic path
+    hot_.emplace_back(fn, ctx);
+    return static_cast<HotKind>(hot_.size());
+}
+
+std::uint32_t Engine::alloc_slot() {
+    if (free_head_ != kNil) {
+        const std::uint32_t idx = free_head_;
+        free_head_ = slot_ref(idx).next;
+        return idx;
+    }
+    // Carve a fresh slab out of the arena and construct its records.
+    Slot* slab = static_cast<Slot*>(
+        arena_->allocate(sizeof(Slot) * kSlabSize, alignof(Slot)));
+    for (std::uint32_t k = 0; k < kSlabSize; ++k) ::new (slab + k) Slot();
+    slabs_.push_back(slab);
+    const std::uint32_t base = slot_count_;
+    slot_count_ += kSlabSize;
+    // Hand out the slab's first record; chain the rest onto the free list in
+    // index order.
+    for (std::uint32_t k = kSlabSize; k-- > 1;) {
+        slab[k].next = free_head_;
+        free_head_ = base + k;
+    }
+    return base;
+}
+
+void Engine::file(std::uint32_t idx) {
+    Slot& s = slot_ref(idx);
+    const std::uint64_t tick = tick_of(s.time);
+    // The level is the highest 6-bit digit in which the expiry tick differs
+    // from the current clock tick (the radix view of a hierarchical wheel):
+    // lower levels hold nearer events at finer granularity.
+    const std::uint64_t x = tick ^ cur_tick_;
+    unsigned level = 0;
+    if (x != 0) {
+        const unsigned hb = 63u - static_cast<unsigned>(std::countl_zero(x));
+        level = hb / kLevelBits;
+    }
+    if (level >= kLevels) {
+        spill_insert(idx);
+        return;
+    }
+    const unsigned slot = digit(tick, level);
+    Bucket& b = wheel_[level][slot];
+    s.where = static_cast<std::uint16_t>(level * kSlotsPerLevel + slot);
+    s.prev = b.tail;
+    s.next = kNil;
+    if (b.tail != kNil) {
+        slot_ref(b.tail).next = idx;
+    } else {
+        b.head = idx;
+    }
+    b.tail = idx;
+    occ_[level] |= 1ull << slot;
+}
+
+void Engine::spill_insert(std::uint32_t idx) {
+    Slot& s = slot_ref(idx);
+    s.where = kInSpill;
+    // Sorted ascending by (time, seq); far-future events arrive rarely and
+    // usually latest-first, so walk from the tail.
+    std::uint32_t after = spill_tail_;
+    while (after != kNil && before(idx, after)) after = slot_ref(after).prev;
+    s.prev = after;
+    if (after == kNil) {
+        s.next = spill_head_;
+        spill_head_ = idx;
+    } else {
+        s.next = slot_ref(after).next;
+        slot_ref(after).next = idx;
+    }
+    if (s.next != kNil) {
+        slot_ref(s.next).prev = idx;
+    } else {
+        spill_tail_ = idx;
+    }
+    ++spill_live_;
+}
+
+void Engine::detach(std::uint32_t idx) {
+    Slot& s = slot_ref(idx);
+    ALPS_ENSURE(s.where != kDetached);
+    if (s.where == kInSpill) {
+        if (s.prev != kNil) {
+            slot_ref(s.prev).next = s.next;
+        } else {
+            spill_head_ = s.next;
         }
-        const std::uint32_t child = heap_[child_pos];
-        if (!before(child, slot)) break;
-        heap_[pos] = child;
-        slots_[child].heap_pos = pos;
-        pos = child_pos;
+        if (s.next != kNil) {
+            slot_ref(s.next).prev = s.prev;
+        } else {
+            spill_tail_ = s.prev;
+        }
+        --spill_live_;
+    } else {
+        const unsigned level = s.where / kSlotsPerLevel;
+        const unsigned slot = s.where % kSlotsPerLevel;
+        Bucket& b = wheel_[level][slot];
+        if (s.prev != kNil) {
+            slot_ref(s.prev).next = s.next;
+        } else {
+            b.head = s.next;
+        }
+        if (s.next != kNil) {
+            slot_ref(s.next).prev = s.prev;
+        } else {
+            b.tail = s.prev;
+        }
+        if (b.head == kNil) occ_[level] &= ~(1ull << slot);
     }
-    heap_[pos] = slot;
-    slots_[slot].heap_pos = pos;
+    s.where = kDetached;
+    s.prev = kNil;
+    s.next = kNil;
 }
 
-void Engine::heap_erase(std::uint32_t pos) {
-    const std::uint32_t last = heap_.back();
-    heap_.pop_back();
-    if (pos == heap_.size()) return;  // removed the tail entry itself
-    heap_[pos] = last;
-    slots_[last].heap_pos = pos;
-    // The moved entry may need to travel either way relative to its new
-    // neighbourhood; only one of the two sifts will do anything.
-    sift_up(pos);
-    sift_down(slots_[last].heap_pos);
+void Engine::cascade_bucket(unsigned level, unsigned slot) {
+    // Every event here now agrees with the clock in this level's digit (and
+    // all digits above), so each re-files strictly below `level`.
+    Bucket& b = wheel_[level][slot];
+    std::uint32_t idx = b.head;
+    b.head = kNil;
+    b.tail = kNil;
+    occ_[level] &= ~(1ull << slot);
+    while (idx != kNil) {
+        Slot& s = slot_ref(idx);
+        const std::uint32_t next = s.next;
+        s.where = kDetached;
+        s.prev = kNil;
+        s.next = kNil;
+        file(idx);
+        ++cascades_;
+        idx = next;
+    }
 }
 
-Engine::Callback Engine::take_and_free(std::uint32_t slot) {
-    Slot& s = slots_[slot];
-    Callback cb = std::move(s.cb);
-    s.cb = nullptr;  // drop captured state now; the slot may idle for a while
-    ++s.gen;         // invalidate every outstanding id for this slot
-    s.heap_pos = kNoPos;
-    s.next_free = free_head_;
-    free_head_ = slot;
-    return cb;
+std::uint32_t Engine::find_min() {
+    // Cascades and promotions are only due when the clock's upper tick
+    // digits changed: a cursor bucket at level >= 1 cannot re-fill while its
+    // digit is unchanged (file() always places an event at the level of its
+    // highest digit *differing* from the clock), and the spill list only
+    // holds events beyond the current horizon window. In steady state —
+    // kernel timers a few ticks apart — this skips the whole block.
+    if (cur_tick_ != cascaded_tick_) {
+        const std::uint64_t changed = cur_tick_ ^ cascaded_tick_;
+        cascaded_tick_ = cur_tick_;
+        // Promote far-future events whose expiry now fits the wheel horizon.
+        // Every wheel event shares the clock's top-level tick prefix, so an
+        // unpromoted spill entry can never be earlier than any wheel event.
+        constexpr unsigned kHorizonShift = kLevelBits * kLevels;
+        if ((changed >> kHorizonShift) != 0) {
+            while (spill_head_ != kNil &&
+                   (tick_of(slot_ref(spill_head_).time) >> kHorizonShift) ==
+                       (cur_tick_ >> kHorizonShift)) {
+                const std::uint32_t idx = spill_head_;
+                detach(idx);
+                file(idx);
+                ++promotions_;
+            }
+        }
+        // Cascade the bucket the clock has entered at each level whose digit
+        // changed (higher levels' cursor buckets are still the ones already
+        // drained): its events differ from the current tick only below that
+        // level and belong further down. Re-filed events always land at
+        // strictly lower levels, ahead of the cursor digit, so one top-down
+        // pass suffices.
+        const unsigned hb = 63u - static_cast<unsigned>(std::countl_zero(changed));
+        unsigned l = hb / kLevelBits;
+        if (l >= kLevels) l = kLevels - 1;
+        for (++l; l-- > 1;) {
+            const unsigned c = digit(cur_tick_, l);
+            if (occ_[l] & (1ull << c)) cascade_bucket(l, c);
+        }
+    }
+    // The earliest pending event is in the first occupied bucket of the
+    // lowest occupied level: all remaining buckets sit at or ahead of the
+    // cursor digit of their level and share every higher digit with the
+    // clock, so lower levels — and lower slots within a level — strictly
+    // dominate. Within the bucket, scan for the exact (time, seq) minimum
+    // (bucket ticks are coarser than event times). Ordering proof sketch in
+    // DESIGN.md §6.
+    std::uint32_t best = kNil;
+    for (unsigned l = 0; l < kLevels; ++l) {
+        if (occ_[l] == 0) continue;
+        const auto slot = static_cast<unsigned>(std::countr_zero(occ_[l]));
+        for (std::uint32_t i = wheel_[l][slot].head; i != kNil; i = slot_ref(i).next) {
+            if (best == kNil || before(i, best)) best = i;
+        }
+        break;
+    }
+    if (best == kNil) best = spill_head_;  // beyond-horizon future, if any
+    return best;
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+    Slot& s = slot_ref(idx);
+    ++s.gen;  // invalidate every outstanding id for this slot
+    s.hot = 0;
+    s.arg = 0;
+    s.where = kDetached;
+    s.prev = kNil;
+    s.next = free_head_;
+    free_head_ = idx;
 }
 
 EventId Engine::schedule_at(TimePoint t, Callback cb) {
     ALPS_EXPECT(t >= now_);
     ALPS_EXPECT(cb != nullptr);
-    std::uint32_t slot;
-    if (free_head_ != kNoPos) {
-        slot = free_head_;
-        free_head_ = slots_[slot].next_free;
-    } else {
-        slot = static_cast<std::uint32_t>(slots_.size());
-        slots_.emplace_back();
-    }
-    Slot& s = slots_[slot];
+    const std::uint32_t idx = alloc_slot();
+    Slot& s = slot_ref(idx);
     s.time = t;
     s.seq = next_seq_++;
-    s.next_free = kNoPos;
+    s.hot = 0;
     s.cb = std::move(cb);
-    const std::uint32_t pos = static_cast<std::uint32_t>(heap_.size());
-    heap_.push_back(slot);
-    s.heap_pos = pos;
-    sift_up(pos);
+    file(idx);
     ++scheduled_;
-    return make_id(slot, s.gen);
+    ++live_;
+    return make_id(idx, s.gen);
+}
+
+EventId Engine::schedule_at(TimePoint t, HotKind kind, std::uint64_t arg) {
+    ALPS_EXPECT(t >= now_);
+    ALPS_EXPECT(kind != 0 && kind <= hot_.size());
+    const std::uint32_t idx = alloc_slot();
+    Slot& s = slot_ref(idx);
+    s.time = t;
+    s.seq = next_seq_++;
+    s.hot = kind;
+    s.arg = arg;
+    file(idx);
+    ++scheduled_;
+    ++live_;
+    return make_id(idx, s.gen);
 }
 
 EventId Engine::schedule_after(Duration d, Callback cb) {
@@ -106,39 +271,75 @@ EventId Engine::schedule_after(Duration d, Callback cb) {
     return schedule_at(now_ + d, std::move(cb));
 }
 
+EventId Engine::schedule_after(Duration d, HotKind kind, std::uint64_t arg) {
+    ALPS_EXPECT(d >= Duration::zero());
+    return schedule_at(now_ + d, kind, arg);
+}
+
 bool Engine::cancel(EventId id) {
     if (!pending(id)) return false;
-    const std::uint32_t slot = slot_of(id);
-    heap_erase(slots_[slot].heap_pos);
-    take_and_free(slot);  // discard the callback
+    const std::uint32_t idx = slot_of(id);
+    detach(idx);
+    Slot& s = slot_ref(idx);
+    if (s.hot == 0) s.cb = nullptr;  // discard the callback
+    release_slot(idx);
+    --live_;
     ++cancelled_;
     return true;
 }
 
-bool Engine::step() {
-    if (heap_.empty()) return false;
-    const std::uint32_t slot = heap_[0];
-    const TimePoint t = slots_[slot].time;
+void Engine::fire(std::uint32_t idx) {
+    detach(idx);
+    Slot& s = slot_ref(idx);
+    const TimePoint t = s.time;
     ALPS_ENSURE(t >= now_);
-    heap_erase(0);
+    const HotKind hot = s.hot;
+    const std::uint64_t arg = s.arg;
     // Free before invoking: during its own callback an event is no longer
     // pending (cancel on the in-flight id returns false), and the callback
-    // may schedule new events into the recycled slot.
-    const Callback cb = take_and_free(slot);
+    // may schedule new events into the recycled slot. Hot events never touch
+    // the std::function at all.
+    Callback cb;
+    if (hot == 0) {
+        cb = std::move(s.cb);
+        s.cb = nullptr;  // drop captured state now; the slot may idle a while
+    }
+    release_slot(idx);
+    --live_;
     now_ = t;
+    cur_tick_ = tick_of(t);
     ++fired_;
     publish_clock(t);
-    cb();
+    if (hot != 0) {
+        const auto& [fn, ctx] = hot_[hot - 1u];
+        fn(ctx, arg);
+    } else {
+        cb();
+    }
+}
+
+bool Engine::step() {
+    const std::uint32_t idx = find_min();
+    if (idx == kNil) return false;
+    fire(idx);
     return true;
 }
 
 void Engine::run_until(TimePoint t) {
     ALPS_EXPECT(t >= now_);
-    while (!heap_.empty() && slots_[heap_[0]].time <= t) {
-        step();
+    for (;;) {
+        const std::uint32_t idx = find_min();
+        if (idx == kNil || slot_ref(idx).time > t) break;
+        fire(idx);
     }
     now_ = t;
+    cur_tick_ = tick_of(t);
     publish_clock(t);
+}
+
+void Engine::run() {
+    while (step()) {
+    }
 }
 
 void Engine::export_metrics(telemetry::MetricsRegistry& reg,
@@ -146,11 +347,14 @@ void Engine::export_metrics(telemetry::MetricsRegistry& reg,
     reg.counter(prefix + "events_scheduled").add(scheduled_);
     reg.counter(prefix + "events_fired").add(fired_);
     reg.counter(prefix + "events_cancelled").add(cancelled_);
-}
-
-void Engine::run() {
-    while (step()) {
-    }
+    reg.counter(prefix + "wheel_cascades").add(cascades_);
+    reg.counter(prefix + "wheel_spill_promotions").add(promotions_);
+    // Counters (not gauges) so parallel sweep reps aggregate commutatively —
+    // the registry contract for --jobs-independent output.
+    reg.counter(prefix + "arena_bytes")
+        .add(static_cast<std::uint64_t>(arena_->bytes_used()));
+    reg.counter(prefix + "arena_high_water")
+        .add(static_cast<std::uint64_t>(arena_->high_water()));
 }
 
 }  // namespace alps::sim

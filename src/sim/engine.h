@@ -7,20 +7,32 @@
 // The kernel simulator (src/os) runs entirely on top of this engine: there is
 // no tick — CPU consumption is charged in bulk between scheduling points.
 //
-// Implementation: an indexed binary min-heap over a slab (free-list) of event
-// records. Every scheduled event owns one slab slot holding its callback and
-// its current heap position, so
-//  * schedule is O(log n) with no per-event heap allocation in steady state
-//    (slots and their callback small-object buffers are recycled);
-//  * cancel unlinks the record from the heap in O(log n) — cancelled events
-//    leave no tombstones behind, so the heap never holds dead entries and
-//    cancel-heavy workloads (the kernel re-arms a decision timer on every
-//    scheduling pass) cannot grow it beyond the live-event count;
-//  * pending is an O(1) generation check.
+// Implementation: a hierarchical timing wheel (Varghese/Lauck) over a slab of
+// event records, replacing the PR-3 indexed binary heap:
+//  * schedule_at/schedule_after are O(1): compute the wheel level and slot
+//    from the event's expiry tick and append to that bucket's intrusive list
+//    (events beyond the wheel horizon park in a sorted far-future spill
+//    list);
+//  * cancel is O(1): unlink the record from its bucket — cancelled events
+//    leave no tombstones behind, so cancel-heavy workloads (the kernel
+//    re-arms a decision timer on every scheduling pass) cannot grow the
+//    structure beyond the live-event count;
+//  * expiry is amortized O(1): each event cascades down at most once per
+//    wheel level as the clock enters its slot's range, and firing order is
+//    the exact (time, seq) FIFO total order of the heap engine it replaces,
+//    so every seeded run and every BENCH_*.json replays bit-identically
+//    (tests/test_sim_wheel_diff.cpp proves this differentially against a
+//    reference heap).
+//  * The hot recurring callbacks (kernel decision timer, sleep wakeups,
+//    periodic ticks) dispatch through a devirtualized table of raw function
+//    pointers registered once per component (register_hot); the generic
+//    std::function path remains for tests and one-off events.
+//  * Event slabs come from a per-run util::Arena (internal by default, or
+//    shared via the constructor), so steady-state scheduling performs no
+//    heap allocation and run teardown is slab destruction plus one arena
+//    release.
 // EventIds encode (slot, generation); freeing a slot bumps its generation, so
 // stale ids from fired or cancelled events can never alias a recycled slot.
-// The (time, seq) total order is exactly the one the previous
-// priority_queue-based engine used, so every seeded run replays identically.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/assert.h"
 #include "util/time.h"
 
@@ -47,8 +60,36 @@ class Engine {
 public:
     using Callback = std::function<void()>;
 
+    /// Devirtualized callback: a raw trampoline plus the context it was
+    /// registered with. `arg` is the per-event payload (a pid, a CPU index).
+    using HotFn = void (*)(void* ctx, std::uint64_t arg);
+    /// Handle to a registered hot callback. 0 is reserved for the generic
+    /// std::function path and never returned by register_hot().
+    using HotKind = std::uint8_t;
+
+    /// `arena` (optional) supplies the event slabs; by default the engine
+    /// owns a private one. Pass a shared per-run arena to pool slab storage
+    /// with the kernel's Proc records and the scheduler's entity table.
+    explicit Engine(util::Arena* arena = nullptr)
+        : arena_(arena != nullptr ? arena : &own_arena_) {}
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
     /// Current simulated time.
     [[nodiscard]] TimePoint now() const { return now_; }
+
+    /// The arena backing this engine's event slabs (per-run components like
+    /// the kernel share it for their own bookkeeping).
+    [[nodiscard]] util::Arena& arena() { return *arena_; }
+    [[nodiscard]] const util::Arena& arena() const { return *arena_; }
+
+    /// Registers a recurring callback for the devirtualized dispatch path.
+    /// Registrations live as long as the engine (intended for long-lived
+    /// components: the kernel registers its decision-timer, sleep-wakeup and
+    /// housekeeping trampolines once at construction).
+    HotKind register_hot(HotFn fn, void* ctx);
 
     /// Schedules `cb` to run at absolute time `t` (>= now). Returns a handle
     /// usable with cancel().
@@ -57,6 +98,11 @@ public:
     /// Schedules `cb` to run `d` (>= 0) from now.
     EventId schedule_after(Duration d, Callback cb);
 
+    /// Hot-path variants: schedule a registered callback with a payload.
+    /// No std::function is constructed, moved, or invoked.
+    EventId schedule_at(TimePoint t, HotKind kind, std::uint64_t arg);
+    EventId schedule_after(Duration d, HotKind kind, std::uint64_t arg);
+
     /// Cancels a pending event. Returns false if the event already fired or
     /// was already cancelled (both are benign).
     bool cancel(EventId id);
@@ -64,16 +110,25 @@ public:
     /// True if an event with this id is still pending.
     [[nodiscard]] bool pending(EventId id) const {
         const std::uint32_t slot = slot_of(id);
-        return slot < slots_.size() && slots_[slot].gen == gen_of(id);
+        return slot < slot_count_ && slot_ref(slot).gen == gen_of(id);
     }
 
-    /// Number of pending (non-cancelled) events.
-    [[nodiscard]] std::size_t pending_count() const { return heap_.size(); }
+    /// Number of pending (non-cancelled) events, across the wheel and the
+    /// far-future spill list. This is the structure-neutral invariant the
+    /// cancel-churn tests pin down: cancellation physically removes events,
+    /// so the count can never exceed the live set.
+    [[nodiscard]] std::size_t live_events() const { return live_; }
 
-    /// Size of the internal heap. Equal to pending_count() by construction —
-    /// cancellation removes entries instead of tombstoning them — and exposed
-    /// so tests can assert that invariant under cancel churn.
-    [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+    /// Deprecated alias for live_events(), kept so pre-wheel callers don't
+    /// break. (The engine no longer has a heap.)
+    [[nodiscard]] std::size_t pending_count() const { return live_events(); }
+    /// Deprecated alias for live_events(); see pending_count().
+    [[nodiscard]] std::size_t heap_size() const { return live_events(); }
+
+    /// Pending events currently parked in the far-future spill list (beyond
+    /// the wheel horizon). Included in live_events(); exposed so tests can
+    /// assert spill occupancy across cascades and promotions.
+    [[nodiscard]] std::size_t spill_live_events() const { return spill_live_; }
 
     /// Runs the single earliest event. Returns false if the queue is empty.
     bool step();
@@ -91,25 +146,60 @@ public:
     [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
     [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
     [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+    /// Events moved down a wheel level as the clock entered their slot.
+    [[nodiscard]] std::uint64_t wheel_cascades() const { return cascades_; }
+    /// Events promoted from the spill list into the wheel.
+    [[nodiscard]] std::uint64_t spill_promotions() const { return promotions_; }
 
-    /// Registers the lifetime totals as `<prefix>scheduled` etc. in `reg`.
+    /// Registers the lifetime totals as `<prefix>events_scheduled` etc., the wheel
+    /// health counters (`<prefix>wheel_cascades`,
+    /// `<prefix>wheel_spill_promotions`) and the arena footprint
+    /// (`<prefix>arena_bytes`, `<prefix>arena_high_water`) in `reg`.
     void export_metrics(telemetry::MetricsRegistry& reg,
                         const std::string& prefix = "engine.") const;
 
 private:
-    static constexpr std::uint32_t kNoPos = 0xffffffffu;
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    // ----- wheel geometry -----
+    // Ticks are event times quantized to 2^kTickShift ns (~1 µs); a tick is
+    // only a *bucketing* key — exact times order firing within a bucket.
+    // Six levels of 64 slots cover ~19.5 h of simulated future; later events
+    // go to the sorted spill list.
+    static constexpr unsigned kTickShift = 10;
+    static constexpr unsigned kLevelBits = 6;
+    static constexpr unsigned kSlotsPerLevel = 1u << kLevelBits;  // 64
+    static constexpr unsigned kLevels = 6;
+
+    // Slot location codes (Slot::where).
+    static constexpr std::uint16_t kInSpill = 0xfffe;
+    static constexpr std::uint16_t kDetached = 0xffff;  ///< free or firing
+
+    // Slabs: fixed blocks of event records allocated from the arena.
+    static constexpr unsigned kSlabShift = 8;
+    static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;  // 256
+    static constexpr std::uint32_t kSlabMask = kSlabSize - 1;
 
     struct Slot {
         TimePoint time;
-        std::uint64_t seq = 0;  ///< tie-break: FIFO among same-time events
+        std::uint64_t seq = 0;   ///< tie-break: FIFO among same-time events
+        std::uint64_t arg = 0;   ///< payload for hot (devirtualized) events
         /// Bumped when the slot is freed (fire/cancel); ids carry the
         /// generation they were issued under, so an id is pending iff its
         /// generation still matches its slot's. Starts at 1 so id 0 is never
         /// issued.
         std::uint32_t gen = 1;
-        std::uint32_t heap_pos = kNoPos;   ///< index into heap_ while pending
-        std::uint32_t next_free = kNoPos;  ///< free-list link while free
+        std::uint32_t prev = kNil;  ///< intrusive list link (bucket / spill)
+        std::uint32_t next = kNil;  ///< also the free-list link while free
+        /// Where the record lives: level * 64 + slot, kInSpill, or kDetached.
+        std::uint16_t where = kDetached;
+        HotKind hot = 0;  ///< 0 = generic callback in `cb`
         Callback cb;
+    };
+
+    struct Bucket {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
     };
 
     [[nodiscard]] static std::uint32_t slot_of(EventId id) {
@@ -122,30 +212,75 @@ private:
         return (static_cast<EventId>(gen) << 32) | slot;
     }
 
+    [[nodiscard]] static std::uint64_t tick_of(TimePoint t) {
+        // Times are non-negative by the schedule_at contract (t >= now >= 0).
+        return static_cast<std::uint64_t>(t.since_epoch.count()) >> kTickShift;
+    }
+    [[nodiscard]] static unsigned digit(std::uint64_t tick, unsigned level) {
+        return static_cast<unsigned>((tick >> (kLevelBits * level)) &
+                                     (kSlotsPerLevel - 1));
+    }
+
+    [[nodiscard]] Slot& slot_ref(std::uint32_t idx) {
+        return slabs_[idx >> kSlabShift][idx & kSlabMask];
+    }
+    [[nodiscard]] const Slot& slot_ref(std::uint32_t idx) const {
+        return slabs_[idx >> kSlabShift][idx & kSlabMask];
+    }
+
     /// Min-order over (time, seq); seq is unique, so this is a strict total
-    /// order and heap extraction is fully deterministic.
+    /// order and extraction is fully deterministic.
     [[nodiscard]] bool before(std::uint32_t a, std::uint32_t b) const {
-        const Slot& sa = slots_[a];
-        const Slot& sb = slots_[b];
+        const Slot& sa = slot_ref(a);
+        const Slot& sb = slot_ref(b);
         if (sa.time != sb.time) return sa.time < sb.time;
         return sa.seq < sb.seq;
     }
 
-    void sift_up(std::uint32_t pos);
-    void sift_down(std::uint32_t pos);
-    /// Removes the heap entry at `pos` (swap-with-last + re-sift).
-    void heap_erase(std::uint32_t pos);
-    /// Returns the slot's callback and recycles the slot onto the free list.
-    Callback take_and_free(std::uint32_t slot);
+    std::uint32_t alloc_slot();
+    /// Places a live record into the wheel bucket (or spill list) its expiry
+    /// tick selects relative to the current clock tick.
+    void file(std::uint32_t idx);
+    void spill_insert(std::uint32_t idx);
+    /// Unlinks a live record from whichever list it is on.
+    void detach(std::uint32_t idx);
+    /// Moves every event in the bucket the clock cursor has reached down to
+    /// its precise lower-level slot.
+    void cascade_bucket(unsigned level, unsigned slot);
+    /// Index of the earliest pending event in (time, seq) order (kNil when
+    /// empty). Performs due cascades and spill promotions as a side effect.
+    std::uint32_t find_min();
+    /// Recycles the slot onto the free list, bumping its generation.
+    void release_slot(std::uint32_t idx);
+    /// Fires the (already detached) record: clock advance + dispatch.
+    void fire(std::uint32_t idx);
 
     TimePoint now_{};
+    std::uint64_t cur_tick_ = 0;  ///< == tick_of(now_) between operations
+    /// Tick for which cascades/promotions were last performed; find_min()
+    /// skips the whole maintenance block while the tick is unchanged.
+    std::uint64_t cascaded_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t scheduled_ = 0;
     std::uint64_t fired_ = 0;
     std::uint64_t cancelled_ = 0;
-    std::vector<Slot> slots_;
-    std::vector<std::uint32_t> heap_;  ///< slot indices, min-heap by (time, seq)
-    std::uint32_t free_head_ = kNoPos;
+    std::uint64_t cascades_ = 0;
+    std::uint64_t promotions_ = 0;
+    std::size_t live_ = 0;
+    std::size_t spill_live_ = 0;
+
+    util::Arena own_arena_;
+    util::Arena* arena_;
+    std::vector<Slot*> slabs_;
+    std::uint32_t slot_count_ = 0;  ///< total records across slabs
+    std::uint32_t free_head_ = kNil;
+
+    std::uint64_t occ_[kLevels] = {};  ///< per-level occupancy bitmaps
+    Bucket wheel_[kLevels][kSlotsPerLevel];
+    std::uint32_t spill_head_ = kNil;  ///< sorted by (time, seq), ascending
+    std::uint32_t spill_tail_ = kNil;
+
+    std::vector<std::pair<HotFn, void*>> hot_;  ///< devirtualized dispatch table
 };
 
 }  // namespace alps::sim

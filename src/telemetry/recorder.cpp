@@ -22,8 +22,8 @@ const char* well_known_name(std::uint16_t id) {
 namespace detail {
 std::atomic<Session*> g_session{nullptr};
 std::atomic<std::uint64_t> g_attach_generation{0};
-thread_local std::uint64_t t_now_ns = 0;
-thread_local std::uint32_t t_scope = 0;
+constinit thread_local std::uint64_t t_now_ns = 0;
+constinit thread_local std::uint32_t t_scope = 0;
 }  // namespace detail
 
 namespace {

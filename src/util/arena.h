@@ -1,0 +1,159 @@
+// Monotonic per-run arena.
+//
+// A bump allocator over geometrically-growing chunks, built for the
+// simulation substrate's lifetime pattern: one sweep rep constructs an
+// Engine/Kernel/Scheduler stack, churns through millions of events with a
+// *stable* working set (event slabs, Proc records, the entity table), and
+// tears the whole thing down at once. Allocation is a pointer bump; nothing
+// is ever freed individually; reset() rewinds every chunk for the next run
+// (chunks are kept, so a reused arena reaches malloc only while its first
+// rep is still warming up). Single-threaded by contract, like the engine it
+// backs — each ThreadPool sweep worker owns its own run and therefore its
+// own arena, which is what keeps rep fan-out off the global allocator.
+//
+// The arena does NOT run destructors: callers placement-new objects via
+// create<T>() and are responsible for destroying non-trivial ones before
+// reset()/destruction (the Engine and Kernel do exactly that for their event
+// slabs and Proc records).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace alps::util {
+
+class Arena {
+public:
+    /// `chunk_bytes` is the default chunk size; requests larger than a chunk
+    /// get a dedicated chunk of exactly their size.
+    explicit Arena(std::size_t chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {
+        ALPS_EXPECT(chunk_bytes > 0);
+    }
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Returns `bytes` of storage aligned to `align` (a power of two).
+    void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+        ALPS_EXPECT(align != 0 && (align & (align - 1)) == 0);
+        if (bytes == 0) bytes = 1;
+        for (;;) {
+            if (cur_ < chunks_.size()) {
+                Chunk& c = chunks_[cur_];
+                const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+                if (aligned + bytes <= c.size) {
+                    used_ += (aligned - offset_) + bytes;
+                    if (used_ > high_water_) high_water_ = used_;
+                    offset_ = aligned + bytes;
+                    return c.data.get() + aligned;
+                }
+                // Current chunk exhausted; try the next one (reset() keeps
+                // chunks around, so a warmed arena re-walks them for free).
+                ++cur_;
+                offset_ = 0;
+                continue;
+            }
+            const std::size_t size = bytes + align > chunk_bytes_ ? bytes + align
+                                                                  : chunk_bytes_;
+            chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+            offset_ = 0;
+        }
+    }
+
+    /// Placement-news a T from the arena. The caller owns the destructor
+    /// call for non-trivially-destructible types.
+    template <typename T, typename... Args>
+    T* create(Args&&... args) {
+        return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+    }
+
+    /// Uninitialized storage for `n` objects of type T.
+    template <typename T>
+    T* allocate_array(std::size_t n) {
+        return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /// Rewinds the arena to empty without releasing its chunks: the next
+    /// run's allocations reuse the same memory. high_water() survives resets
+    /// (it is the lifetime peak, the capacity-planning number).
+    void reset() {
+        cur_ = 0;
+        offset_ = 0;
+        used_ = 0;
+    }
+
+    /// Bytes handed out (including alignment padding) since construction or
+    /// the last reset().
+    [[nodiscard]] std::size_t bytes_used() const { return used_; }
+    /// Peak bytes_used() over the arena's lifetime.
+    [[nodiscard]] std::size_t high_water() const { return high_water_; }
+    /// Bytes of chunk storage owned (>= bytes_used()).
+    [[nodiscard]] std::size_t bytes_reserved() const {
+        std::size_t total = 0;
+        for (const Chunk& c : chunks_) total += c.size;
+        return total;
+    }
+    [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0;     ///< index of the chunk being bumped
+    std::size_t offset_ = 0;  ///< bump cursor within chunks_[cur_]
+    std::size_t chunk_bytes_;
+    std::size_t used_ = 0;
+    std::size_t high_water_ = 0;
+};
+
+/// std::allocator-compatible adaptor so standard containers (the scheduler's
+/// flat entity table) can live in an arena. A null arena falls back to the
+/// heap, which keeps arena-aware types usable in contexts that have no run
+/// arena (the POSIX backend, unit tests). Deallocation inside an arena is a
+/// no-op — the memory returns on reset(); growth therefore strands the old
+/// buffer, which is the intended monotonic trade for containers that grow to
+/// a stable size and stay there.
+template <typename T>
+class ArenaAllocator {
+public:
+    using value_type = T;
+
+    ArenaAllocator() noexcept = default;
+    explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+    T* allocate(std::size_t n) {
+        if (arena_ != nullptr) return arena_->allocate_array<T>(n);
+        return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        if (arena_ == nullptr) ::operator delete(p);
+    }
+
+    [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+    friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+        return a.arena_ == b.arena_;
+    }
+    friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+        return !(a == b);
+    }
+
+private:
+    template <typename U>
+    friend class ArenaAllocator;
+
+    Arena* arena_ = nullptr;
+};
+
+}  // namespace alps::util

@@ -15,7 +15,7 @@ using util::TimePoint;
 TEST(Engine, StartsAtZero) {
     Engine e;
     EXPECT_EQ(e.now(), TimePoint{});
-    EXPECT_EQ(e.pending_count(), 0u);
+    EXPECT_EQ(e.live_events(), 0u);
 }
 
 TEST(Engine, RunsEventsInTimeOrder) {
@@ -125,15 +125,30 @@ TEST(Engine, NullCallbackViolatesContract) {
                  util::ContractViolation);
 }
 
-TEST(Engine, PendingCountTracksLifecycle) {
+TEST(Engine, LiveEventsTracksLifecycle) {
     Engine e;
     const EventId a = e.schedule_after(msec(1), [] {});
     e.schedule_after(msec(2), [] {});
-    EXPECT_EQ(e.pending_count(), 2u);
+    EXPECT_EQ(e.live_events(), 2u);
     e.cancel(a);
-    EXPECT_EQ(e.pending_count(), 1u);
+    EXPECT_EQ(e.live_events(), 1u);
+    e.run();
+    EXPECT_EQ(e.live_events(), 0u);
+}
+
+TEST(Engine, DeprecatedCountAliasesTrackLiveEvents) {
+    // pending_count()/heap_size() predate the timing wheel; they must keep
+    // reporting the same number as live_events() so downstream callers that
+    // still use them don't break.
+    Engine e;
+    e.schedule_after(msec(1), [] {});
+    e.schedule_after(msec(2), [] {});
+    EXPECT_EQ(e.pending_count(), e.live_events());
+    EXPECT_EQ(e.heap_size(), e.live_events());
+    EXPECT_EQ(e.live_events(), 2u);
     e.run();
     EXPECT_EQ(e.pending_count(), 0u);
+    EXPECT_EQ(e.heap_size(), 0u);
 }
 
 // --- cancel/pending churn: the FIFO determinism the parallel experiment
@@ -150,7 +165,7 @@ TEST(Engine, CancelSameTimeSiblingFromCallback) {
     victim = e.schedule_at(TimePoint{} + msec(10), [&] { victim_ran = true; });
     e.run();
     EXPECT_FALSE(victim_ran);
-    EXPECT_EQ(e.pending_count(), 0u);
+    EXPECT_EQ(e.live_events(), 0u);
 }
 
 TEST(Engine, InterleavedScheduleCancelAtEqualTimesKeepsFifoOfSurvivors) {
@@ -172,6 +187,27 @@ TEST(Engine, InterleavedScheduleCancelAtEqualTimesKeepsFifoOfSurvivors) {
     EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 100}));
 }
 
+TEST(Engine, SpillListCountsTowardLiveEvents) {
+    // Events beyond the wheel horizon (~19.5 h) park in the spill list; they
+    // are still live events, cancellable, and fire in order once the clock
+    // gets there.
+    Engine e;
+    std::vector<int> order;
+    e.schedule_after(util::sec(200'000), [&] { order.push_back(2); });  // ~55 h
+    const EventId doomed =
+        e.schedule_after(util::sec(250'000), [&] { order.push_back(3); });
+    e.schedule_after(msec(1), [&] { order.push_back(1); });
+    EXPECT_EQ(e.live_events(), 3u);
+    EXPECT_EQ(e.spill_live_events(), 2u);
+    EXPECT_TRUE(e.cancel(doomed));
+    EXPECT_EQ(e.live_events(), 2u);
+    EXPECT_EQ(e.spill_live_events(), 1u);
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(e.live_events(), 0u);
+    EXPECT_EQ(e.spill_live_events(), 0u);
+}
+
 TEST(Engine, EventScheduledAtNowDuringCallbackRunsAfterSameTimePeers) {
     Engine e;
     std::vector<int> order;
@@ -188,7 +224,7 @@ TEST(Engine, EventScheduledAtNowDuringCallbackRunsAfterSameTimePeers) {
 TEST(Engine, CancelPendingChurnStaysConsistent) {
     // Deterministic schedule/cancel churn: 100 events across 4 timestamps,
     // every third cancelled, a third of the cancelled re-scheduled. pending()
-    // and pending_count() must track exactly, and the fired set must be the
+    // and live_events() must track exactly, and the fired set must be the
     // survivors in (time, scheduling-order) sequence.
     Engine e;
     std::vector<int> fired;
@@ -206,7 +242,7 @@ TEST(Engine, CancelPendingChurnStaysConsistent) {
             live.emplace_back(slot, id);
         }
     }
-    EXPECT_EQ(e.pending_count(), live.size());
+    EXPECT_EQ(e.live_events(), live.size());
     for (int slot = 0; slot < 4; ++slot) {
         for (int i = 0; i < 100; ++i) {
             if (i % 4 == slot && i % 3 != 0) expected.push_back(i);
@@ -214,7 +250,7 @@ TEST(Engine, CancelPendingChurnStaysConsistent) {
     }
     e.run();
     EXPECT_EQ(fired, expected);
-    EXPECT_EQ(e.pending_count(), 0u);
+    EXPECT_EQ(e.live_events(), 0u);
     for (const auto& [slot, id] : live) EXPECT_FALSE(e.pending(id));
 }
 
@@ -232,27 +268,39 @@ TEST(Engine, CancelInsideCallbackOfAlreadyFiredEventIsBenign) {
 
 TEST(Engine, CancelChurnLeavesNoTombstones) {
     // The kernel cancels and re-arms a decision timer on every scheduling
-    // pass, so dead entries must never accumulate: the heap has to track the
-    // live-event count exactly, not merely stay "bounded".
+    // pass, so dead entries must never accumulate: live_events() has to track
+    // the live set exactly — across the wheel *and* the far-future spill list
+    // — not merely stay "bounded".
     Engine e;
     std::vector<EventId> live;
+    std::size_t spilled = 0;
     for (int round = 0; round < 1000; ++round) {
         // Three schedules and two cancels per round; a tombstoning queue
-        // would end this loop ~2000 entries heavier than the live set.
+        // would end this loop ~2000 entries heavier than the live set. Every
+        // 16th event lands beyond the wheel horizon so spill occupancy churns
+        // under the same invariant.
         for (int k = 0; k < 3; ++k) {
-            live.push_back(e.schedule_at(TimePoint{} + msec(10 + round % 7), [] {}));
+            if ((round * 3 + k) % 16 == 0) {
+                live.push_back(e.schedule_at(
+                    TimePoint{} + util::sec(100'000 + round % 7), [] {}));
+            } else {
+                live.push_back(
+                    e.schedule_at(TimePoint{} + msec(10 + round % 7), [] {}));
+            }
         }
         e.cancel(live[live.size() - 2]);
         live.erase(live.end() - 2);
         e.cancel(live[live.size() / 2]);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(live.size() / 2));
-        ASSERT_EQ(e.pending_count(), live.size());
-        ASSERT_EQ(e.heap_size(), e.pending_count());
+        ASSERT_EQ(e.live_events(), live.size());
+        ASSERT_LE(e.spill_live_events(), e.live_events());
+        spilled = std::max(spilled, e.spill_live_events());
     }
+    ASSERT_GT(spilled, 0u);  // the mix really exercised the spill list
     for (const EventId id : live) EXPECT_TRUE(e.pending(id));
     e.run();
-    EXPECT_EQ(e.heap_size(), 0u);
-    EXPECT_EQ(e.pending_count(), 0u);
+    EXPECT_EQ(e.live_events(), 0u);
+    EXPECT_EQ(e.spill_live_events(), 0u);
 }
 
 TEST(Engine, SlotReuseDoesNotResurrectStaleIds) {

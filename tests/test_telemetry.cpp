@@ -11,12 +11,15 @@
 
 #include "alps/scheduler.h"
 #include "mock_control.h"
+#include "sim/engine.h"
 #include "telemetry/chrome_export.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
 #include "telemetry/recorder.h"
 #include "telemetry/trace_file.h"
 #include "util/rng.h"
+#include "util/time.h"
+#include "workload/experiments.h"
 
 namespace alps::telemetry {
 namespace {
@@ -195,6 +198,55 @@ TEST(Metrics, ToJsonIsSortedAndSkipsEmptySections) {
     EXPECT_EQ(json.find("\"gauges\""), std::string::npos);
     EXPECT_EQ(json.find("\"histograms\""), std::string::npos);
     EXPECT_LT(json.find("a.first"), json.find("z.last"));  // deterministic order
+}
+
+TEST(Metrics, EngineExportsWheelAndArenaCounters) {
+    // The timing-wheel engine must surface its structural health counters —
+    // cascades, spill promotions, arena footprint — through export_metrics,
+    // which is what lands in the run.telemetry block of every BENCH_*.json.
+    sim::Engine eng;
+    // Level-crossing schedule (forces cascades) plus one far-future event
+    // that promotes out of the spill list before firing.
+    for (int i = 0; i < 64; ++i) {
+        eng.schedule_after(util::msec(1 + 97 * i), [] {});
+    }
+    const auto far = eng.schedule_after(util::sec(80'000), [] {});  // > horizon
+    eng.run_until(util::TimePoint{} + util::sec(79'000));
+    EXPECT_TRUE(eng.cancel(far));
+    eng.run();
+
+    MetricsRegistry reg;
+    eng.export_metrics(reg);
+    EXPECT_GT(reg.counter("engine.wheel_cascades").value(), 0u);
+    EXPECT_EQ(reg.counter("engine.wheel_spill_promotions").value(),
+              eng.spill_promotions());
+    EXPECT_GT(reg.counter("engine.arena_bytes").value(), 0u);
+    EXPECT_GE(reg.counter("engine.arena_high_water").value(),
+              reg.counter("engine.arena_bytes").value());
+    const std::string json = reg.to_json().dump(0);
+    EXPECT_NE(json.find("engine.wheel_cascades"), std::string::npos);
+    EXPECT_NE(json.find("engine.wheel_spill_promotions"), std::string::npos);
+    EXPECT_NE(json.find("engine.arena_bytes"), std::string::npos);
+    EXPECT_NE(json.find("engine.arena_high_water"), std::string::npos);
+}
+
+TEST(Metrics, SimRunExportsWheelCountersIntoRegistry) {
+    // End-to-end: a real simulated run wired the way the sweep harness wires
+    // it (SimRunConfig::metrics) must deposit the wheel counters.
+    workload::SimRunConfig cfg;
+    cfg.shares = {5, 5, 5};
+    cfg.quantum = util::msec(10);
+    cfg.measure_cycles = 3;
+    cfg.warmup_cycles = 1;
+    MetricsRegistry reg;
+    cfg.metrics = &reg;
+    const auto res = workload::run_cpu_bound_experiment(cfg);
+    EXPECT_FALSE(res.timed_out);
+    // The kernel's decision-timer churn sweeps the wheel; cascades are
+    // guaranteed once the clock crosses any level-0 boundary.
+    EXPECT_GT(reg.counter("engine.events_fired").value(), 0u);
+    EXPECT_GT(reg.counter("engine.wheel_cascades").value(), 0u);
+    EXPECT_GT(reg.counter("engine.arena_high_water").value(), 0u);
 }
 
 // ----- .alpstrace serialization --------------------------------------------
