@@ -43,6 +43,10 @@ std::string shares_brief(const std::vector<util::Share>& s) {
 
 std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
     std::vector<harness::Task> tasks;
+    // --kernel-policy swaps the kernel under the whole figure ("" = bsd, the
+    // paper's kernel); the full per-policy comparison lives in policy_zoo.
+    const std::string policy =
+        options.kernel_policy.empty() ? "bsd" : options.kernel_policy;
     for (const ShareModel model : workload::kAllModels) {
         for (const int n : kProcCounts) {
             for (const int q : kQuantaMs) {
@@ -53,13 +57,16 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
                     task.params = {{"model", std::string(workload::to_string(model))},
                                    {"n", std::to_string(n)},
                                    {"quantum_ms", std::to_string(q)}};
-                    task.fn = [model, n, q, rep](const harness::TaskContext& ctx) {
+                    task.fn = [model, n, q, rep,
+                               policy](const harness::TaskContext& ctx) {
                         workload::SimRunConfig cfg;
                         cfg.shares = workload::make_shares(model, n);
                         cfg.quantum = util::msec(q);
                         cfg.measure_cycles = measure_cycles(ctx.full_scale);
                         cfg.warmup_cycles = 5 + rep;  // de-phase repeated runs
                         cfg.metrics = ctx.metrics;
+                        cfg.kernel_policy = policy;
+                        cfg.policy_seed = ctx.seed;
                         const auto r = workload::run_cpu_bound_experiment(cfg);
                         return harness::Result{}
                             .metric("rms_error_pct", 100.0 * r.mean_rms_error)

@@ -26,6 +26,10 @@ void register_fault_campaign_experiment();
 /// The one experiment whose JSON is host-timing-dependent (not bit-identical).
 void register_sim_perf_experiment();
 
+/// ALPS share accuracy on each kernel policy, plus the stride-engine A/B
+/// ("policy_zoo").
+void register_policy_zoo_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

@@ -131,4 +131,25 @@ PY
   build-perf/tools/alps-trace verify build-perf/fig4.alpstrace
 fi
 
-echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify passed"
+# --- Policy-matrix leg: the ALPS invariants must hold on every kernel ---
+# Runs the policy-matrix suite once per kernel scheduling policy (the same
+# binary; ALPS_KERNEL_POLICY selects the kernel under the workload), plus the
+# policy_zoo sweep itself, whose JSON must be jobs-independent and whose BSD
+# row is the paper-baseline cross-check. Reuses the Release perf tree when it
+# exists; ALPS_POLICY_MATRIX_SKIP=1 skips the leg.
+if [[ "${ALPS_POLICY_MATRIX_SKIP:-0}" != "1" ]]; then
+  cmake -B build-perf -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DALPS_SANITIZE=OFF \
+    -DALPS_BUILD_BENCH=ON \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-perf -j "$JOBS" --target test_policy_matrix alps-sweep
+  build-perf/tools/alps-sweep --list-policies
+  for policy in $(build-perf/tools/alps-sweep --list-policies | cut -d' ' -f1); do
+    echo "--- policy matrix: $policy"
+    ALPS_KERNEL_POLICY="$policy" build-perf/tests/test_policy_matrix
+  done
+  build-perf/tools/alps-sweep --experiment policy_zoo --quiet --out build-perf
+fi
+
+echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify + policy matrix passed"

@@ -1,0 +1,220 @@
+#include "alps/stride_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "alps/host.h"
+#include "alps/sim_adapter.h"
+#include "util/assert.h"
+
+namespace alps::core {
+
+using util::Duration;
+using util::TimePoint;
+
+StrideEngine::StrideEngine(ProcessControl& control, StrideEngineConfig cfg)
+    : control_(control), cfg_(cfg) {
+    ALPS_EXPECT(cfg_.quantum > Duration::zero());
+    ALPS_EXPECT(cfg_.stride1 > 0.0);
+}
+
+std::size_t StrideEngine::find(EntityId id) const {
+    const auto it = std::lower_bound(
+        entities_.begin(), entities_.end(), id,
+        [](const auto& p, EntityId v) { return p.first < v; });
+    if (it != entities_.end() && it->first == id) {
+        return static_cast<std::size_t>(it - entities_.begin());
+    }
+    return entities_.size();
+}
+
+void StrideEngine::add(EntityId id, Share share) {
+    ALPS_EXPECT(share > 0);
+    ALPS_EXPECT(find(id) == entities_.size());
+    Entity e;
+    e.share = share;
+    e.stride = cfg_.stride1 / static_cast<double>(share);
+    // Join at the back of the current pass window, like a stride client_init:
+    // one stride behind nobody, one ahead of everyone's history.
+    double max_pass = 0.0;
+    for (const auto& [eid, ent] : entities_) max_pass = std::max(max_pass, ent.pass);
+    e.pass = max_pass + e.stride;
+    e.last_cpu = control_.read_progress(id).cpu_time;
+    // Like Scheduler::add: the entity is parked until the engine picks it.
+    control_.suspend(id);
+    entities_.insert(std::lower_bound(entities_.begin(), entities_.end(), id,
+                                      [](const auto& p, EntityId v) {
+                                          return p.first < v;
+                                      }),
+                     {id, e});
+    total_shares_ += share;
+}
+
+void StrideEngine::remove(EntityId id) {
+    const std::size_t i = find(id);
+    ALPS_EXPECT(i < entities_.size());
+    total_shares_ -= entities_[i].second.share;
+    if (current_ != id) control_.resume(id);  // relinquish control
+    if (current_ == id) current_ = -1;
+    entities_.erase(entities_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+TickStats StrideEngine::tick() {
+    TickStats stats;
+    ++count_;
+    if (entities_.empty()) return stats;
+
+    // 1. Measure the incumbent and advance its pass. An entity that blocked
+    // through (part of) its quantum is still charged a full stride —
+    // use-it-or-lose-it, the stride analogue of ALPS's §2.4 blocked charge.
+    if (current_ >= 0) {
+        const std::size_t i = find(current_);
+        if (i < entities_.size()) {
+            Entity& e = entities_[i].second;
+            const Sample s = control_.read_progress(current_);
+            ++stats.measured;
+            ++total_measurements_;
+            if (!s.ok || !s.alive) {
+                remove(current_);
+            } else {
+                const Duration delta =
+                    std::max(Duration::zero(), s.cpu_time - e.last_cpu);
+                e.last_cpu = s.cpu_time;
+                e.cycle_consumed += delta;
+                const double quanta = util::to_sec(delta) / util::to_sec(cfg_.quantum);
+                e.pass += e.stride * std::max(1.0, quanta);
+            }
+        } else {
+            current_ = -1;  // removed behind our back
+        }
+    }
+
+    // 2. Cycle accounting on the same S·Q grid as ALPS.
+    if (++ticks_in_cycle_ >= static_cast<std::uint64_t>(total_shares_)) {
+        emit_cycle_record();
+        ticks_in_cycle_ = 0;
+        ++cycles_done_;
+        stats.cycle_completed = true;
+    }
+
+    // 3. Run the minimum-pass entity (ties to the lower id via table order).
+    if (entities_.empty()) return stats;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entities_.size(); ++i) {
+        if (entities_[i].second.pass < entities_[best].second.pass) best = i;
+    }
+    const EntityId next = entities_[best].first;
+    if (next != current_) {
+        if (current_ >= 0 && find(current_) < entities_.size()) {
+            if (control_.suspend(current_) == ControlResult::kOk) ++stats.suspended;
+        }
+        if (control_.resume(next) == ControlResult::kOk) ++stats.resumed;
+        current_ = next;
+    }
+    return stats;
+}
+
+void StrideEngine::emit_cycle_record() {
+    if (observer_) {
+        CycleRecord rec;
+        rec.index = cycles_done_;
+        rec.end_tick = count_;
+        rec.ids.reserve(entities_.size());
+        rec.shares.reserve(entities_.size());
+        rec.consumed.reserve(entities_.size());
+        for (const auto& [id, e] : entities_) {
+            rec.ids.push_back(id);
+            rec.shares.push_back(e.share);
+            rec.consumed.push_back(e.cycle_consumed);
+        }
+        observer_(rec);
+    }
+    for (auto& [id, e] : entities_) e.cycle_consumed = Duration::zero();
+}
+
+void StrideEngine::release_all() noexcept {
+    for (const auto& [id, e] : entities_) {
+        if (id != current_) control_.resume(id);
+    }
+    current_ = -1;
+}
+
+// ----------------------------------------------------------------------------
+// SimStrideAlps
+
+/// Sleep to each quantum boundary, run one stride tick, pay its modeled
+/// cost — AlpsDriverBehavior with the allowance loop swapped for the stride
+/// engine (the boundary grid never changes: no set_quantum here).
+class SimStrideAlps::DriverBehavior final : public os::Behavior {
+public:
+    DriverBehavior(StrideEngine& engine, CostModel cost)
+        : engine_(engine), cost_(cost) {}
+
+    os::Action next_action(os::ProcContext ctx) override {
+        const Duration q = engine_.config().quantum;
+        if (!started_) {
+            started_ = true;
+            awake_ = false;
+            epoch_ = ctx.kernel.now();
+            next_boundary_ = 1;
+            return os::SleepUntilAction{epoch_ + q, this};
+        }
+        if (!awake_) {
+            awake_ = true;
+            return os::RunAction{.duration = {}, .lazy = true};
+        }
+        awake_ = false;
+        const TimePoint now = ctx.kernel.now();
+        const auto due = (now - epoch_).count() / q.count() + 1;
+        missed_ += static_cast<std::uint64_t>(
+            due - next_boundary_ - 1 > 0 ? due - next_boundary_ - 1 : 0);
+        next_boundary_ = due;
+        return os::SleepUntilAction{epoch_ + Duration{q.count() * due}, this};
+    }
+
+    Duration lazy_run_duration(os::ProcContext) override {
+        return cost_.tick_cost(engine_.tick());
+    }
+
+    [[nodiscard]] std::uint64_t boundaries_missed() const { return missed_; }
+
+private:
+    StrideEngine& engine_;
+    CostModel cost_;
+    TimePoint epoch_{};
+    std::int64_t next_boundary_ = 1;
+    bool started_ = false;
+    bool awake_ = false;
+    std::uint64_t missed_ = 0;
+};
+
+SimStrideAlps::SimStrideAlps(os::Kernel& kernel, StrideEngineConfig cfg,
+                             CostModel cost, std::string name, os::Uid uid)
+    : kernel_(kernel) {
+    auto host = std::make_unique<SimProcessHost>(kernel_);
+    auto control = std::make_unique<PidProcessControl>(*host);
+    engine_ = std::make_unique<StrideEngine>(*control, cfg);
+    host_ = std::move(host);
+    control_ = std::move(control);
+    auto behavior = std::make_unique<DriverBehavior>(*engine_, cost);
+    driver_ = behavior.get();
+    driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior));
+}
+
+SimStrideAlps::~SimStrideAlps() {
+    engine_->release_all();
+    if (kernel_.alive(driver_pid_)) kernel_.send_signal(driver_pid_, os::Signal::kKill);
+}
+
+void SimStrideAlps::manage(os::Pid pid, Share share) {
+    ALPS_EXPECT(kernel_.alive(pid));
+    engine_->add(static_cast<EntityId>(pid), share);
+}
+
+std::uint64_t SimStrideAlps::boundaries_missed() const {
+    return driver_->boundaries_missed();
+}
+
+Duration SimStrideAlps::overhead_cpu() const { return kernel_.cpu_time(driver_pid_); }
+
+}  // namespace alps::core

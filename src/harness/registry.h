@@ -30,6 +30,11 @@ struct SweepOptions {
     /// Tracing forces jobs = 1 so two same-seed runs produce byte-identical
     /// traces (`alps-trace diff` reports zero differences).
     std::string trace_path;
+    /// Kernel scheduling policy for experiments that honor it (fig4,
+    /// policy_zoo); "" keeps each experiment's own default. Validated by the
+    /// kernel policy factory at task run time (alps-sweep pre-checks it
+    /// against --list-policies for a friendlier error).
+    std::string kernel_policy;
 };
 
 struct Experiment {

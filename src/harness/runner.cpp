@@ -190,7 +190,7 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
     const auto usage = [&] {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
-                     " [--quiet] [--trace FILE.alpstrace]\n";
+                     " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]\n";
         return false;
     };
     for (int i = 1; i < argc; ++i) {
@@ -231,6 +231,10 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             const char* v = next();
             if (v == nullptr) return usage();
             options.trace_path = v;
+        } else if (arg == "--kernel-policy") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            options.kernel_policy = v;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else {

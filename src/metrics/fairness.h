@@ -1,0 +1,67 @@
+// Fairness metrics over ALPS cycle logs.
+//
+// Three complementary views of "did everyone get their share", computed from
+// the same per-cycle consumption records (CycleRecord) the accuracy metric
+// already uses:
+//
+//   * time-ratio fairness (the chap9/SRM metric): per cycle, normalize each
+//     entity's consumption by its share (r_i = consumed_i / share_i) and take
+//     min_i r_i / max_i r_i. 1.0 is perfect proportionality; 0 means someone
+//     was starved while another ran. Reported as the mean over cycles.
+//   * RMS share error: the paper's §3.1 metric — per-cycle RMS of relative
+//     errors against ideal proportional consumption, meaned over cycles
+//     (identical to CycleLog::mean_rms_relative_error, included here so one
+//     report carries all three numbers).
+//   * max justified-complaint gap: the largest relative shortfall any entity
+//     could justifiably complain about — max over cycles and entities of
+//     (ideal_i − consumed_i) / ideal_i, counting only shortfalls (an entity
+//     that got *more* than its share has no complaint). Bounds the worst
+//     single-cycle starvation, which means hide.
+//
+// All three treat shares as entitlements to a fraction of what the group
+// actually received in that cycle (the paper's §2.1 proportionality promise),
+// so an idle machine or a blocked-process redistribution does not read as
+// unfairness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "alps/scheduler.h"
+
+namespace alps::telemetry {
+class MetricsRegistry;
+}  // namespace alps::telemetry
+
+namespace alps::metrics {
+
+struct FairnessReport {
+    double time_ratio = 1.0;       ///< mean min/max share-normalized ratio; 1 = perfect
+    double rms_share_error = 0.0;  ///< mean per-cycle RMS relative error (fraction)
+    double max_complaint = 0.0;    ///< worst relative shortfall in any cycle (fraction)
+    std::size_t cycles = 0;        ///< cycles the statistics cover
+};
+
+/// Computes all three metrics over records [warmup, warmup+limit); limit 0
+/// means "to the end". Cycles where the group consumed nothing are skipped
+/// (nothing was distributed, so nothing could be misdistributed).
+[[nodiscard]] FairnessReport analyze_fairness(std::span<const core::CycleRecord> records,
+                                              std::size_t warmup = 0,
+                                              std::size_t limit = 0);
+
+/// Time-ratio fairness of a single cycle (1.0 for empty/idle cycles).
+[[nodiscard]] double cycle_time_ratio(const core::CycleRecord& rec);
+
+/// Worst justified complaint within a single cycle (0 when none).
+[[nodiscard]] double cycle_max_complaint(const core::CycleRecord& rec);
+
+/// Exports the report into `reg` as ppm-scaled histograms
+/// (`<prefix>time_ratio_ppm`, `<prefix>rms_share_error_ppm`,
+/// `<prefix>max_complaint_ppm`) plus a `<prefix>cycles` counter. Histograms
+/// (not gauges) so parallel sweep tasks merge deterministically for any
+/// --jobs value.
+void export_fairness(const FairnessReport& report, telemetry::MetricsRegistry& reg,
+                     const std::string& prefix = "fairness.");
+
+}  // namespace alps::metrics

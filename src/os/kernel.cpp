@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "os/bsd_policy.h"
+#include "os/policies/factory.h"
 #include "telemetry/metrics.h"
 #include "telemetry/recorder.h"
 #include "util/assert.h"
@@ -15,8 +15,11 @@ using util::TimePoint;
 
 Kernel::Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy, KernelConfig cfg)
     : engine_(engine),
-      policy_(policy ? std::move(policy) : std::make_unique<BsdPolicy>()),
-      cfg_(cfg) {
+      // An unknown cfg.policy name throws here — a mistyped experiment config
+      // must fail loudly, never silently run under BSD.
+      policy_(policy ? std::move(policy)
+                     : policies::make_policy(cfg.policy, {.seed = cfg.policy_seed})),
+      cfg_(std::move(cfg)) {
     ALPS_EXPECT(cfg_.ncpus >= 1);
     ALPS_EXPECT(cfg_.schedcpu_period > Duration::zero());
     ALPS_EXPECT(cfg_.loadavg_tau > Duration::zero());

@@ -50,12 +50,22 @@ struct KernelConfig {
     /// FreeBSD 4.8 at hz=100) to model that. Stops of non-running processes
     /// and SIGCONT/SIGKILL are immediate either way.
     util::Duration stop_latency_grid{0};
+    /// Scheduling policy by name, used when the Kernel is not handed a
+    /// constructed policy object (see policies::known_policies() — "bsd",
+    /// "lottery", "stride", "cfs"). An unknown name throws
+    /// std::invalid_argument from the constructor; it never silently falls
+    /// back to BSD.
+    std::string policy = "bsd";
+    /// Seed for randomized policies built by name (the lottery draws).
+    std::uint64_t policy_seed = 0xa1b5'5eedULL;
 };
 
 class Kernel {
 public:
-    /// The kernel drives (and is driven by) the given event engine. The
-    /// policy defaults to the 4.4BSD scheduler when null.
+    /// The kernel drives (and is driven by) the given event engine. When no
+    /// policy object is passed, one is built from cfg.policy/cfg.policy_seed
+    /// via policies::make_policy (default: the 4.4BSD scheduler); an unknown
+    /// cfg.policy name throws std::invalid_argument.
     /// The kernel also adopts the engine's per-run arena for its Proc
     /// records and registers its recurring timers (decision timer, sleep
     /// wakeups, schedcpu tick) on the engine's devirtualized dispatch path.

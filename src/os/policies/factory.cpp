@@ -1,0 +1,66 @@
+#include "os/policies/factory.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "os/bsd_policy.h"
+#include "os/policies/cfs.h"
+#include "os/policies/lottery.h"
+#include "os/policies/stride.h"
+
+namespace alps::os::policies {
+
+namespace {
+
+constexpr std::array<PolicyInfo, 4> kPolicies = {{
+    {"bsd", "4.4BSD estcpu-decay multilevel feedback (the paper's host kernel)"},
+    {"lottery", "lottery scheduling: seeded random draws over ticket currencies"},
+    {"stride", "stride scheduling: deterministic min-pass with remain credit"},
+    {"cfs", "CFS-style weighted vruntime with min-vruntime normalization"},
+}};
+
+}  // namespace
+
+std::span<const PolicyInfo> known_policies() { return kPolicies; }
+
+bool is_known_policy(std::string_view name) {
+    for (const PolicyInfo& info : kPolicies) {
+        if (info.name == name) return true;
+    }
+    return false;
+}
+
+std::unique_ptr<SchedPolicy> make_policy(std::string_view name,
+                                         const PolicyParams& params) {
+    if (name == "bsd") {
+        BsdPolicyConfig cfg;
+        if (params.quantum > util::Duration::zero()) cfg.round_robin = params.quantum;
+        return std::make_unique<BsdPolicy>(cfg);
+    }
+    if (name == "lottery") {
+        LotteryPolicyConfig cfg;
+        cfg.seed = params.seed;
+        if (params.quantum > util::Duration::zero()) cfg.quantum = params.quantum;
+        return std::make_unique<LotteryPolicy>(cfg);
+    }
+    if (name == "stride") {
+        StridePolicyConfig cfg;
+        if (params.quantum > util::Duration::zero()) cfg.quantum = params.quantum;
+        return std::make_unique<StridePolicy>(cfg);
+    }
+    if (name == "cfs") {
+        CfsPolicyConfig cfg;
+        if (params.quantum > util::Duration::zero()) cfg.sched_latency = params.quantum;
+        return std::make_unique<CfsPolicy>(cfg);
+    }
+    std::string msg = "unknown kernel policy \"";
+    msg += name;
+    msg += "\"; valid policies:";
+    for (const PolicyInfo& info : kPolicies) {
+        msg += ' ';
+        msg += info.name;
+    }
+    throw std::invalid_argument(msg);
+}
+
+}  // namespace alps::os::policies

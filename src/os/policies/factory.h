@@ -1,0 +1,42 @@
+// Construction of kernel scheduling policies by name — the single registry
+// behind KernelConfig::policy, the experiment configs, and the alps-sweep
+// `--kernel-policy` / `--list-policies` flags.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "os/policy.h"
+#include "util/time.h"
+
+namespace alps::os::policies {
+
+struct PolicyParams {
+    /// Seed for randomized policies (lottery); ignored by the others.
+    std::uint64_t seed = 0xa1b5'5eedULL;
+    /// Scheduling-quantum override; zero keeps each policy's own default
+    /// (BSD 100 ms round-robin, lottery/stride 100 ms, CFS dynamic).
+    util::Duration quantum{0};
+};
+
+struct PolicyInfo {
+    std::string_view name;
+    std::string_view description;
+};
+
+/// The policies make_policy() accepts, in presentation order.
+[[nodiscard]] std::span<const PolicyInfo> known_policies();
+
+/// True if `name` names a known policy.
+[[nodiscard]] bool is_known_policy(std::string_view name);
+
+/// Builds the named policy. Throws std::invalid_argument naming the valid
+/// choices for anything unknown — a mistyped config must fail loudly, never
+/// silently fall back to BSD.
+[[nodiscard]] std::unique_ptr<SchedPolicy> make_policy(std::string_view name,
+                                                       const PolicyParams& params = {});
+
+}  // namespace alps::os::policies

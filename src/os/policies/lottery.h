@@ -1,0 +1,118 @@
+// Lottery scheduling (Waldspurger & Weihl, OSDI '94) as a kernel SchedPolicy.
+//
+// Each process holds an amount of tickets in some currency; a currency is
+// backed by `funding` base tickets split across all tickets issued in it, so
+// a process's *effective* base tickets are amount × funding / issued. Every
+// dispatch decision draws a uniform value over the runnable processes'
+// effective tickets (via the repo's deterministic xoshiro RNG) and the holder
+// of the winning ticket runs for one quantum.
+//
+// Compensation tickets: a process that used only a fraction f < 1 of its
+// quantum before leaving the CPU (sleep, preemption) has its tickets
+// inflated by 1/f until it next wins, preserving its expected share despite
+// short stints (paper §3.4). The stint is accumulated across charge() calls
+// since the last win, so fragmented charging (the kernel charges at every
+// scheduling decision, not once per slice) still yields one 1/f factor.
+//
+// Interaction with the wake-boost protocol: processes waking from a kernel
+// sleep must preempt user-mode work immediately (Proc::wake_boost; the ALPS
+// driver depends on this to take its tick at quantum boundaries). Boosted
+// processes therefore bypass the lottery entirely — they sit on a FIFO that
+// peek()/pop() service ahead of any draw, mirroring BsdPolicy's kernel
+// sleep-priority queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/policies/queueing.h"
+#include "os/policy.h"
+#include "util/rng.h"
+
+namespace alps::os::policies {
+
+struct LotteryPolicyConfig {
+    /// Lottery quantum: one draw per this much CPU (Waldspurger used 100 ms).
+    util::Duration quantum = util::msec(100);
+    /// Seed for the draw stream; same seed + same event order = same draws.
+    std::uint64_t seed = 0xa1b5'10'77e41ULL;
+    /// Compensation-ticket cap: 1/f inflation is clamped to this factor.
+    double max_compensation = 64.0;
+};
+
+class LotteryPolicy final : public SchedPolicy {
+public:
+    using Config = LotteryPolicyConfig;
+    using CurrencyId = std::int32_t;
+    static constexpr CurrencyId kBaseCurrency = 0;
+
+    explicit LotteryPolicy(LotteryPolicyConfig cfg = {});
+
+    void add(Proc& p) override;
+    void remove(Proc& p) override;
+    void enqueue(Proc& p) override;
+    void dequeue(Proc& p) override;
+    Proc* peek() override;
+    Proc* pop() override;
+    [[nodiscard]] bool preempts(const Proc& cand, const Proc& running) const override;
+    [[nodiscard]] bool yields_to(const Proc& running, const Proc& cand) const override;
+    void charge(Proc& p, util::Duration ran) override;
+    void on_wakeup(Proc& p, util::Duration slept) override;
+    void second_tick(std::span<Proc* const> procs, double loadavg,
+                     util::TimePoint now) override;
+    [[nodiscard]] util::Duration slice() const override { return cfg_.quantum; }
+
+    // ----- ticket economy -----
+
+    /// Creates a currency worth `funding` base tickets, split pro rata over
+    /// the tickets issued in it. Returns its id.
+    CurrencyId define_currency(double funding);
+    /// Re-funds an existing currency (ticket inflation/deflation).
+    void set_currency_funding(CurrencyId c, double funding);
+    /// Reissues `p`'s holding: `amount` tickets in currency `c`. The default
+    /// grant at add() is nice_to_weight(p.nice) base tickets.
+    void set_tickets(const Proc& p, double amount, CurrencyId c = kBaseCurrency);
+    /// Moves `amount` tickets from `from` to `to` (ticket transfer §3.1);
+    /// both must currently hold tickets in the same currency.
+    void transfer_tickets(const Proc& from, const Proc& to, double amount);
+
+    /// `p`'s holding valued in base tickets (excluding compensation).
+    [[nodiscard]] double effective_tickets(const Proc& p) const;
+    /// Current compensation factor (1 when none is held).
+    [[nodiscard]] double compensation(const Proc& p) const;
+
+private:
+    struct Currency {
+        double funding = 0.0;  ///< value in base tickets
+        double issued = 0.0;   ///< tickets issued in this currency
+    };
+    struct Ticketing {
+        double amount = 0.0;          ///< tickets held
+        CurrencyId currency = kBaseCurrency;
+        double comp = 1.0;            ///< compensation factor, >= 1
+        util::Duration stint{0};      ///< CPU used since last lottery win
+        bool known = false;           ///< add() seen, remove() not yet
+    };
+
+    [[nodiscard]] Ticketing& state(const Proc& p);
+    [[nodiscard]] const Ticketing& state(const Proc& p) const;
+    /// amount × funding / issued for the process's currency.
+    [[nodiscard]] double base_value(const Ticketing& t) const;
+    /// Draw (or return the memoized) winner among the ticket FIFO.
+    Proc* draw();
+
+    LotteryPolicyConfig cfg_;
+    util::Rng rng_;
+    std::vector<Currency> currencies_;
+    std::vector<Ticketing> tickets_;  ///< pid-indexed
+
+    IntrusiveFifo boosted_;  ///< wake_boost procs, FIFO, ahead of any draw
+    IntrusiveFifo pool_;     ///< runnable ticket holders, in enqueue order
+    std::size_t pool_size_ = 0;
+
+    /// peek() must be stable until the queues change, so the draw is
+    /// memoized here and invalidated by every queue/ticket mutation.
+    Proc* winner_ = nullptr;
+};
+
+}  // namespace alps::os::policies

@@ -119,12 +119,6 @@ public:
     /// so the count can never exceed the live set.
     [[nodiscard]] std::size_t live_events() const { return live_; }
 
-    /// Deprecated alias for live_events(), kept so pre-wheel callers don't
-    /// break. (The engine no longer has a heap.)
-    [[nodiscard]] std::size_t pending_count() const { return live_events(); }
-    /// Deprecated alias for live_events(); see pending_count().
-    [[nodiscard]] std::size_t heap_size() const { return live_events(); }
-
     /// Pending events currently parked in the far-future spill list (beyond
     /// the wheel horizon). Included in live_events(); exposed so tests can
     /// assert spill occupancy across cascades and promotions.

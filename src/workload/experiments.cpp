@@ -6,7 +6,9 @@
 #include <string>
 
 #include "alps/sim_adapter.h"
+#include "alps/stride_engine.h"
 #include "metrics/exact_cycle_log.h"
+#include "metrics/fairness.h"
 #include "os/behaviors.h"
 #include "os/kernel.h"
 #include "sim/engine.h"
@@ -44,6 +46,8 @@ SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg) {
     sim::Engine engine;
     os::KernelConfig kcfg;
     kcfg.stop_latency_grid = cfg.stop_latency_grid;
+    kcfg.policy = cfg.kernel_policy;
+    kcfg.policy_seed = cfg.policy_seed;
     os::Kernel kernel(engine, nullptr, kcfg);
 
     core::SchedulerConfig scfg;
@@ -91,10 +95,80 @@ SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg) {
     res.ticks = alps.scheduler().tick_count();
     res.measurements = alps.scheduler().total_measurements();
     res.boundaries_missed = alps.driver().boundaries_missed();
+    res.fairness = metrics::analyze_fairness(
+        log.records(), static_cast<std::size_t>(cfg.warmup_cycles),
+        static_cast<std::size_t>(cfg.measure_cycles));
     if (cfg.metrics != nullptr) {
         engine.export_metrics(*cfg.metrics);
         kernel.export_metrics(*cfg.metrics);
         alps.scheduler().export_metrics(*cfg.metrics);
+        metrics::export_fairness(res.fairness, *cfg.metrics);
+    }
+    return res;
+}
+
+// ----------------------------------------------------------------------------
+// The stride-engine A/B (BENCH_policy_zoo)
+
+SimRunResult run_stride_engine_experiment(const SimRunConfig& cfg) {
+    ALPS_EXPECT(!cfg.shares.empty());
+    ALPS_EXPECT(cfg.measure_cycles > 0);
+
+    sim::Engine engine;
+    os::KernelConfig kcfg;
+    kcfg.stop_latency_grid = cfg.stop_latency_grid;
+    kcfg.policy = cfg.kernel_policy;
+    kcfg.policy_seed = cfg.policy_seed;
+    os::Kernel kernel(engine, nullptr, kcfg);
+
+    core::StrideEngineConfig ecfg;
+    ecfg.quantum = cfg.quantum;
+    core::SimStrideAlps alps(kernel, ecfg, cfg.cost);
+
+    metrics::ExactCycleLog log([&kernel](core::EntityId id) {
+        return kernel.cpu_time(static_cast<os::Pid>(id));
+    });
+    alps.engine().set_cycle_observer(log.observer());
+
+    for (std::size_t i = 0; i < cfg.shares.size(); ++i) {
+        const os::Pid pid = kernel.spawn("worker" + std::to_string(i), /*uid=*/100,
+                                         std::make_unique<os::CpuBoundBehavior>());
+        alps.manage(pid, cfg.shares[i]);
+    }
+
+    const Duration cycle_len = cfg.quantum * util::total_shares(cfg.shares);
+    const auto total_cycles =
+        static_cast<std::size_t>(cfg.warmup_cycles + cfg.measure_cycles);
+    const Duration max_wall =
+        cfg.max_wall > Duration::zero()
+            ? cfg.max_wall
+            : cycle_len * static_cast<std::int64_t>(3 * (total_cycles + 10));
+
+    const bool completed = run_simulation_until(
+        engine, TimePoint{} + max_wall,
+        [&] { return log.cycle_count() >= total_cycles; });
+
+    SimRunResult res;
+    res.timed_out = !completed;
+    res.wall = engine.now() - TimePoint{};
+    res.alps_cpu = alps.overhead_cpu();
+    res.overhead_fraction =
+        util::to_sec(res.wall) > 0.0 ? util::to_sec(res.alps_cpu) / util::to_sec(res.wall)
+                                     : 0.0;
+    res.mean_rms_error = log.mean_rms_relative_error(
+        static_cast<std::size_t>(cfg.warmup_cycles),
+        static_cast<std::size_t>(cfg.measure_cycles));
+    res.cycles_completed = log.cycle_count();
+    res.ticks = alps.engine().tick_count();
+    res.measurements = alps.engine().total_measurements();
+    res.boundaries_missed = alps.boundaries_missed();
+    res.fairness = metrics::analyze_fairness(
+        log.records(), static_cast<std::size_t>(cfg.warmup_cycles),
+        static_cast<std::size_t>(cfg.measure_cycles));
+    if (cfg.metrics != nullptr) {
+        engine.export_metrics(*cfg.metrics);
+        kernel.export_metrics(*cfg.metrics);
+        metrics::export_fairness(res.fairness, *cfg.metrics);
     }
     return res;
 }

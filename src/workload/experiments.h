@@ -12,6 +12,7 @@
 #include "alps/cost_model.h"
 #include "alps/fault.h"
 #include "alps/scheduler.h"
+#include "metrics/fairness.h"
 #include "metrics/slope_analysis.h"
 #include "util/shares.h"
 #include "util/time.h"
@@ -41,9 +42,16 @@ struct SimRunConfig {
     /// instant stops; 10 ms models FreeBSD's hardclock-tick delivery.
     util::Duration stop_latency_grid{0};
     /// When set, the run exports its engine/kernel/scheduler totals here
-    /// ("engine.", "kernel.", "alps." prefixes) before returning. Sweeps pass
-    /// TaskContext::metrics so every task's counters land in one registry.
+    /// ("engine.", "kernel.", "alps." prefixes) plus the fairness report
+    /// ("fairness.") before returning. Sweeps pass TaskContext::metrics so
+    /// every task's counters land in one registry.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Kernel scheduling policy underneath ALPS, by name (see
+    /// os::policies::known_policies(): bsd | lottery | stride | cfs). An
+    /// unknown name throws std::invalid_argument from the kernel.
+    std::string kernel_policy = "bsd";
+    /// Seed for randomized kernel policies (the lottery's draw stream).
+    std::uint64_t policy_seed = 0xa1b5'5eedULL;
 };
 
 struct SimRunResult {
@@ -56,11 +64,20 @@ struct SimRunResult {
     util::Duration wall{0};
     util::Duration alps_cpu{0};
     bool timed_out = false;  ///< hit max_wall before completing the cycles
+    /// Fairness over the measured cycles (time ratio, RMS error, complaint).
+    metrics::FairnessReport fairness;
 };
 
 /// Spawns |shares| compute-bound processes under one ALPS and measures
 /// accuracy and overhead.
 [[nodiscard]] SimRunResult run_cpu_bound_experiment(const SimRunConfig& cfg);
+
+/// The policy-zoo A/B: same machine, same workload, same measurement, but
+/// the application-level controller is core::StrideEngine (stride
+/// pass/stride replacing the ALPS allowance loop). kernel_policy still
+/// selects the kernel underneath. lazy_measurement/io_accounting are
+/// ignored (the engine has no such options).
+[[nodiscard]] SimRunResult run_stride_engine_experiment(const SimRunConfig& cfg);
 
 // ----------------------------------------------------------------------------
 // I/O redistribution run (Figure 6)

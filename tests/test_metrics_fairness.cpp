@@ -1,0 +1,147 @@
+// Hand-computed fixtures for the fairness-metrics subsystem: every expected
+// value below is derived on paper from the definitions in fairness.h, so a
+// change in any metric's meaning fails loudly here before it skews a
+// BENCH_policy_zoo comparison.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alps/scheduler.h"
+#include "metrics/fairness.h"
+#include "telemetry/metrics.h"
+#include "util/time.h"
+
+namespace alps::metrics {
+namespace {
+
+using util::msec;
+
+core::CycleRecord rec(std::vector<util::Share> shares, std::vector<int> consumed_ms) {
+    core::CycleRecord r;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+        r.ids.push_back(static_cast<core::EntityId>(i + 1));
+        r.shares.push_back(shares[i]);
+        r.consumed.push_back(msec(consumed_ms[i]));
+    }
+    return r;
+}
+
+TEST(Fairness, PerfectProportionalityScoresPerfect) {
+    // Shares 1:3, consumption 10:30 ms — exactly proportional.
+    const auto r = rec({1, 3}, {10, 30});
+    EXPECT_DOUBLE_EQ(cycle_time_ratio(r), 1.0);
+    EXPECT_DOUBLE_EQ(cycle_max_complaint(r), 0.0);
+
+    const auto report = analyze_fairness({&r, 1});
+    EXPECT_EQ(report.cycles, 1u);
+    EXPECT_DOUBLE_EQ(report.time_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(report.rms_share_error, 0.0);
+    EXPECT_DOUBLE_EQ(report.max_complaint, 0.0);
+}
+
+TEST(Fairness, EqualSharesSkewedConsumption) {
+    // Equal shares, 30:10 ms. Normalized rates 30 and 10 -> ratio 1/3.
+    // Ideal is 20 each -> relative errors +0.5 and -0.5 -> RMS 0.5; the
+    // shorted entity's justified complaint is (20-10)/20 = 0.5.
+    const auto r = rec({1, 1}, {30, 10});
+    EXPECT_DOUBLE_EQ(cycle_time_ratio(r), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cycle_max_complaint(r), 0.5);
+
+    const auto report = analyze_fairness({&r, 1});
+    EXPECT_DOUBLE_EQ(report.time_ratio, 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(report.rms_share_error, 0.5);
+    EXPECT_DOUBLE_EQ(report.max_complaint, 0.5);
+}
+
+TEST(Fairness, StarvedEntityDrivesRatioToZeroAndComplaintToOne) {
+    // Shares 1:2, consumption 0:30 ms. The starved entity's rate is 0 ->
+    // ratio 0; its ideal was 10 ms and it got nothing -> complaint 1.0.
+    // Relative errors: -1.0 (starved) and (30-20)/20 = +0.5 ->
+    // RMS = sqrt((1 + 0.25) / 2).
+    const auto r = rec({1, 2}, {0, 30});
+    EXPECT_DOUBLE_EQ(cycle_time_ratio(r), 0.0);
+    EXPECT_DOUBLE_EQ(cycle_max_complaint(r), 1.0);
+
+    const auto report = analyze_fairness({&r, 1});
+    EXPECT_DOUBLE_EQ(report.rms_share_error, std::sqrt(0.625));
+}
+
+TEST(Fairness, ZeroShareEntityCarriesNoEntitlement) {
+    // A share-0 entity (5 ms stolen) has no rate and no complaint; the two
+    // entitled entities split perfectly between themselves (10:10 under 1:1)
+    // but each fell short of its ideal 12.5 ms of the 25 ms total -> both
+    // relative errors are -0.2.
+    const auto r = rec({0, 1, 1}, {5, 10, 10});
+    EXPECT_DOUBLE_EQ(cycle_time_ratio(r), 1.0);
+    EXPECT_DOUBLE_EQ(cycle_max_complaint(r), 0.2);
+
+    const auto report = analyze_fairness({&r, 1});
+    EXPECT_DOUBLE_EQ(report.rms_share_error, 0.2);
+}
+
+TEST(Fairness, IdleCyclesCarryNoFairnessInformation) {
+    const std::vector<core::CycleRecord> records = {
+        rec({1, 1}, {0, 0}),    // idle: skipped
+        rec({1, 1}, {10, 10}),  // perfect
+    };
+    const auto report = analyze_fairness(records);
+    EXPECT_EQ(report.cycles, 1u);
+    EXPECT_DOUBLE_EQ(report.time_ratio, 1.0);
+
+    // An all-idle log yields the neutral defaults, not NaN.
+    const std::vector<core::CycleRecord> idle = {rec({1, 1}, {0, 0})};
+    const auto empty = analyze_fairness(idle);
+    EXPECT_EQ(empty.cycles, 0u);
+    EXPECT_DOUBLE_EQ(empty.time_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(empty.max_complaint, 0.0);
+}
+
+TEST(Fairness, WarmupAndLimitWindowTheRecords) {
+    const std::vector<core::CycleRecord> records = {
+        rec({1, 1}, {30, 10}),  // warmup transient
+        rec({1, 1}, {10, 10}),  // the measured window
+        rec({1, 1}, {0, 40}),   // past the limit
+    };
+    const auto report = analyze_fairness(records, /*warmup=*/1, /*limit=*/1);
+    EXPECT_EQ(report.cycles, 1u);
+    EXPECT_DOUBLE_EQ(report.time_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(report.rms_share_error, 0.0);
+    EXPECT_DOUBLE_EQ(report.max_complaint, 0.0);
+
+    // Warmup beyond the log is an empty (neutral) report, not a crash.
+    EXPECT_EQ(analyze_fairness(records, /*warmup=*/10).cycles, 0u);
+}
+
+TEST(Fairness, MaxComplaintIsWorstAcrossCycles) {
+    const std::vector<core::CycleRecord> records = {
+        rec({1, 1}, {15, 25}),  // complaint (20-15)/20 = 0.25
+        rec({1, 1}, {10, 30}),  // complaint (20-10)/20 = 0.5  <- worst
+        rec({1, 1}, {18, 22}),  // complaint 0.1
+    };
+    const auto report = analyze_fairness(records);
+    EXPECT_DOUBLE_EQ(report.max_complaint, 0.5);
+}
+
+TEST(Fairness, ExportRecordsPpmHistograms) {
+    FairnessReport report;
+    report.time_ratio = 0.5;
+    report.rms_share_error = 0.25;
+    report.max_complaint = 0.125;
+    report.cycles = 7;
+
+    telemetry::MetricsRegistry reg;
+    export_fairness(report, reg);
+    EXPECT_EQ(reg.histogram("fairness.time_ratio_ppm").sum(), 500000u);
+    EXPECT_EQ(reg.histogram("fairness.rms_share_error_ppm").sum(), 250000u);
+    EXPECT_EQ(reg.histogram("fairness.max_complaint_ppm").sum(), 125000u);
+    EXPECT_EQ(reg.counter("fairness.cycles").value(), 7u);
+
+    // Histograms (not gauges): a second task's export accumulates, so sweep
+    // aggregation is order-free and --jobs-independent.
+    export_fairness(report, reg);
+    EXPECT_EQ(reg.histogram("fairness.time_ratio_ppm").count(), 2u);
+    EXPECT_EQ(reg.counter("fairness.cycles").value(), 14u);
+}
+
+}  // namespace
+}  // namespace alps::metrics

@@ -1,0 +1,285 @@
+// The kernel policy zoo: lottery, stride, and CFS-vruntime as pluggable
+// SchedPolicy implementations, the name->policy factory, and the Kernel's
+// loud rejection of unknown policy names.
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "os/policies/cfs.h"
+#include "os/policies/factory.h"
+#include "os/policies/lottery.h"
+#include "os/policies/stride.h"
+#include "os/policies/weight.h"
+#include "sim/engine.h"
+
+namespace alps::os {
+namespace {
+
+using policies::CfsPolicy;
+using policies::LotteryPolicy;
+using policies::StridePolicy;
+using util::Duration;
+using util::msec;
+using util::sec;
+using util::to_sec;
+
+Proc make_proc(Pid pid, int nice = 0) {
+    Proc p;
+    p.pid = pid;
+    p.nice = nice;
+    p.state = RunState::kRunnable;
+    return p;
+}
+
+/// A whole machine under one policy; `pol` stays valid for ticket surgery.
+template <typename Policy>
+struct Machine {
+    sim::Engine engine;
+    Policy* pol;
+    Kernel kernel;
+
+    explicit Machine(typename Policy::Config cfg = {})
+        : kernel(engine, [&] {
+              auto p = std::make_unique<Policy>(cfg);
+              pol = p.get();
+              return p;
+          }()) {}
+
+    Pid hog(const std::string& name, int nice = 0) {
+        return kernel.spawn(name, 0, std::make_unique<CpuBoundBehavior>(), nice);
+    }
+    void run_for(Duration d) { engine.run_until(engine.now() + d); }
+    double cpu(Pid pid) { return to_sec(kernel.cpu_time(pid)); }
+};
+
+// ----- factory & kernel validation ----------------------------------------
+
+TEST(PolicyFactory, ListsTheFourPolicies) {
+    const auto infos = policies::known_policies();
+    ASSERT_EQ(infos.size(), 4u);
+    EXPECT_EQ(infos[0].name, "bsd");
+    for (const auto& info : infos) {
+        EXPECT_TRUE(policies::is_known_policy(info.name));
+        EXPECT_NE(policies::make_policy(info.name), nullptr);
+    }
+    EXPECT_FALSE(policies::is_known_policy("o(1)"));
+}
+
+TEST(PolicyFactory, UnknownNameThrowsNamingTheChoices) {
+    try {
+        (void)policies::make_policy("fancy");
+        FAIL() << "make_policy accepted an unknown name";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("fancy"), std::string::npos);
+        EXPECT_NE(what.find("lottery"), std::string::npos);
+    }
+}
+
+TEST(PolicyFactory, KernelRejectsUnknownPolicyNameLoudly) {
+    // The satellite fix: a mistyped experiment config must throw, never
+    // silently run the whole experiment under BSD.
+    sim::Engine engine;
+    KernelConfig cfg;
+    cfg.policy = "lotery";  // sic
+    EXPECT_THROW(Kernel(engine, nullptr, cfg), std::invalid_argument);
+    cfg.policy = "stride";
+    EXPECT_NO_THROW(Kernel(engine, nullptr, cfg));
+}
+
+// ----- lottery -------------------------------------------------------------
+
+TEST(LotteryPolicy, CpuProportionalToTickets) {
+    Machine<LotteryPolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.pol->set_tickets(m.kernel.proc(a), 300.0);
+    m.pol->set_tickets(m.kernel.proc(b), 100.0);
+    m.run_for(sec(60));  // 600 draws: sigma of a's fraction ~ 1.8 %
+    const double fa = m.cpu(a) / (m.cpu(a) + m.cpu(b));
+    EXPECT_NEAR(fa, 0.75, 0.06);
+}
+
+TEST(LotteryPolicy, DefaultGrantFollowsNice) {
+    // add() grants nice_to_weight(nice) base tickets, so entitlement
+    // semantics match stride and CFS without explicit ticket surgery.
+    Machine<LotteryPolicy> m;
+    const Pid normal = m.hog("normal", 0);
+    const Pid niced = m.hog("niced", 5);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(normal)),
+                     static_cast<double>(policies::nice_to_weight(0)));
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(niced)),
+                     static_cast<double>(policies::nice_to_weight(5)));
+}
+
+TEST(LotteryPolicy, CurrencyValuesHoldingsProRata) {
+    Machine<LotteryPolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    const Pid c = m.hog("c");
+    // A and B share a currency worth 1024 base tickets 1:3; C holds 1024
+    // base directly. Effective: A 256, B 768, C 1024.
+    const auto cur = m.pol->define_currency(1024.0);
+    m.pol->set_tickets(m.kernel.proc(a), 100.0, cur);
+    m.pol->set_tickets(m.kernel.proc(b), 300.0, cur);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(a)), 256.0);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(b)), 768.0);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(c)), 1024.0);
+    // Inflating the currency's issue dilutes every holder, not the funding.
+    m.pol->set_tickets(m.kernel.proc(a), 300.0, cur);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(a)), 512.0);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(b)), 512.0);
+}
+
+TEST(LotteryPolicy, TransferMovesTickets) {
+    Machine<LotteryPolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.pol->set_tickets(m.kernel.proc(a), 400.0);
+    m.pol->set_tickets(m.kernel.proc(b), 400.0);
+    m.pol->transfer_tickets(m.kernel.proc(a), m.kernel.proc(b), 300.0);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(a)), 100.0);
+    EXPECT_DOUBLE_EQ(m.pol->effective_tickets(m.kernel.proc(b)), 700.0);
+}
+
+TEST(LotteryPolicy, CompensationInflatesShortStints) {
+    // Driven directly (no kernel): a proc that wins, runs 10 ms of a 100 ms
+    // quantum, and re-queues holds a 10x compensation factor until the next
+    // win consumes it (paper §3.4).
+    LotteryPolicy pol({.quantum = msec(100)});
+    Proc p = make_proc(1);
+    pol.add(p);
+    pol.enqueue(p);
+    ASSERT_EQ(pol.pop(), &p);
+    pol.charge(p, msec(10));
+    pol.enqueue(p);
+    EXPECT_DOUBLE_EQ(pol.compensation(p), 10.0);
+    ASSERT_EQ(pol.pop(), &p);  // the win consumes the compensation
+    pol.charge(p, msec(100));
+    pol.enqueue(p);
+    EXPECT_DOUBLE_EQ(pol.compensation(p), 1.0);  // full quantum: none
+    pol.dequeue(p);
+    pol.remove(p);
+}
+
+TEST(LotteryPolicy, SameSeedRunsAreBitIdentical) {
+    // The determinism the zoo's JSON baseline rests on: the draw stream is a
+    // pure function of the seed and the event order.
+    const auto run = [](std::uint64_t seed) {
+        Machine<LotteryPolicy> m({.seed = seed});
+        const Pid a = m.hog("a");
+        const Pid b = m.hog("b");
+        const Pid c = m.hog("c");
+        m.run_for(sec(10));
+        return std::array<Duration, 3>{m.kernel.cpu_time(a), m.kernel.cpu_time(b),
+                                       m.kernel.cpu_time(c)};
+    };
+    const auto first = run(42);
+    EXPECT_EQ(first, run(42));
+    EXPECT_NE(first, run(43));
+}
+
+// ----- stride --------------------------------------------------------------
+
+TEST(StridePolicy, CpuProportionalToTickets) {
+    Machine<StridePolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.pol->set_tickets(m.kernel.proc(a), 300.0);
+    m.pol->set_tickets(m.kernel.proc(b), 100.0);
+    m.run_for(sec(10));  // deterministic: tight tolerance
+    const double fa = m.cpu(a) / (m.cpu(a) + m.cpu(b));
+    EXPECT_NEAR(fa, 0.75, 0.02);
+}
+
+TEST(StridePolicy, LateJoinerOwesNoBackCredit) {
+    // B joins 5 s in with equal tickets. The remain/global-pass mechanism
+    // must give it a fair share from its join onward — not half of history.
+    Machine<StridePolicy> m;
+    const Pid a = m.hog("a");
+    m.run_for(sec(5));
+    const Pid b = m.hog("b");
+    m.run_for(sec(10));
+    EXPECT_NEAR(m.cpu(a), 10.0, 0.3);  // 5 alone + 5 of the shared 10
+    EXPECT_NEAR(m.cpu(b), 5.0, 0.3);
+    EXPECT_NEAR(m.cpu(a) + m.cpu(b), 15.0, 1e-6);
+}
+
+TEST(StridePolicy, TransferShiftsTheRatio) {
+    Machine<StridePolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    m.pol->set_tickets(m.kernel.proc(a), 200.0);
+    m.pol->set_tickets(m.kernel.proc(b), 200.0);
+    m.run_for(sec(4));
+    const double a_before = m.cpu(a);
+    const double b_before = m.cpu(b);
+    EXPECT_NEAR(a_before, b_before, 0.2);
+    m.pol->transfer_tickets(m.kernel.proc(a), m.kernel.proc(b), 100.0);
+    m.run_for(sec(6));  // 1:3 from here on
+    EXPECT_NEAR((m.cpu(a) - a_before) / 6.0, 0.25, 0.03);
+    EXPECT_NEAR((m.cpu(b) - b_before) / 6.0, 0.75, 0.03);
+}
+
+TEST(StridePolicy, SleeperNeitherBanksNorForfeits) {
+    // A process asleep for a long stretch must come back with its old
+    // remain, not a banked claim on the missed CPU (the paper's client_wait
+    // semantics, via the charge-time remain snapshot).
+    sim::Engine engine;
+    KernelConfig kcfg;
+    kcfg.policy = "stride";
+    Kernel kernel(engine, nullptr, kcfg);
+    const Pid a = kernel.spawn("a", 0, std::make_unique<CpuBoundBehavior>());
+    const Pid b = kernel.spawn("b", 0, std::make_unique<CpuBoundBehavior>());
+    engine.run_until(engine.now() + sec(2));
+    kernel.send_signal(b, Signal::kStop);  // b leaves the competition
+    engine.run_until(engine.now() + sec(6));
+    kernel.send_signal(b, Signal::kCont);
+    const Duration b_at_resume = kernel.cpu_time(b);
+    engine.run_until(engine.now() + sec(4));
+    // After resuming, b gets its proportional half of the remaining time —
+    // about 2 of the last 4 s — rather than catching up on the 6 s it slept.
+    EXPECT_NEAR(to_sec(kernel.cpu_time(b) - b_at_resume), 2.0, 0.3);
+}
+
+// ----- CFS -----------------------------------------------------------------
+
+TEST(CfsPolicy, NiceWeightsGiveProportionalCpu) {
+    Machine<CfsPolicy> m;
+    const Pid normal = m.hog("normal", 0);
+    const Pid niced = m.hog("niced", 5);
+    m.run_for(sec(30));
+    const double w0 = static_cast<double>(policies::nice_to_weight(0));
+    const double w5 = static_cast<double>(policies::nice_to_weight(5));
+    const double fa = m.cpu(normal) / (m.cpu(normal) + m.cpu(niced));
+    EXPECT_NEAR(fa, w0 / (w0 + w5), 0.02);
+}
+
+TEST(CfsPolicy, EqualWeightsShareEvenly) {
+    Machine<CfsPolicy> m;
+    const Pid a = m.hog("a");
+    const Pid b = m.hog("b");
+    const Pid c = m.hog("c");
+    m.run_for(sec(9));
+    EXPECT_NEAR(m.cpu(a), 3.0, 0.1);
+    EXPECT_NEAR(m.cpu(b), 3.0, 0.1);
+    EXPECT_NEAR(m.cpu(c), 3.0, 0.1);
+}
+
+TEST(CfsPolicy, LateJoinerStartsAtMinVruntime) {
+    // min-vruntime normalization: a process spawned after 10 s of history
+    // must not monopolize the CPU to "catch up" to the incumbents' vruntime.
+    Machine<CfsPolicy> m;
+    const Pid a = m.hog("a");
+    m.run_for(sec(10));
+    const Pid b = m.hog("b");
+    m.run_for(sec(4));
+    EXPECT_NEAR(to_sec(m.kernel.cpu_time(b)), 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace alps::os

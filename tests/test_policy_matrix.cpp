@@ -1,0 +1,137 @@
+// The policy-matrix leg: one binary that check.sh runs once per kernel
+// policy (ALPS_KERNEL_POLICY=bsd|lottery|stride|cfs). Every assertion here
+// must hold on *all four* kernels — these are the invariants ALPS promises
+// regardless of what scheduler runs underneath it — plus a harness-level
+// sweep that proves the whole zoo is bit-identical for any --jobs value.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/registry.h"
+#include "harness/runner.h"
+#include "os/policies/factory.h"
+#include "workload/distributions.h"
+#include "workload/experiments.h"
+
+namespace alps {
+namespace {
+
+std::string policy_under_test() {
+    const char* v = std::getenv("ALPS_KERNEL_POLICY");
+    return (v != nullptr && *v != '\0') ? v : "bsd";
+}
+
+workload::SimRunConfig matrix_config(workload::ShareModel model) {
+    workload::SimRunConfig cfg;
+    cfg.shares = workload::make_shares(model, 5);
+    cfg.quantum = util::msec(10);
+    cfg.measure_cycles = 40;
+    cfg.warmup_cycles = 5;
+    cfg.kernel_policy = policy_under_test();
+    return cfg;
+}
+
+TEST(PolicyMatrix, PolicyNameIsKnown) {
+    ASSERT_TRUE(os::policies::is_known_policy(policy_under_test()))
+        << "ALPS_KERNEL_POLICY=" << policy_under_test();
+}
+
+TEST(PolicyMatrix, AlpsHoldsSharesOnThisKernel) {
+    const auto r =
+        workload::run_cpu_bound_experiment(matrix_config(workload::ShareModel::kLinear));
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.cycles_completed, 40u);
+    // Loose cross-policy bounds: the per-policy numbers live in
+    // BENCH_policy_zoo.json; here we only require that ALPS keeps working.
+    EXPECT_LT(r.mean_rms_error, 0.35);
+    EXPECT_GT(r.fairness.time_ratio, 0.4);
+    EXPECT_LT(r.fairness.max_complaint, 1.0);  // nobody fully starved
+    EXPECT_GE(r.fairness.cycles, 30u);
+}
+
+TEST(PolicyMatrix, SkewedSharesStayBounded) {
+    const auto r =
+        workload::run_cpu_bound_experiment(matrix_config(workload::ShareModel::kSkewed));
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_LT(r.mean_rms_error, 0.40);
+    EXPECT_GT(r.fairness.time_ratio, 0.3);
+}
+
+TEST(PolicyMatrix, StrideEngineControllerWorksOnThisKernel) {
+    // The A/B controller (stride pass/stride instead of the ALPS allowance
+    // loop) keeps exactly one entity runnable, so its accuracy should be
+    // nearly kernel-independent — it must hold on every policy.
+    const auto r =
+        workload::run_stride_engine_experiment(matrix_config(workload::ShareModel::kLinear));
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_GE(r.cycles_completed, 40u);
+    EXPECT_LT(r.mean_rms_error, 0.05);
+    EXPECT_GT(r.fairness.time_ratio, 0.9);
+}
+
+TEST(PolicyMatrix, SameConfigRunsAreBitIdentical) {
+    // Simulated time plus a fixed policy_seed make every kernel — including
+    // the lottery's randomized draws — a pure function of the config.
+    const auto cfg = matrix_config(workload::ShareModel::kLinear);
+    const auto a = workload::run_cpu_bound_experiment(cfg);
+    const auto b = workload::run_cpu_bound_experiment(cfg);
+    EXPECT_EQ(a.mean_rms_error, b.mean_rms_error);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.measurements, b.measurements);
+    EXPECT_EQ(a.fairness.time_ratio, b.fairness.time_ratio);
+    EXPECT_EQ(a.fairness.max_complaint, b.fairness.max_complaint);
+}
+
+// A miniature policy_zoo as a harness experiment: one task per kernel
+// policy. Mirrors bench/exp_policy_zoo.cpp's task body so the --jobs
+// determinism proven here transfers to the committed BENCH baseline.
+harness::Experiment mini_zoo() {
+    harness::Experiment e;
+    e.name = "mini_policy_zoo";
+    e.make_tasks = [](const harness::SweepOptions&) {
+        std::vector<harness::Task> tasks;
+        for (const auto& info : os::policies::known_policies()) {
+            harness::Task task;
+            task.point = std::string(info.name);
+            const std::string policy(info.name);
+            task.fn = [policy](const harness::TaskContext& ctx) {
+                workload::SimRunConfig cfg;
+                cfg.shares = workload::make_shares(workload::ShareModel::kLinear, 5);
+                cfg.quantum = util::msec(10);
+                cfg.measure_cycles = 20;
+                cfg.warmup_cycles = 5;
+                cfg.kernel_policy = policy;
+                cfg.policy_seed = ctx.seed;
+                cfg.metrics = ctx.metrics;
+                const auto r = workload::run_cpu_bound_experiment(cfg);
+                return harness::Result{}
+                    .metric("rms_error_pct", 100.0 * r.mean_rms_error)
+                    .metric("time_ratio", r.fairness.time_ratio);
+            };
+            tasks.push_back(std::move(task));
+        }
+        return tasks;
+    };
+    return e;
+}
+
+TEST(PolicyMatrix, ZooSweepIsJobsIndependent) {
+    // The ISSUE's acceptance bar: a same-seed lottery sweep is bit-identical
+    // whether tasks run serially or race across three workers. Task seeds
+    // derive from (sweep seed, index), never from thread identity.
+    const auto run = [](unsigned jobs) {
+        harness::SweepOptions options;
+        options.jobs = jobs;
+        options.seed = 0xa1b5;
+        return harness::run_sweep(mini_zoo(), options, nullptr);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(3);
+    EXPECT_EQ(serial.task_errors, 0);
+    EXPECT_EQ(harness::report_to_json(serial, /*include_run=*/false).dump(2),
+              harness::report_to_json(parallel, /*include_run=*/false).dump(2));
+}
+
+}  // namespace
+}  // namespace alps

@@ -136,19 +136,17 @@ TEST(Engine, LiveEventsTracksLifecycle) {
     EXPECT_EQ(e.live_events(), 0u);
 }
 
-TEST(Engine, DeprecatedCountAliasesTrackLiveEvents) {
-    // pending_count()/heap_size() predate the timing wheel; they must keep
-    // reporting the same number as live_events() so downstream callers that
-    // still use them don't break.
+TEST(Engine, LiveEventsSplitsWheelAndSpill) {
+    // live_events() counts the wheel and the far-future spill list together;
+    // spill_live_events() is the spill-only slice and can never exceed it.
     Engine e;
     e.schedule_after(msec(1), [] {});
     e.schedule_after(msec(2), [] {});
-    EXPECT_EQ(e.pending_count(), e.live_events());
-    EXPECT_EQ(e.heap_size(), e.live_events());
     EXPECT_EQ(e.live_events(), 2u);
+    EXPECT_LE(e.spill_live_events(), e.live_events());
     e.run();
-    EXPECT_EQ(e.pending_count(), 0u);
-    EXPECT_EQ(e.heap_size(), 0u);
+    EXPECT_EQ(e.live_events(), 0u);
+    EXPECT_EQ(e.spill_live_events(), 0u);
 }
 
 // --- cancel/pending churn: the FIFO determinism the parallel experiment

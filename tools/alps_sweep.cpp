@@ -1,8 +1,9 @@
 // alps-sweep — parallel experiment sweep runner.
 //
 //   alps-sweep --list
+//   alps-sweep --list-policies
 //   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
-//              [--no-json] [--quiet]
+//              [--no-json] [--quiet] [--kernel-policy NAME]
 //   alps-sweep --all [sweep flags]
 //
 // Runs registered experiments (see bench/experiments.h) across a thread pool
@@ -20,6 +21,7 @@
 #include "../bench/experiments.h"
 #include "harness/registry.h"
 #include "harness/runner.h"
+#include "os/policies/factory.h"
 
 namespace {
 
@@ -27,6 +29,7 @@ void print_usage(std::ostream& out) {
     out << "usage: alps-sweep --experiment NAME [options]\n"
            "       alps-sweep --all [options]\n"
            "       alps-sweep --list\n"
+           "       alps-sweep --list-policies\n"
            "options:\n"
            "  --jobs N     worker threads (default: hardware concurrency;\n"
            "               results are identical for every N)\n"
@@ -37,7 +40,12 @@ void print_usage(std::ostream& out) {
            "  --quiet      no progress/ETA on stderr\n"
            "  --trace FILE record an .alpstrace of the sweep (forces --jobs 1\n"
            "               so same-seed traces are byte-identical; inspect\n"
-           "               with alps-trace)\n";
+           "               with alps-trace)\n"
+           "  --kernel-policy NAME\n"
+           "               kernel scheduling policy for experiments that honor\n"
+           "               it (fig4: swaps the kernel under the whole figure;\n"
+           "               policy_zoo: narrows the zoo to one row); see\n"
+           "               --list-policies\n";
 }
 
 }  // namespace
@@ -47,12 +55,15 @@ int main(int argc, char** argv) {
     bench::register_all_experiments();
 
     bool list = false;
+    bool list_policies = false;
     bool all = false;
     std::vector<std::string> names;
     std::vector<char*> sweep_args{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) {
             list = true;
+        } else if (std::strcmp(argv[i], "--list-policies") == 0) {
+            list_policies = true;
         } else if (std::strcmp(argv[i], "--all") == 0) {
             all = true;
         } else if (std::strcmp(argv[i], "--experiment") == 0) {
@@ -77,6 +88,12 @@ int main(int argc, char** argv) {
         }
         return 0;
     }
+    if (list_policies) {
+        for (const auto& info : os::policies::known_policies()) {
+            std::cout << info.name << " — " << info.description << "\n";
+        }
+        return 0;
+    }
     if (all) {
         for (const harness::Experiment* e :
              harness::ExperimentRegistry::instance().list()) {
@@ -92,6 +109,16 @@ int main(int argc, char** argv) {
     options.out_dir = ".";
     if (!harness::parse_sweep_args(static_cast<int>(sweep_args.size()),
                                    sweep_args.data(), options)) {
+        return 2;
+    }
+    // The kernel factory would throw the same complaint from inside every
+    // task; checking here fails once, up front, with the valid names.
+    // ("stride-engine" is a policy_zoo row, not a kernel policy.)
+    if (!options.kernel_policy.empty() &&
+        options.kernel_policy != "stride-engine" &&
+        !os::policies::is_known_policy(options.kernel_policy)) {
+        std::cerr << "unknown kernel policy: " << options.kernel_policy
+                  << " (try --list-policies)\n";
         return 2;
     }
 
