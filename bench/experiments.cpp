@@ -8,6 +8,7 @@ void register_all_experiments() {
         register_scalability_experiment();
         register_reproduction_gate_experiment();
         register_fault_campaign_experiment();
+        register_chaos_campaign_experiment();
         register_sim_perf_experiment();
         register_policy_zoo_experiment();
         return true;

@@ -22,6 +22,10 @@ void register_reproduction_gate_experiment();
 /// Robustness under injected control-channel faults ("fault_campaign").
 void register_fault_campaign_experiment();
 
+/// Robustness of the sweep harness itself: tasks that crash, stall, or throw,
+/// exercising RunSupervisor retry/quarantine ("chaos_campaign").
+void register_chaos_campaign_experiment();
+
 /// Wall-clock throughput of the simulation substrate itself ("sim_perf").
 /// The one experiment whose JSON is host-timing-dependent (not bit-identical).
 void register_sim_perf_experiment();

@@ -152,4 +152,99 @@ if [[ "${ALPS_POLICY_MATRIX_SKIP:-0}" != "1" ]]; then
   build-perf/tools/alps-sweep --experiment policy_zoo --quiet --out build-perf
 fi
 
-echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify + policy matrix passed"
+# --- Chaos leg: the sweep harness must survive its own runs dying ---
+# Exercises the supervision layer (DESIGN.md §10) end to end on real
+# processes and a real kill -9:
+#   1. A supervised chaos_campaign: crashing/stalling/throwing tasks must be
+#      classified, retried, quarantined — and the forensics repro command it
+#      prints must actually re-execute the dead run.
+#   2. Crash/recovery determinism: kill -9 a journaled sweep mid-flight, then
+#      --resume with a *different* --jobs; the payload-only JSON must be
+#      byte-identical to an uninterrupted clean run's.
+#   3. Journal corruption: a truncated tail and a flipped bit must both be
+#      detected (warning on stderr), the bad suffix re-run, and the final
+#      JSON still byte-identical.
+#   4. CLI robustness: an unknown --kernel-policy fails with exit 2 and the
+#      valid-policy list, not a crash mid-sweep.
+# Reuses the Release perf tree; ALPS_CHAOS_SKIP=1 skips the leg.
+if [[ "${ALPS_CHAOS_SKIP:-0}" != "1" ]]; then
+  cmake -B build-perf -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DALPS_SANITIZE=OFF \
+    -DALPS_BUILD_BENCH=ON \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-perf -j "$JOBS" --target alps-sweep
+  SWEEP="$(pwd)/build-perf/tools/alps-sweep"
+  CHAOS="build-perf/chaos"
+  rm -rf "$CHAOS"
+  mkdir -p "$CHAOS"
+
+  echo "--- chaos: supervised campaign (isolation + watchdog + retry/quarantine)"
+  "$SWEEP" --experiment chaos_campaign --isolate --run-timeout 10 \
+    --max-attempts 3 --jobs 4 --seed 7 --quiet --out "$CHAOS/campaign" \
+    2> "$CHAOS/campaign.stderr"
+  grep -q "run death" "$CHAOS/campaign.stderr"
+  grep -q "repro:" "$CHAOS/campaign.stderr"
+
+  echo "--- chaos: forensics repro command re-executes the dead run"
+  # Take the first repro line the campaign printed and run it verbatim
+  # (swapping in this build's binary); a crash_loop task must die the same
+  # way in its single-task replay.
+  REPRO="$(grep -m1 'repro:  alps-sweep --experiment chaos_campaign' \
+    "$CHAOS/campaign.stderr" | sed 's/.*repro:  alps-sweep//')"
+  # shellcheck disable=SC2086  # the repro line is intentionally word-split
+  "$SWEEP" $REPRO --quiet --no-json > "$CHAOS/repro.out" 2> "$CHAOS/repro.err" || true
+  grep -Eq "crashed|failed|timeout" "$CHAOS/repro.out"
+
+  echo "--- chaos: kill -9 mid-sweep, resume with different --jobs, byte-compare"
+  "$SWEEP" --experiment chaos_campaign --seed 11 --jobs 2 --quiet \
+    --json-payload-only --out "$CHAOS/clean" > /dev/null
+  "$SWEEP" --experiment chaos_campaign --seed 11 --jobs 3 --quiet \
+    --journal --json-payload-only --out "$CHAOS/resumed" > /dev/null &
+  SWEEP_PID=$!
+  sleep 1
+  kill -9 "$SWEEP_PID" 2>/dev/null || true
+  wait "$SWEEP_PID" 2>/dev/null || true
+  if [[ ! -s "$CHAOS/resumed/BENCH_chaos_campaign.journal" ]]; then
+    echo "chaos: sweep finished before kill -9; leg still validates resume" >&2
+  fi
+  "$SWEEP" --experiment chaos_campaign --seed 11 --jobs 5 --quiet \
+    --resume --json-payload-only --out "$CHAOS/resumed" > /dev/null
+  cmp "$CHAOS/clean/BENCH_chaos_campaign.json" \
+      "$CHAOS/resumed/BENCH_chaos_campaign.json"
+
+  echo "--- chaos: corrupted journals are detected and the payload still matches"
+  truncate -s -7 "$CHAOS/resumed/BENCH_chaos_campaign.journal"
+  "$SWEEP" --experiment chaos_campaign --seed 11 --jobs 2 --quiet \
+    --resume --json-payload-only --out "$CHAOS/resumed" \
+    2> "$CHAOS/trunc.stderr" > /dev/null
+  grep -q "journal: discarded" "$CHAOS/trunc.stderr"
+  cmp "$CHAOS/clean/BENCH_chaos_campaign.json" \
+      "$CHAOS/resumed/BENCH_chaos_campaign.json"
+  python3 - "$CHAOS/resumed/BENCH_chaos_campaign.journal" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0x10  # flip one bit mid-file
+open(path, "wb").write(data)
+PY
+  "$SWEEP" --experiment chaos_campaign --seed 11 --jobs 2 --quiet \
+    --resume --json-payload-only --out "$CHAOS/resumed" \
+    2> "$CHAOS/flip.stderr" > /dev/null
+  grep -Eq "journal: (discarded|.* is unreadable)" "$CHAOS/flip.stderr"
+  cmp "$CHAOS/clean/BENCH_chaos_campaign.json" \
+      "$CHAOS/resumed/BENCH_chaos_campaign.json"
+
+  echo "--- chaos: unknown kernel policy fails cleanly with the valid list"
+  if "$SWEEP" --experiment fig4 --kernel-policy nosuchpolicy --quiet --no-json \
+      2> "$CHAOS/policy.stderr"; then
+    echo "chaos: unknown policy should have failed" >&2
+    exit 1
+  else
+    rc=$?
+    [[ "$rc" == "2" ]]
+  fi
+  grep -q "valid policies:" "$CHAOS/policy.stderr"
+fi
+
+echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify + policy matrix + chaos leg passed"

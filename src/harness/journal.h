@@ -1,0 +1,108 @@
+// Crash-consistent sweep journal: `BENCH_<name>.journal`.
+//
+// The journal is the sweep's write-ahead record of finished runs. Layout:
+//
+//   magic   8 bytes  "ALPSJRN1"
+//   header  1 frame  identity record: experiment, seed, full_scale,
+//                    kernel policy, task count (wire::kHeaderRecord)
+//   body    frames   one wire::kOutcomeRecord per completed task, appended
+//                    in completion order (any order — records carry their
+//                    task index), each fsync'd before the sweep moves on
+//
+// Recovery contract: load() accepts exactly the longest valid prefix. A torn
+// final append (kill -9 mid-write), a truncated file, or a bit-flipped byte
+// anywhere invalidates that frame's checksum and everything after it is
+// discarded — the affected tasks simply re-run on --resume. Because task
+// results are pure functions of (sweep seed, task index) and metric doubles
+// round-trip bit-exactly through the wire format, a resumed sweep's JSON
+// payload is byte-identical to an uninterrupted run's.
+//
+// The journal deliberately stores *outcomes*, never aggregates: aggregation
+// (sink.cpp) is recomputed from scratch on every run, so resume cannot drift
+// from the normal path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "harness/sink.h"
+
+namespace alps::harness {
+
+/// Identity of the sweep a journal belongs to. A resume only honors a
+/// journal whose header matches the current invocation exactly — replaying
+/// results across a different seed, scale, policy, or grid would silently
+/// corrupt the report.
+struct JournalHeader {
+    std::string experiment;
+    std::uint64_t seed = 0;
+    bool full_scale = false;
+    std::string kernel_policy;
+    std::uint64_t task_count = 0;
+
+    [[nodiscard]] bool matches(const JournalHeader& other) const {
+        return experiment == other.experiment && seed == other.seed &&
+               full_scale == other.full_scale && kernel_policy == other.kernel_policy &&
+               task_count == other.task_count;
+    }
+};
+
+/// Everything load() recovered from an existing journal.
+struct LoadedJournal {
+    /// True when the file existed with a valid magic + header frame. False
+    /// means "treat as no journal" (fresh run); header/outcomes are empty.
+    bool found = false;
+    JournalHeader header;
+    /// Completed outcomes by sweep task index (duplicates: last record wins;
+    /// a re-run after a discarded tail may legitimately re-append).
+    std::map<std::uint64_t, TaskOutcome> outcomes;
+    /// Byte length of the valid prefix; open() truncates here before
+    /// appending so a corrupt middle can never shadow fresh records.
+    std::size_t valid_bytes = 0;
+    /// Bytes past the valid prefix (torn append, truncation, bit flip).
+    std::uint64_t discarded_bytes = 0;
+};
+
+/// Append-side handle. Thread-safe: sweep workers append concurrently; each
+/// record is written with a single write() and fsync'd before append()
+/// returns (crash consistency beats throughput here — a record is a whole
+/// finished run, not a hot-path event).
+class SweepJournal {
+public:
+    SweepJournal() = default;
+    ~SweepJournal();
+    SweepJournal(const SweepJournal&) = delete;
+    SweepJournal& operator=(const SweepJournal&) = delete;
+
+    /// `<dir>/BENCH_<experiment>.journal`.
+    [[nodiscard]] static std::string path_for(const std::string& dir,
+                                             const std::string& experiment);
+
+    /// Reads and validates an existing journal. Never throws: a missing,
+    /// unreadable, or header-corrupt file comes back found=false.
+    [[nodiscard]] static LoadedJournal load(const std::string& path);
+
+    /// Opens `path` for appending. keep_bytes > 0 (a resume) truncates to
+    /// that valid prefix and appends after it; keep_bytes == 0 rewrites the
+    /// file from scratch with a fresh magic + header. Throws
+    /// std::runtime_error on I/O failure.
+    void open(const std::string& path, const JournalHeader& header,
+              std::size_t keep_bytes);
+
+    /// Appends one completed task (framed, single write, fsync). Failures
+    /// warn once on stderr and disable the journal rather than failing the
+    /// sweep — the in-memory results are still intact.
+    void append(std::uint64_t task_index, const TaskOutcome& outcome);
+
+    [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+    void close();
+
+private:
+    std::mutex mu_;
+    int fd_ = -1;
+    bool warned_ = false;
+};
+
+}  // namespace alps::harness

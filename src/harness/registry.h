@@ -35,6 +35,25 @@ struct SweepOptions {
     /// kernel policy factory at task run time (alps-sweep pre-checks it
     /// against --list-policies for a friendlier error).
     std::string kernel_policy;
+    // ---- supervision (harness::RunSupervisor) --------------------------
+    /// Fork one worker process per task execution so crashes and hangs are
+    /// classified per task instead of killing the sweep.
+    bool isolate = false;
+    /// Per-execution watchdog deadline, seconds; 0 = none. > 0 implies
+    /// isolate (the watchdog needs a killable process).
+    double run_timeout_s = 0.0;
+    /// Executions per task before a crash/timeout quarantines it.
+    int max_attempts = 3;
+    /// Keep a crash-consistent BENCH_<name>.journal of finished tasks.
+    bool journal = false;
+    /// Skip tasks already completed in a matching journal (implies journal).
+    bool resume = false;
+    /// Run exactly one task by sweep index (repro mode): < 0 = all. The task
+    /// keeps its original index/seed; journaling and evaluate are skipped.
+    long only_task = -1;
+    /// Omit the non-deterministic "run" section from BENCH_<name>.json so
+    /// resumed and uninterrupted sweeps can be byte-compared.
+    bool json_payload_only = false;
 };
 
 struct Experiment {
@@ -48,6 +67,10 @@ struct Experiment {
     /// verdicts to report.gate_checks (so they reach the JSON), may print a
     /// verdict table, and returns the number of failed criteria.
     std::function<int(SweepReport&, std::ostream&)> evaluate;
+    /// Task errors are expected (fault-injection experiments like
+    /// chaos_campaign): they don't fail the sweep's exit code; only failed
+    /// checks do.
+    bool tolerate_task_errors = false;
 };
 
 class ExperimentRegistry {

@@ -8,10 +8,14 @@
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "harness/journal.h"
+#include "harness/supervisor.h"
 #include "harness/thread_pool.h"
 #include "telemetry/metrics.h"
 #include "telemetry/recorder.h"
@@ -85,11 +89,47 @@ std::string current_git_sha() {
     return sha.empty() ? "unknown" : sha;
 }
 
-SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
+SweepReport run_sweep(const Experiment& experiment, const SweepOptions& raw_options,
                       std::ostream* progress) {
     const auto t0 = std::chrono::steady_clock::now();
+
+    // ---- option normalization. The watchdog needs a killable process, so a
+    // deadline implies isolation; tracing needs the task's telemetry rings in
+    // *this* process, so it wins over isolation; --resume implies --journal;
+    // --only-task is repro mode (one task, original index/seed, no journal).
+    SweepOptions options = raw_options;
+    if (options.run_timeout_s > 0.0) options.isolate = true;
+    const bool tracing = !options.trace_path.empty();
+    if (tracing && options.isolate) {
+        std::cerr << "warning: --trace runs tasks in-process; isolation and the "
+                     "watchdog are disabled for this sweep\n";
+        options.isolate = false;
+        options.run_timeout_s = 0.0;
+    }
+    if (options.resume) options.journal = true;
+    if (options.only_task >= 0) {
+        options.journal = false;
+        options.resume = false;
+    }
+
     std::vector<Task> tasks = experiment.make_tasks(options);
     ALPS_EXPECT(!tasks.empty());
+
+    // The slots this sweep actually covers, as *original* sweep indices —
+    // --only-task keeps its task's index and therefore its derived seed, so
+    // a repro run replays the exact same pure function.
+    std::vector<std::size_t> selected;
+    if (options.only_task >= 0) {
+        if (static_cast<std::size_t>(options.only_task) >= tasks.size()) {
+            throw std::runtime_error("--only-task " + std::to_string(options.only_task) +
+                                     " out of range (sweep has " +
+                                     std::to_string(tasks.size()) + " tasks)");
+        }
+        selected.push_back(static_cast<std::size_t>(options.only_task));
+    } else {
+        selected.resize(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i) selected[i] = i;
+    }
 
     SweepReport report;
     report.experiment = experiment.name;
@@ -98,55 +138,114 @@ SweepReport run_sweep(const Experiment& experiment, const SweepOptions& options,
     // Tracing forces a single worker: per-thread rings and emission order
     // would otherwise interleave nondeterministically, and the acceptance
     // bar is that two same-seed traced runs diff clean.
-    const bool tracing = !options.trace_path.empty();
     report.jobs = tracing ? 1 : effective_jobs(options.jobs);
-    report.tasks.resize(tasks.size());
+    report.tasks.resize(selected.size());
 
     telemetry::MetricsRegistry metrics;
     telemetry::Session session({.ring_capacity = trace_ring_capacity()});
     if (tracing) telemetry::attach(session);
 
-    ProgressMeter meter(options.quiet ? nullptr : progress, tasks.size(),
+    // ---- journal: load (resume) and open for appending.
+    SweepJournal journal;
+    std::map<std::uint64_t, TaskOutcome> resumed;
+    if (options.journal) {
+        const std::string jdir = options.out_dir.empty() ? "." : options.out_dir;
+        const std::string jpath = SweepJournal::path_for(jdir, experiment.name);
+        JournalHeader header;
+        header.experiment = experiment.name;
+        header.seed = options.seed;
+        header.full_scale = options.full_scale;
+        header.kernel_policy = options.kernel_policy;
+        header.task_count = tasks.size();
+        std::size_t keep_bytes = 0;
+        if (options.resume) {
+            LoadedJournal loaded = SweepJournal::load(jpath);
+            if (loaded.found) {
+                if (!loaded.header.matches(header)) {
+                    throw std::runtime_error(
+                        "journal: " + jpath +
+                        " belongs to a different sweep (experiment/seed/scale/"
+                        "policy/task-count mismatch); delete it or drop --resume");
+                }
+                if (loaded.discarded_bytes > 0) {
+                    std::cerr << "journal: discarded " << loaded.discarded_bytes
+                              << " invalid trailing byte(s) of " << jpath
+                              << "; affected tasks re-run\n";
+                }
+                resumed = std::move(loaded.outcomes);
+                keep_bytes = loaded.valid_bytes;
+            } else if (loaded.discarded_bytes > 0) {
+                std::cerr << "journal: " << jpath
+                          << " is unreadable; starting fresh\n";
+            }
+        }
+        journal.open(jpath, header, keep_bytes);
+    }
+
+    // ---- supervision counters + supervisor. Registered up front (even at
+    // zero) whenever supervision/journaling is on, so the telemetry section
+    // always answers "did anything get retried?".
+    if (options.isolate || options.journal) {
+        metrics.counter("harness.runs_retried");
+        metrics.counter("harness.runs_quarantined");
+        metrics.counter("harness.watchdog_kills");
+        metrics.counter("harness.journal_resumes");
+    }
+    SupervisorConfig scfg;
+    scfg.isolate = options.isolate;
+    scfg.run_timeout_s = options.run_timeout_s;
+    scfg.max_attempts = options.max_attempts;
+    scfg.forensics_dir = options.out_dir.empty()
+                             ? std::string("forensics")
+                             : options.out_dir + "/forensics";
+    ReproInfo repro;
+    repro.experiment = experiment.name;
+    repro.seed = options.seed;
+    repro.full_scale = options.full_scale;
+    repro.kernel_policy = options.kernel_policy;
+    const RunSupervisor supervisor(scfg, repro, &metrics);
+
+    ProgressMeter meter(options.quiet ? nullptr : progress, selected.size(),
                         experiment.name);
     {
         ThreadPool pool(report.jobs);
-        for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (std::size_t slot = 0; slot < selected.size(); ++slot) {
+            const std::size_t orig = selected[slot];
+            // Journal replay: a completed outcome round-trips bit-exactly, so
+            // filling the slot is equivalent to re-running the (pure) task.
+            const auto it = resumed.find(orig);
+            if (it != resumed.end()) {
+                report.tasks[slot] = it->second;
+                metrics.counter("harness.journal_resumes").add(1);
+                meter.task_done();
+                continue;
+            }
             // Each worker writes only to its own pre-sized slot; the vector is
             // never resized while the pool runs.
-            pool.submit([&, i, tracing] {
-                const Task& task = tasks[i];
-                TaskOutcome& out = report.tasks[i];
-                out.point = task.point;
-                out.rep = task.rep;
-                out.params = task.params;
+            pool.submit([&, slot, orig, tracing] {
+                const Task& task = tasks[orig];
                 TaskContext ctx;
-                ctx.index = i;
-                ctx.seed = derive_task_seed(options.seed, i);
+                ctx.index = orig;
+                ctx.seed = derive_task_seed(options.seed, orig);
                 ctx.full_scale = options.full_scale;
                 ctx.metrics = &metrics;
                 if (tracing) {
-                    telemetry::set_scope(static_cast<std::uint32_t>(i));
+                    telemetry::set_scope(static_cast<std::uint32_t>(orig));
                 }
                 const auto task_t0 = std::chrono::steady_clock::now();
-                try {
-                    out.result = task.fn(ctx);
-                } catch (const std::exception& e) {
-                    out.ok = false;
-                    out.error = e.what();
-                } catch (...) {
-                    out.ok = false;
-                    out.error = "unknown exception";
-                }
+                report.tasks[slot] = supervisor.run(task, ctx);
                 const auto task_us = std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - task_t0);
                 metrics.histogram("harness.task_wall_us")
                     .record(static_cast<std::uint64_t>(task_us.count()));
+                if (journal.is_open()) journal.append(orig, report.tasks[slot]);
                 meter.task_done();
             });
         }
         pool.wait_idle();
         pool.export_metrics(metrics, "harness.pool.");
     }
+    journal.close();
 
     if (tracing) {
         // The pool has joined, so every producer is quiescent; drain after
@@ -190,7 +289,10 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
     const auto usage = [&] {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
-                     " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]\n";
+                     " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]"
+                     " [--isolate] [--run-timeout SECONDS] [--max-attempts N]"
+                     " [--journal] [--resume] [--only-task INDEX]"
+                     " [--json-payload-only]\n";
         return false;
     };
     for (int i = 1; i < argc; ++i) {
@@ -235,6 +337,33 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             const char* v = next();
             if (v == nullptr) return usage();
             options.kernel_policy = v;
+        } else if (arg == "--isolate") {
+            options.isolate = true;
+        } else if (arg == "--run-timeout") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            char* end = nullptr;
+            options.run_timeout_s = std::strtod(v, &end);
+            if (end == v || *end != '\0' || options.run_timeout_s < 0.0) {
+                std::cerr << arg << ": not a non-negative number: " << v << "\n";
+                return usage();
+            }
+        } else if (arg == "--max-attempts") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
+            options.max_attempts = static_cast<int>(n);
+        } else if (arg == "--journal") {
+            options.journal = true;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--only-task") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n)) return usage();
+            options.only_task = static_cast<long>(n);
+        } else if (arg == "--json-payload-only") {
+            options.json_payload_only = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else {
@@ -251,14 +380,36 @@ int run_and_report(std::string_view name, const SweepOptions& options) {
         std::cerr << "unknown experiment: " << name << " (try --list)\n";
         return 2;
     }
-    SweepReport report = run_sweep(*experiment, options, &std::cerr);
-    if (experiment->present) experiment->present(report, std::cout);
-    if (experiment->evaluate) {
-        report.failed_checks += experiment->evaluate(report, std::cout);
+    SweepReport report;
+    try {
+        report = run_sweep(*experiment, options, &std::cerr);
+    } catch (const std::runtime_error& e) {
+        // Setup problems (bad --only-task, unusable journal), not task
+        // failures — those are classified into the report.
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
     }
-    const int failures = report.task_errors + report.failed_checks;
+    const bool repro_mode = options.only_task >= 0;
+    if (repro_mode) {
+        // Presentation and gate evaluation expect the full grid; a single
+        // replayed task just reports what it did.
+        for (const TaskOutcome& t : report.tasks) {
+            std::cout << "task " << options.only_task << " (" << t.point << " rep "
+                      << t.rep << "): " << t.disposition << " after " << t.attempts
+                      << " attempt(s)" << (t.ok ? "" : ": " + t.error) << "\n";
+        }
+    } else {
+        if (experiment->present) experiment->present(report, std::cout);
+        if (experiment->evaluate) {
+            report.failed_checks += experiment->evaluate(report, std::cout);
+        }
+    }
+    const int failures =
+        report.failed_checks +
+        (experiment->tolerate_task_errors ? 0 : report.task_errors);
     if (!options.out_dir.empty()) {
-        const std::string path = write_json_report(report, options.out_dir);
+        const std::string path =
+            write_json_report(report, options.out_dir, !options.json_payload_only);
         if (!path.empty()) {
             std::cout << "(json written to " << path << ")\n";
         }

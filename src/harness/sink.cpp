@@ -147,6 +147,22 @@ util::Json report_to_json(const SweepReport& report, bool include_run) {
         errors.push(std::move(je));
     }
     if (errors.size() > 0) doc.set("task_errors", std::move(errors));
+
+    // Supervision trail: only tasks the RunSupervisor had to intervene on
+    // (retries or a final failure), so unsupervised sweeps keep their exact
+    // historical payload. Attempt counts and dispositions are deterministic,
+    // hence part of the jobs-/resume-independent payload.
+    util::Json supervision = util::Json::array();
+    for (const TaskOutcome& t : report.tasks) {
+        if (t.ok && t.attempts <= 1) continue;
+        util::Json js = util::Json::object();
+        js.set("point", t.point);
+        js.set("rep", static_cast<std::int64_t>(t.rep));
+        js.set("attempts", static_cast<std::int64_t>(t.attempts));
+        js.set("disposition", t.disposition);
+        supervision.push(std::move(js));
+    }
+    if (supervision.size() > 0) doc.set("supervision", std::move(supervision));
     doc.set("failed_checks", static_cast<std::int64_t>(report.failed_checks));
 
     if (include_run) {
@@ -164,7 +180,8 @@ util::Json report_to_json(const SweepReport& report, bool include_run) {
     return doc;
 }
 
-std::string write_json_report(const SweepReport& report, const std::string& dir) {
+std::string write_json_report(const SweepReport& report, const std::string& dir,
+                              bool include_run) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);  // best effort; open() decides
     const std::string path =
@@ -174,7 +191,7 @@ std::string write_json_report(const SweepReport& report, const std::string& dir)
         std::cerr << "warning: cannot write " << path << "\n";
         return "";
     }
-    out << report_to_json(report).dump(2) << "\n";
+    out << report_to_json(report, include_run).dump(2) << "\n";
     return out ? path : "";
 }
 

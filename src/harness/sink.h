@@ -25,8 +25,14 @@ struct TaskOutcome {
     int rep = 0;
     std::vector<std::pair<std::string, std::string>> params;
     Result result;
-    bool ok = true;       ///< false when the task threw
-    std::string error;    ///< exception text when !ok
+    bool ok = true;       ///< false when the task threw (or its worker died)
+    std::string error;    ///< exception / crash classification text when !ok
+    /// Supervision record (harness::RunSupervisor). Everything here is a pure
+    /// function of the task's deterministic behaviour — attempt counts and
+    /// dispositions never encode wall-clock — so it lives in the
+    /// jobs-independent JSON payload and round-trips through the journal.
+    int attempts = 1;                 ///< executions including retries
+    std::string disposition = "ok";   ///< "ok" | "failed" | "crashed" | "timeout"
 };
 
 /// Mean/stdev of one metric across a point's repetitions.
@@ -88,6 +94,10 @@ void aggregate_points(SweepReport& report);
 
 /// Writes `BENCH_<experiment>.json` under `dir` (created if missing).
 /// Returns the path written, or "" on I/O failure (warned on stderr).
-std::string write_json_report(const SweepReport& report, const std::string& dir);
+/// `include_run=false` omits the non-deterministic "run" section entirely so
+/// that files from interrupted-and-resumed sweeps can be byte-compared
+/// against clean baselines (alps-sweep --json-payload-only).
+std::string write_json_report(const SweepReport& report, const std::string& dir,
+                              bool include_run = true);
 
 }  // namespace alps::harness

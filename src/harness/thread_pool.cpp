@@ -51,7 +51,15 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
             ++active_;
         }
-        task();
+        // A throwing task must not unwind the worker thread (std::terminate)
+        // or wedge wait_idle() by leaking `active_`: capture and move on.
+        try {
+            task();
+        } catch (const std::exception& e) {
+            note_failure(e.what());
+        } catch (...) {
+            note_failure("unknown exception");
+        }
         executed_.fetch_add(1, std::memory_order_relaxed);
         {
             std::unique_lock lock(mu_);
@@ -61,10 +69,24 @@ void ThreadPool::worker_loop() {
     }
 }
 
+void ThreadPool::note_failure(const char* what) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock lock(mu_);
+    if (task_errors_.size() < kMaxTaskErrors) task_errors_.emplace_back(what);
+}
+
+std::vector<std::string> ThreadPool::take_task_errors() {
+    std::unique_lock lock(mu_);
+    std::vector<std::string> out = std::move(task_errors_);
+    task_errors_.clear();
+    return out;
+}
+
 void ThreadPool::export_metrics(telemetry::MetricsRegistry& reg,
                                 const std::string& prefix) const {
     reg.counter(prefix + "workers").add(workers_.size());
     reg.counter(prefix + "tasks_executed").add(tasks_executed());
+    reg.counter(prefix + "tasks_failed").add(tasks_failed());
 }
 
 }  // namespace alps::harness

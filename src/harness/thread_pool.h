@@ -40,9 +40,10 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /// Enqueues a task. Tasks must not throw (wrap fallible work yourself;
-    /// the sweep runner records per-task errors). May be called from within
-    /// a running task.
+    /// Enqueues a task. A task that throws does not take the pool (or the
+    /// process) down: the exception is captured as a per-task error record —
+    /// see tasks_failed()/take_task_errors() — and the worker moves on to the
+    /// next task. May be called from within a running task.
     void submit(std::function<void()> task);
 
     /// Blocks until the queue is empty and no task is executing.
@@ -50,23 +51,40 @@ public:
 
     [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-    /// Tasks completed so far (lifetime total).
+    /// Tasks completed so far (lifetime total), including ones that threw.
     [[nodiscard]] std::uint64_t tasks_executed() const {
         return executed_.load(std::memory_order_relaxed);
     }
 
-    /// Registers `<prefix>workers` and `<prefix>tasks_executed` in `reg`.
+    /// Tasks that escaped with an exception (lifetime total).
+    [[nodiscard]] std::uint64_t tasks_failed() const {
+        return failed_.load(std::memory_order_relaxed);
+    }
+
+    /// Drains the captured exception messages (first kMaxTaskErrors kept;
+    /// later ones only count toward tasks_failed()).
+    [[nodiscard]] std::vector<std::string> take_task_errors();
+
+    /// Registers `<prefix>workers`, `<prefix>tasks_executed`, and
+    /// `<prefix>tasks_failed` in `reg`.
     void export_metrics(telemetry::MetricsRegistry& reg,
                         const std::string& prefix = "pool.") const;
 
 private:
+    /// Cap on retained error strings — a sweep with thousands of failing
+    /// tasks should not hoard memory for identical messages.
+    static constexpr std::size_t kMaxTaskErrors = 64;
+
     void worker_loop();
+    void note_failure(const char* what);
 
     std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> failed_{0};
     std::mutex mu_;
     std::condition_variable work_available_;
     std::condition_variable became_idle_;
     std::deque<std::function<void()>> queue_;
+    std::vector<std::string> task_errors_;  ///< guarded by mu_, capped
     std::size_t active_ = 0;
     bool stopping_ = false;
     std::vector<std::thread> workers_;

@@ -1,0 +1,110 @@
+// Binary wire format shared by the run supervisor's worker pipe and the
+// sweep journal.
+//
+// Both channels carry the same unit — one finished TaskOutcome — and both
+// must survive hostile conditions: a worker can die mid-write, a `kill -9`
+// can truncate a journal append, and a disk can hand back flipped bits. So
+// every payload travels in a checksummed frame:
+//
+//   u32 LE payload length | u32 LE CRC-32 of payload | payload bytes
+//
+// A reader either gets the exact bytes the writer framed or a definite
+// kCorrupt/kNeedMore verdict — never a silently short or mangled record.
+// Doubles are encoded as raw IEEE-754 bit patterns, so a journaled metric
+// re-serializes byte-identically into BENCH_<name>.json after a resume (the
+// crash-recovery determinism guarantee rests on this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "harness/sink.h"
+
+namespace alps::harness::wire {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Bytes of frame overhead before the payload (length + checksum).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Frames larger than this are rejected as corrupt: a real outcome record is
+/// a few KB, so a length field beyond the cap is garbage, not data.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// Appends one frame (header + payload) to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+enum class FrameStatus {
+    kOk,        ///< `payload` and `next_offset` are valid
+    kNeedMore,  ///< the buffer ends mid-frame (stream: keep reading;
+                ///< journal: a torn final append — discard the tail)
+    kCorrupt,   ///< checksum mismatch or nonsense length
+};
+
+/// Scans `data` at `offset` for one frame. On kOk, `payload` views into
+/// `data` (valid while `data` lives) and `next_offset` is the byte after the
+/// frame. Exactly at end-of-buffer returns kNeedMore with payload empty.
+[[nodiscard]] FrameStatus extract_frame(std::string_view data, std::size_t offset,
+                                        std::string_view& payload,
+                                        std::size_t& next_offset);
+
+// ------------------------------------------------------------ record payloads
+
+/// Record type tags (first payload byte).
+inline constexpr std::uint8_t kHeaderRecord = 1;   ///< journal identity header
+inline constexpr std::uint8_t kOutcomeRecord = 2;  ///< one finished task
+
+/// Serializes `outcome` (with its sweep-global task index) as an outcome
+/// record payload. Metric values round-trip bit-exactly.
+[[nodiscard]] std::string encode_outcome(std::uint64_t task_index,
+                                         const TaskOutcome& outcome);
+
+/// Parses an outcome record payload. Returns false (outputs untouched or
+/// partially filled — discard them) on any structural problem.
+[[nodiscard]] bool decode_outcome(std::string_view payload, std::uint64_t& task_index,
+                                  TaskOutcome& outcome);
+
+// ----------------------------------------------------- low-level field codecs
+
+/// Little-endian append-only encoder over a std::string.
+class Encoder {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);  ///< IEEE-754 bit pattern (exact round trip)
+    void str(std::string_view s);
+
+    [[nodiscard]] const std::string& buffer() const { return buf_; }
+    [[nodiscard]] std::string take() { return std::move(buf_); }
+
+private:
+    std::string buf_;
+};
+
+/// Bounds-checked reader; every getter returns false on underrun (and the
+/// decoder stays failed — callers may check once at the end).
+class Decoder {
+public:
+    explicit Decoder(std::string_view data) : data_(data) {}
+
+    bool u8(std::uint8_t& v);
+    bool u32(std::uint32_t& v);
+    bool u64(std::uint64_t& v);
+    bool f64(double& v);
+    bool str(std::string& v);
+
+    [[nodiscard]] bool ok() const { return ok_; }
+    [[nodiscard]] bool at_end() const { return ok_ && pos_ == data_.size(); }
+
+private:
+    bool take(void* out, std::size_t n);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace alps::harness::wire

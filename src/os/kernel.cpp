@@ -390,6 +390,7 @@ void Kernel::begin_sleep(Proc& p, bool timed, TimePoint wake_at, WaitChannel cha
 
 void Kernel::charge_running(int cpu) {
     Proc& p = *running_[static_cast<std::size_t>(cpu)];
+    ALPS_GUARD(p.on_cpu == cpu);
     const Duration ran = now() - p.last_charge;
     ALPS_ENSURE(ran >= Duration::zero());
     if (ran > Duration::zero()) {
@@ -428,6 +429,9 @@ void Kernel::resolve_phase(int cpu) {
 void Kernel::dispatch(Proc& p, int cpu) {
     ALPS_EXPECT(p.state == RunState::kRunnable && !p.stopped);
     ALPS_EXPECT(running_[static_cast<std::size_t>(cpu)] == nullptr);
+    // Dispatching a process that still claims a CPU would leave running_[]
+    // and on_cpu disagreeing — corrupted accounting, so abort, don't unwind.
+    ALPS_GUARD(p.on_cpu < 0);
     p.state = RunState::kRunning;
     p.on_cpu = cpu;
     running_[static_cast<std::size_t>(cpu)] = &p;

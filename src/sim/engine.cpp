@@ -60,6 +60,9 @@ std::uint32_t Engine::alloc_slot() {
 
 void Engine::file(std::uint32_t idx) {
     Slot& s = slot_ref(idx);
+    // Filing a slot that is still linked somewhere would cross-link two
+    // intrusive lists — memory corruption, not a recoverable contract error.
+    ALPS_GUARD(s.where == kDetached);
     const std::uint64_t tick = tick_of(s.time);
     // The level is the highest 6-bit digit in which the expiry tick differs
     // from the current clock tick (the radix view of a hierarchical wheel):
@@ -125,6 +128,7 @@ void Engine::detach(std::uint32_t idx) {
         } else {
             spill_tail_ = s.prev;
         }
+        ALPS_GUARD(spill_live_ > 0);
         --spill_live_;
     } else {
         const unsigned level = s.where / kSlotsPerLevel;
@@ -289,6 +293,7 @@ bool Engine::cancel(EventId id) {
 }
 
 void Engine::fire(std::uint32_t idx) {
+    ALPS_GUARD(live_ > 0);
     detach(idx);
     Slot& s = slot_ref(idx);
     const TimePoint t = s.time;

@@ -79,6 +79,25 @@ std::uint64_t Session::recorded() const {
     return n;
 }
 
+namespace {
+
+/// Appends a ring's records to `out` in emission order. A wrap-mode ring
+/// that has lapped stores its oldest record at `next`, so the ring is
+/// unrolled as [next, end) + [0, next).
+void append_in_emission_order(const Session::Ring& ring, std::vector<Record>& out) {
+    if (ring.wrap && ring.records.size() >= ring.records.capacity() &&
+        ring.next != 0) {
+        out.insert(out.end(), ring.records.begin() + static_cast<std::ptrdiff_t>(ring.next),
+                   ring.records.end());
+        out.insert(out.end(), ring.records.begin(),
+                   ring.records.begin() + static_cast<std::ptrdiff_t>(ring.next));
+        return;
+    }
+    out.insert(out.end(), ring.records.begin(), ring.records.end());
+}
+
+}  // namespace
+
 std::vector<Record> Session::drain() {
     std::scoped_lock lock(mu_);
     std::vector<Record> out;
@@ -86,8 +105,9 @@ std::vector<Record> Session::drain() {
     for (const auto& ring : rings_) total += ring->records.size();
     out.reserve(total);
     for (const auto& ring : rings_) {
-        out.insert(out.end(), ring->records.begin(), ring->records.end());
+        append_in_emission_order(*ring, out);
         ring->records.clear();
+        ring->next = 0;
     }
     std::stable_sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
         if (a.scope != b.scope) return a.scope < b.scope;
@@ -96,9 +116,27 @@ std::vector<Record> Session::drain() {
     return out;
 }
 
+bool Session::try_snapshot_tail(std::size_t max_per_ring, std::vector<Record>& records,
+                                std::vector<std::string>& names,
+                                std::uint64_t& dropped) const {
+    std::unique_lock lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) return false;
+    for (const auto& ring : rings_) {
+        std::vector<Record> unrolled;
+        unrolled.reserve(ring->records.size());
+        append_in_emission_order(*ring, unrolled);
+        const std::size_t n = std::min(max_per_ring, unrolled.size());
+        records.insert(records.end(), unrolled.end() - static_cast<std::ptrdiff_t>(n),
+                       unrolled.end());
+        dropped += ring->dropped + (unrolled.size() - n);
+    }
+    names = names_;
+    return true;
+}
+
 Session::Ring& Session::ring_for_current_thread() {
     std::scoped_lock lock(mu_);
-    rings_.push_back(std::make_unique<Ring>(cfg_.ring_capacity));
+    rings_.push_back(std::make_unique<Ring>(cfg_.ring_capacity, cfg_.wrap));
     return *rings_.back();
 }
 
@@ -124,6 +162,14 @@ void emit(const Record& record) {
     }
     Session::Ring& ring = *cache.ring;
     if (ring.records.size() >= ring.records.capacity()) {
+        if (ring.wrap) {
+            // Flight-recorder mode: overwrite the oldest record so the ring
+            // always holds the newest window. `next` walks the oldest slot.
+            ring.records[ring.next] = record;
+            ring.next = (ring.next + 1) % ring.records.capacity();
+            ++ring.dropped;  // count of overwritten (lost) records
+            return;
+        }
         ++ring.dropped;  // bounded memory: drop the new record, keep a prefix
         return;
     }

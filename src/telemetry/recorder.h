@@ -37,6 +37,12 @@ struct SessionConfig {
     /// Records per thread ring (32 bytes each). Overflow drops new records
     /// and counts them; it never reallocates, so emit() cannot throw.
     std::size_t ring_capacity = 1u << 20;
+    /// Flight-recorder mode: on overflow, overwrite the *oldest* record
+    /// instead of dropping the new one, so the ring always holds the most
+    /// recent window of activity (what a crash dump wants). Trace capture
+    /// keeps the default drop-new policy, whose output is an exact prefix.
+    /// Overwritten records count toward dropped() either way.
+    bool wrap = false;
 };
 
 /// One recording. Construct, attach(), run the instrumented code, detach(),
@@ -70,12 +76,27 @@ public:
     /// (detach() first; thread-pool joins provide the synchronization).
     [[nodiscard]] std::vector<Record> drain();
 
+    /// Best-effort copy of the most recent records, for crash-context dumps.
+    /// Uses try_to_lock — if another thread holds (or died holding) the
+    /// session mutex, returns false rather than deadlocking inside a signal
+    /// handler. Takes up to `max_per_ring` newest records from each ring,
+    /// appends them to `records` (caller sorts), copies the string table into
+    /// `names`, and accumulates the drop count into `dropped`.
+    [[nodiscard]] bool try_snapshot_tail(std::size_t max_per_ring,
+                                         std::vector<Record>& records,
+                                         std::vector<std::string>& names,
+                                         std::uint64_t& dropped) const;
+
     /// One thread's buffer (implementation detail, public only so the
     /// emit() fast path can cache a pointer to it).
     struct Ring {
-        explicit Ring(std::size_t capacity) { records.reserve(capacity); }
+        Ring(std::size_t capacity, bool wrap_mode) : wrap(wrap_mode) {
+            records.reserve(capacity);
+        }
         std::vector<Record> records;  ///< reserved up-front; never reallocates
         std::uint64_t dropped = 0;
+        bool wrap = false;      ///< overwrite-oldest instead of drop-new
+        std::size_t next = 0;   ///< wrap mode: index of the oldest record
     };
 
 private:

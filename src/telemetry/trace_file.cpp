@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "telemetry/recorder.h"
 #include "util/assert.h"
 
 namespace alps::telemetry {
@@ -273,6 +274,28 @@ std::string format_record(const TraceFile& trace, const Record& r) {
         out += " value=" + std::to_string(r.value);
     }
     return out;
+}
+
+bool dump_attached_session_tail(const std::string& path,
+                                std::size_t max_per_ring) noexcept {
+    try {
+        Session* session = detail::g_session.load(std::memory_order_acquire);
+        if (session == nullptr) return false;
+        TraceFile trace;
+        if (!session->try_snapshot_tail(max_per_ring, trace.records, trace.names,
+                                        trace.dropped_records)) {
+            return false;
+        }
+        std::stable_sort(trace.records.begin(), trace.records.end(),
+                         [](const Record& a, const Record& b) {
+                             if (a.scope != b.scope) return a.scope < b.scope;
+                             return a.ts_ns < b.ts_ns;
+                         });
+        write_trace_file(path, trace);
+        return true;
+    } catch (...) {
+        return false;
+    }
 }
 
 }  // namespace alps::telemetry

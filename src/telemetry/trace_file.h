@@ -70,4 +70,14 @@ struct TraceDiff {
 /// shared by `alps-trace inspect` and diff details.
 [[nodiscard]] std::string format_record(const TraceFile& trace, const Record& r);
 
+/// Flight-recorder dump: snapshots the newest `max_per_ring` records of each
+/// ring of the currently attached Session and writes them to `path` as a
+/// normal .alpstrace. Built for crash context — it never throws, never
+/// blocks on a contended mutex (Session::try_snapshot_tail), and returns
+/// false when there is no attached session, the lock is held, or the write
+/// fails. Safe to call from a signal handler only in a freshly-forked child
+/// where no other thread can hold the session mutex.
+bool dump_attached_session_tail(const std::string& path,
+                                std::size_t max_per_ring) noexcept;
+
 }  // namespace alps::telemetry

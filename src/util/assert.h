@@ -6,6 +6,8 @@
 // a scheduler, not an inner numeric kernel.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -39,4 +41,23 @@ namespace detail {
     do {                                                                             \
         if (!(cond)) ::alps::util::detail::contract_fail("invariant", #cond,         \
                                                          __FILE__, __LINE__);        \
+    } while (false)
+
+namespace alps::util::detail {
+[[noreturn]] inline void guard_fail(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "alps: corruption guard failed: %s at %s:%d\n", expr, file,
+                 line);
+    std::abort();
+}
+}  // namespace alps::util::detail
+
+/// Corruption guard: an always-on O(1) check of an invariant whose violation
+/// means in-memory state is already wrong — unwinding through it (as
+/// ALPS_EXPECT/ALPS_ENSURE would) could only propagate the damage. It aborts
+/// instead, which under a supervised sweep (harness::RunSupervisor --isolate)
+/// becomes a cleanly classified, retried, forensics-bundled crash of one
+/// worker process rather than a lost sweep.
+#define ALPS_GUARD(cond)                                                             \
+    do {                                                                             \
+        if (!(cond)) ::alps::util::detail::guard_fail(#cond, __FILE__, __LINE__);    \
     } while (false)

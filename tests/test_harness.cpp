@@ -110,6 +110,31 @@ TEST(ThreadPool, NullTaskViolatesContract) {
     EXPECT_THROW(pool.submit(nullptr), util::ContractViolation);
 }
 
+TEST(ThreadPool, ThrowingTaskIsCapturedAndSiblingsStillRun) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 60; ++i) {
+        pool.submit([&ran, i] {
+            if (i % 10 == 3) throw std::runtime_error("task blew up");
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    pool.wait_idle();
+    // One poisoned task per batch of ten; every sibling still completed and
+    // the pool is still healthy enough to run more work.
+    EXPECT_EQ(ran.load(), 54);
+    EXPECT_EQ(pool.tasks_failed(), 6u);
+    EXPECT_EQ(pool.tasks_executed(), 60u);
+    const std::vector<std::string> errors = pool.take_task_errors();
+    ASSERT_EQ(errors.size(), 6u);
+    EXPECT_EQ(errors[0], "task blew up");
+    EXPECT_TRUE(pool.take_task_errors().empty());  // drained
+
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 55);
+}
+
 // ------------------------------------------------------------ seed derivation
 
 TEST(SeedDerivation, StableAndDecorrelated) {

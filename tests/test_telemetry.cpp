@@ -140,6 +140,73 @@ TEST(Recorder, RingOverflowDropsNewRecordsAndCountsThem) {
     }
 }
 
+TEST(Recorder, WrapModeOverwritesOldestAndUnrollsInEmissionOrder) {
+    Session session({.ring_capacity = 4, .wrap = true});
+    attach(session);
+    set_scope(0);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        set_now_ns(i);
+        instant(kNameTick, 0, i);
+    }
+    detach();
+
+    EXPECT_EQ(session.dropped(), 6u);  // overwritten records still counted
+    const std::vector<Record> records = session.drain();
+    ASSERT_EQ(records.size(), 4u);
+    // Flight-recorder policy: the newest window survives, oldest-first.
+    for (std::uint64_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].value, 6 + i);
+    }
+}
+
+TEST(Recorder, TrySnapshotTailTakesNewestWithoutDraining) {
+    Session session({.ring_capacity = 8, .wrap = true});
+    attach(session);
+    set_scope(2);
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        set_now_ns(i);
+        instant(kNameTick, 0, i);
+    }
+    detach();
+
+    std::vector<Record> records;
+    std::vector<std::string> names;
+    std::uint64_t dropped = 0;
+    ASSERT_TRUE(session.try_snapshot_tail(3, records, names, dropped));
+    ASSERT_EQ(records.size(), 3u);
+    // The 3 newest of the surviving window [12..19].
+    EXPECT_EQ(records[0].value, 17u);
+    EXPECT_EQ(records[2].value, 19u);
+    // 12 overwritten + 5 older-than-the-tail survivors.
+    EXPECT_EQ(dropped, 17u);
+    EXPECT_FALSE(names.empty());
+    // Snapshot is non-destructive: the full window still drains.
+    EXPECT_EQ(session.drain().size(), 8u);
+}
+
+TEST(Recorder, DumpAttachedSessionTailWritesAReadableTrace) {
+    TempTracePath path("flight_recorder_dump");
+    EXPECT_FALSE(dump_attached_session_tail(path.str(), 100));  // nothing attached
+
+    Session session({.ring_capacity = 4, .wrap = true});
+    attach(session);
+    set_scope(5);
+    for (std::uint64_t i = 0; i < 9; ++i) {
+        set_now_ns(i);
+        instant(kNameTick, 0, i);
+    }
+    ASSERT_TRUE(dump_attached_session_tail(path.str(), 100));
+    detach();
+
+    const TraceFile trace = read_trace_file(path.str());
+    ASSERT_EQ(trace.records.size(), 4u);
+    EXPECT_EQ(trace.records.front().value, 5u);  // newest window, oldest first
+    EXPECT_EQ(trace.records.back().value, 8u);
+    EXPECT_EQ(trace.records.front().scope, 5u);
+    EXPECT_EQ(trace.dropped_records, 5u);
+    EXPECT_TRUE(verify_trace(trace).empty());
+}
+
 TEST(Recorder, SessionIsReusableAfterDetach) {
     Session session({.ring_capacity = 16});
     attach(session);

@@ -3,7 +3,9 @@
 //   alps-sweep --list
 //   alps-sweep --list-policies
 //   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
-//              [--no-json] [--quiet] [--kernel-policy NAME]
+//              [--no-json] [--quiet] [--kernel-policy NAME] [--isolate]
+//              [--run-timeout S] [--max-attempts N] [--journal] [--resume]
+//              [--only-task I] [--json-payload-only]
 //   alps-sweep --all [sweep flags]
 //
 // Runs registered experiments (see bench/experiments.h) across a thread pool
@@ -45,7 +47,39 @@ void print_usage(std::ostream& out) {
            "               kernel scheduling policy for experiments that honor\n"
            "               it (fig4: swaps the kernel under the whole figure;\n"
            "               policy_zoo: narrows the zoo to one row); see\n"
-           "               --list-policies\n";
+           "               --list-policies\n"
+           "supervision (see DESIGN.md §10):\n"
+           "  --isolate    fork one worker process per task execution; crashes\n"
+           "               and hangs are classified per task, retried, and\n"
+           "               quarantined instead of killing the sweep\n"
+           "  --run-timeout SECONDS\n"
+           "               per-execution watchdog deadline (implies --isolate);\n"
+           "               expiry SIGKILLs the worker and counts as a retry\n"
+           "  --max-attempts N\n"
+           "               executions per task before a crash/timeout\n"
+           "               quarantines it (default 3)\n"
+           "  --journal    append each finished task to BENCH_<name>.journal\n"
+           "               (fsync'd, checksummed; survives kill -9)\n"
+           "  --resume     skip tasks already completed in a matching journal;\n"
+           "               the final JSON payload is byte-identical to an\n"
+           "               uninterrupted run's\n"
+           "  --only-task I\n"
+           "               re-run exactly one task by sweep index with its\n"
+           "               original seed (the forensics repro command)\n"
+           "  --json-payload-only\n"
+           "               omit the non-deterministic \"run\" section from the\n"
+           "               JSON so interrupted+resumed and clean sweeps can be\n"
+           "               byte-compared\n";
+}
+
+/// Renders the valid --kernel-policy values for error messages.
+std::string known_policy_names() {
+    std::string out;
+    for (const auto& info : alps::os::policies::known_policies()) {
+        if (!out.empty()) out += ", ";
+        out += info.name;
+    }
+    return out;
 }
 
 }  // namespace
@@ -118,14 +152,26 @@ int main(int argc, char** argv) {
         options.kernel_policy != "stride-engine" &&
         !os::policies::is_known_policy(options.kernel_policy)) {
         std::cerr << "unknown kernel policy: " << options.kernel_policy
-                  << " (try --list-policies)\n";
+                  << "\nvalid policies: " << known_policy_names()
+                  << " (see --list-policies)\n";
         return 2;
     }
 
     int worst = 0;
     for (const std::string& name : names) {
         std::cout << "=== " << name << " ===\n";
-        worst = std::max(worst, harness::run_and_report(name, options));
+        try {
+            worst = std::max(worst, harness::run_and_report(name, options));
+        } catch (const std::invalid_argument& e) {
+            // The kernel policy factory (or another constructor-level
+            // validator) rejected its configuration inside a task. The
+            // pre-check above catches the common case up front; this is the
+            // backstop for experiments that construct kernels in ways the
+            // pre-check cannot see.
+            std::cerr << "error: " << e.what() << "\nvalid policies: "
+                      << known_policy_names() << " (see --list-policies)\n";
+            return 2;
+        }
     }
     return worst;
 }
