@@ -11,13 +11,16 @@
 // catch substrate performance regressions.
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "../bench/experiments.h"
 #include "harness/registry.h"
+#include "os/behaviors.h"
 #include "os/bsd_policy.h"
+#include "os/kernel.h"
 #include "os/proc.h"
 #include "sim/engine.h"
 #include "util/table.h"
@@ -160,6 +163,72 @@ harness::Result policy_task(bool full) {
         .metric("policy_pops", static_cast<double>(pops));
 }
 
+// Sampling-scan throughput: the ALPS per-quantum measurement hot path over a
+// populated kernel with every process state represented (running, queued,
+// sleeping, stopped). Times (a) the per-pid sample() loop the driver's
+// guarded_read path issues and (b) the batched measure() entry that reads the
+// whole pid set in one pass over the SoA-packed accounting arrays.
+harness::Result kernel_scan_task(bool full) {
+    sim::Engine eng;
+    os::Kernel kernel(eng, nullptr, os::KernelConfig{.ncpus = 4});
+    constexpr int kProcs = 4096;
+    std::vector<os::Pid> pids;
+    pids.reserve(kProcs);
+    for (int i = 0; i < kProcs; ++i) {
+        std::unique_ptr<os::Behavior> b;
+        if (i % 8 == 3) {
+            b = std::make_unique<os::PhasedIoBehavior>(util::msec(1), util::msec(9));
+        } else {
+            b = std::make_unique<os::CpuBoundBehavior>();
+        }
+        pids.push_back(kernel.spawn("p" + std::to_string(i),
+                                    /*uid=*/100 + i % 7, std::move(b), i % 5));
+    }
+    for (int i = 0; i < kProcs; i += 16) {
+        kernel.send_signal(pids[static_cast<std::size_t>(i)], os::Signal::kStop);
+    }
+    eng.run_until(eng.now() + util::msec(50));
+
+    const std::int64_t rounds = full ? 2'000 : 400;
+    harness::Result res;
+    std::uint64_t checksum = 0;
+    {
+        const auto t0 = Clock::now();
+        for (std::int64_t r = 0; r < rounds; ++r) {
+            for (const os::Pid pid : pids) {
+                const auto s = kernel.sample(pid);
+                checksum += static_cast<std::uint64_t>(s.cpu_time.count()) +
+                            (s.blocked ? 1u : 0u) + (s.stopped ? 2u : 0u) +
+                            (s.alive ? 4u : 0u);
+            }
+        }
+        const double wall = seconds_since(t0);
+        res.metric("kernel_scan_samples_per_sec",
+                   static_cast<double>(rounds) * kProcs / wall);
+    }
+    {
+        // The batched entry the ALPS tick now uses: one measure() call per
+        // round reads every pid in a single pass over the SoA arrays.
+        std::vector<os::Kernel::SampleView> views(pids.size());
+        const auto t0 = Clock::now();
+        for (std::int64_t r = 0; r < rounds; ++r) {
+            kernel.measure(pids, views.data());
+            for (const auto& s : views) {
+                checksum += static_cast<std::uint64_t>(s.cpu_time.count()) +
+                            (s.blocked ? 1u : 0u) + (s.stopped ? 2u : 0u) +
+                            (s.alive ? 4u : 0u);
+            }
+        }
+        const double wall = seconds_since(t0);
+        res.metric("kernel_scan_batch_samples_per_sec",
+                   static_cast<double>(rounds) * kProcs / wall);
+    }
+    // Feed the checksum back so the scan loops cannot be dead-code-eliminated
+    // (modulo keeps the metric exactly representable as a double).
+    res.metric("kernel_scan_checksum", static_cast<double>(checksum % 1'000'003));
+    return res;
+}
+
 // End-to-end: a fig8_fig9-style run (equal shares, Q=10ms) timed on the host.
 harness::Result e2e_task(int n, bool full) {
     workload::SimRunConfig cfg;
@@ -194,6 +263,7 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
     push("engine", [](bool full) { return engine_task(full); });
     push("timer_ops", [](bool full) { return timer_ops_task(full); });
     push("policy", [](bool full) { return policy_task(full); });
+    push("kernel_scan", [](bool full) { return kernel_scan_task(full); });
     push("e2e_n40", [](bool full) { return e2e_task(40, full); });
     push("e2e_n120", [](bool full) { return e2e_task(120, full); });
     return tasks;
@@ -215,6 +285,10 @@ void present(const harness::SweepReport& report, std::ostream& out) {
                util::fmt(report.metric_mean("timer_ops", "timer_far_future_ops_per_sec"), 0)});
     t.add_row({"policy", "runq ops/sec",
                util::fmt(report.metric_mean("policy", "policy_ops_per_sec"), 0)});
+    t.add_row({"kernel_scan", "samples/sec (per-pid)",
+               util::fmt(report.metric_mean("kernel_scan", "kernel_scan_samples_per_sec"), 0)});
+    t.add_row({"kernel_scan", "samples/sec (batched measure)",
+               util::fmt(report.metric_mean("kernel_scan", "kernel_scan_batch_samples_per_sec"), 0)});
     t.add_row({"e2e_n40", "wall ms/run",
                util::fmt(report.metric_mean("e2e_n40", "wall_ms"), 2)});
     t.add_row({"e2e_n120", "wall ms/run",

@@ -11,6 +11,7 @@ void register_all_experiments() {
         register_chaos_campaign_experiment();
         register_sim_perf_experiment();
         register_policy_zoo_experiment();
+        register_many_core_experiment();
         return true;
     }();
     (void)once;

@@ -34,6 +34,10 @@ void register_sim_perf_experiment();
 /// ("policy_zoo").
 void register_policy_zoo_experiment();
 
+/// One-global vs one-per-core ALPS on a 16/64/256-core machine with per-CPU
+/// run queues ("many_core"). Honors --ncpus to run a single machine size.
+void register_many_core_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

@@ -39,6 +39,22 @@ run_suite() { # <build-dir> <sanitize-value> [extra ctest args...]
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 run_suite build-tsan thread "$@"
 
+# --- Many-core TSan smoke: per-CPU run queues under the race detector ---
+# Runs the 64-core column of the many_core sweep (quick scale) in its own
+# ThreadSanitizer tree (the main TSan tree builds with bench OFF): per-CPU
+# domains, steal/rebalance migration, the SoA sampling mirror, and the batched
+# measure() path all execute while the harness pool is genuinely parallel.
+# ALPS_MANY_CORE_SKIP=1 skips the leg.
+if [[ "${ALPS_MANY_CORE_SKIP:-0}" != "1" ]]; then
+  cmake -B build-tsan-bench -S . \
+    -DALPS_SANITIZE=thread \
+    -DALPS_BUILD_BENCH=ON \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan-bench -j "$JOBS" --target alps-sweep
+  build-tsan-bench/tools/alps-sweep --experiment many_core --ncpus 64 \
+    --jobs 4 --quiet --no-json
+fi
+
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 run_suite build-asan address,undefined "$@"
@@ -121,6 +137,12 @@ gate("tracing-disabled overhead", "engine", "engine_events_per_sec", trace_tol_p
 gate("timer ops (cancel-heavy)", "timer_ops", "timer_cancel_heavy_ops_per_sec", tol_pct)
 gate("timer ops (expire)", "timer_ops", "timer_expire_ops_per_sec", tol_pct)
 gate("timer ops (far-future)", "timer_ops", "timer_far_future_ops_per_sec", tol_pct)
+# The per-quantum proc-table scan (the simulated /proc read path). Both the
+# per-pid sample() loop and the batched measure() entry are gated: the SoA
+# mirror exists for exactly this scan, so a regression here means the ALPS
+# measurement tick got slower machine-wide.
+gate("kernel scan (per-pid)", "kernel_scan", "kernel_scan_samples_per_sec", tol_pct)
+gate("kernel scan (batched)", "kernel_scan", "kernel_scan_batch_samples_per_sec", tol_pct)
 if failed:
     raise SystemExit(1)
 PY
@@ -247,4 +269,4 @@ PY
   grep -q "valid policies:" "$CHAOS/policy.stderr"
 fi
 
-echo "check.sh: TSan + ASan/UBSan + LTO builds + ctest + perf/timer-ops smoke + trace verify + policy matrix + chaos leg passed"
+echo "check.sh: TSan (+many-core smoke) + ASan/UBSan + LTO builds + ctest + perf/timer-ops/kernel-scan smoke + trace verify + policy matrix + chaos leg passed"

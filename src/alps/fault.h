@@ -97,6 +97,14 @@ public:
     [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
     Sample read_progress(EntityId id) override;
+    /// Batching is only a pass-through privilege: while faults are enabled
+    /// every read must consume the Rng in per-call order, so the decorator
+    /// withdraws batch support (the caller re-checks each tick) and the
+    /// batch entry below degrades to the per-id loop.
+    [[nodiscard]] bool supports_batch_read() const override {
+        return !enabled_ && inner_.supports_batch_read();
+    }
+    void read_progress_batch(std::span<const EntityId> ids, Sample* out) override;
     ControlResult suspend(EntityId id) override;
     ControlResult resume(EntityId id) override;
 

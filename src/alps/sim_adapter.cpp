@@ -25,6 +25,25 @@ Sample SimProcessHost::read_pid(HostPid pid) {
     return s;
 }
 
+void SimProcessHost::read_pids(std::span<const HostPid> pids, Sample* out) {
+    batch_pid_scratch_.clear();
+    batch_pid_scratch_.reserve(pids.size());
+    for (const HostPid p : pids) {
+        batch_pid_scratch_.push_back(static_cast<os::Pid>(p));
+    }
+    batch_view_scratch_.resize(pids.size());
+    kernel_.measure(batch_pid_scratch_, batch_view_scratch_.data());
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+        const os::Kernel::SampleView& v = batch_view_scratch_[i];
+        Sample s;
+        s.cpu_time = v.cpu_time;
+        s.blocked = v.blocked;
+        s.stopped = v.stopped;
+        s.alive = v.alive;
+        out[i] = s;
+    }
+}
+
 ControlResult SimProcessHost::stop_pid(HostPid pid) {
     const auto p = static_cast<os::Pid>(pid);
     if (!kernel_.alive(p)) return ControlResult::kGone;
@@ -121,7 +140,8 @@ Duration AlpsDriverBehavior::lazy_run_duration(os::ProcContext) {
 // SimAlps
 
 SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
-                 std::string name, os::Uid uid, FaultPlan faults)
+                 std::string name, os::Uid uid, FaultPlan faults,
+                 int driver_home_cpu)
     : kernel_(kernel) {
     host_ = std::make_unique<SimProcessHost>(kernel_);
     control_ = std::make_unique<PidProcessControl>(*host_);
@@ -132,7 +152,8 @@ SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
         std::make_unique<Scheduler>(*fault_control_, cfg, &kernel_.engine().arena());
     auto behavior = std::make_unique<AlpsDriverBehavior>(*scheduler_, cost);
     driver_ = behavior.get();
-    driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior));
+    driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior),
+                                /*nice=*/0, driver_home_cpu);
 }
 
 SimAlps::~SimAlps() {

@@ -30,6 +30,10 @@ public:
     explicit SimProcessHost(os::Kernel& kernel) : kernel_(kernel) {}
 
     Sample read_pid(HostPid pid) override;
+    /// One kernel pass over the SoA accounting arrays per tick instead of
+    /// one sample() call per entity (the batched Kernel::measure entry).
+    [[nodiscard]] bool supports_batch_read() const override { return true; }
+    void read_pids(std::span<const HostPid> pids, Sample* out) override;
     ControlResult stop_pid(HostPid pid) override;
     ControlResult cont_pid(HostPid pid) override;
     std::vector<HostPid> pids_of_user(HostUid uid) override;
@@ -40,6 +44,9 @@ private:
     /// Reused by pids_of_user so the once-per-second membership refresh does
     /// not allocate (single-threaded with its scheduler, like all hosts).
     std::vector<os::Pid> pid_scratch_;
+    /// Reused by read_pids (HostPid is int64, the kernel's Pid is int32).
+    std::vector<os::Pid> batch_pid_scratch_;
+    std::vector<os::Kernel::SampleView> batch_view_scratch_;
 };
 
 /// The ALPS process body: sleep to the next quantum boundary, tick, pay the
@@ -81,8 +88,12 @@ public:
     /// scheduler and the per-pid control. It starts *disabled* — enable it
     /// via faults().set_enabled(true) once setup is done — so construction
     /// and manage() always see a clean channel.
+    /// `driver_home_cpu` pins the ALPS driver process to a scheduling domain
+    /// when the kernel runs per-CPU queues (one-ALPS-per-core deployments);
+    /// -1 (default) leaves placement to the kernel.
     explicit SimAlps(os::Kernel& kernel, SchedulerConfig cfg = {}, CostModel cost = {},
-                     std::string name = "alps", os::Uid uid = 0, FaultPlan faults = {});
+                     std::string name = "alps", os::Uid uid = 0, FaultPlan faults = {},
+                     int driver_home_cpu = -1);
     ~SimAlps();
 
     SimAlps(const SimAlps&) = delete;

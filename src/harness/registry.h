@@ -35,6 +35,9 @@ struct SweepOptions {
     /// kernel policy factory at task run time (alps-sweep pre-checks it
     /// against --list-policies for a friendlier error).
     std::string kernel_policy;
+    /// Simulated core count for experiments that sweep machine sizes
+    /// (many_core): restricts the grid to this one size. 0 = the full grid.
+    int ncpus = 0;
     // ---- supervision (harness::RunSupervisor) --------------------------
     /// Fork one worker process per task execution so crashes and hangs are
     /// classified per task instead of killing the sweep.

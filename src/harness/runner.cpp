@@ -290,9 +290,9 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
                      " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]"
-                     " [--isolate] [--run-timeout SECONDS] [--max-attempts N]"
-                     " [--journal] [--resume] [--only-task INDEX]"
-                     " [--json-payload-only]\n";
+                     " [--ncpus N] [--isolate] [--run-timeout SECONDS]"
+                     " [--max-attempts N] [--journal] [--resume]"
+                     " [--only-task INDEX] [--json-payload-only]\n";
         return false;
     };
     for (int i = 1; i < argc; ++i) {
@@ -337,6 +337,11 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             const char* v = next();
             if (v == nullptr) return usage();
             options.kernel_policy = v;
+        } else if (arg == "--ncpus") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
+            options.ncpus = static_cast<int>(n);
         } else if (arg == "--isolate") {
             options.isolate = true;
         } else if (arg == "--run-timeout") {

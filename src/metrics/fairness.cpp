@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 
 #include "metrics/cycle_log.h"
 #include "telemetry/metrics.h"
@@ -98,6 +99,54 @@ void export_fairness(const FairnessReport& report, telemetry::MetricsRegistry& r
     reg.histogram(prefix + "rms_share_error_ppm").record(ppm(report.rms_share_error));
     reg.histogram(prefix + "max_complaint_ppm").record(ppm(report.max_complaint));
     reg.counter(prefix + "cycles").add(report.cycles);
+}
+
+PerCpuFairnessReport analyze_fairness_per_cpu(
+    std::span<const std::vector<core::CycleRecord>> per_cpu_records,
+    std::size_t warmup, std::size_t limit) {
+    PerCpuFairnessReport report;
+    report.per_cpu.reserve(per_cpu_records.size());
+    double best = 0.0;
+    for (const auto& records : per_cpu_records) {
+        FairnessReport r = analyze_fairness(records, warmup, limit);
+        if (r.cycles > 0) {
+            if (report.cpus_with_cycles == 0) {
+                best = r.rms_share_error;
+                report.worst_rms_share_error = r.rms_share_error;
+            } else {
+                best = std::min(best, r.rms_share_error);
+                report.worst_rms_share_error =
+                    std::max(report.worst_rms_share_error, r.rms_share_error);
+            }
+            report.mean_rms_share_error += r.rms_share_error;
+            report.worst_max_complaint =
+                std::max(report.worst_max_complaint, r.max_complaint);
+            ++report.cpus_with_cycles;
+        }
+        report.per_cpu.push_back(std::move(r));
+    }
+    if (report.cpus_with_cycles > 0) {
+        report.mean_rms_share_error /= static_cast<double>(report.cpus_with_cycles);
+        report.rms_error_spread = report.worst_rms_share_error - best;
+    }
+    return report;
+}
+
+void export_fairness_per_cpu(const PerCpuFairnessReport& report,
+                             telemetry::MetricsRegistry& reg,
+                             const std::string& prefix) {
+    const auto ppm = [](double fraction) {
+        return static_cast<std::uint64_t>(std::max(0.0, fraction) * 1e6 + 0.5);
+    };
+    reg.histogram(prefix + "per_cpu_mean_rms_ppm")
+        .record(ppm(report.mean_rms_share_error));
+    reg.histogram(prefix + "per_cpu_worst_rms_ppm")
+        .record(ppm(report.worst_rms_share_error));
+    reg.histogram(prefix + "per_cpu_rms_spread_ppm")
+        .record(ppm(report.rms_error_spread));
+    reg.histogram(prefix + "per_cpu_worst_complaint_ppm")
+        .record(ppm(report.worst_max_complaint));
+    reg.counter(prefix + "per_cpu_cpus").add(report.cpus_with_cycles);
 }
 
 }  // namespace alps::metrics

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "alps/scheduler.h"
 
@@ -63,5 +64,39 @@ struct FairnessReport {
 /// --jobs value.
 void export_fairness(const FairnessReport& report, telemetry::MetricsRegistry& reg,
                      const std::string& prefix = "fairness.");
+
+/// Per-CPU share-error breakdown for many-core deployments that run one
+/// scheduling instance per core (the many_core experiment): one full
+/// FairnessReport per instance plus the cross-instance aggregates a sweep
+/// row needs. A "CPU" here is whatever produced one cycle-record stream —
+/// a per-core ALPS, or the single global instance (then per_cpu.size()==1
+/// and mean == worst).
+struct PerCpuFairnessReport {
+    std::vector<FairnessReport> per_cpu;      ///< index = instance / CPU
+    double mean_rms_share_error = 0.0;        ///< mean over instances with cycles
+    double worst_rms_share_error = 0.0;       ///< max over instances with cycles
+    double worst_max_complaint = 0.0;         ///< max complaint anywhere
+    /// worst − best RMS error across instances: the imbalance signal (a
+    /// global scheduler shows 0 by construction; per-core instances diverge
+    /// when load or steal traffic treats cores differently).
+    double rms_error_spread = 0.0;
+    std::size_t cpus_with_cycles = 0;         ///< instances that completed cycles
+};
+
+/// analyze_fairness per instance over records [warmup, warmup+limit), plus
+/// the aggregates above. Instances with no analyzable cycles keep a default
+/// FairnessReport and are excluded from the aggregates.
+[[nodiscard]] PerCpuFairnessReport analyze_fairness_per_cpu(
+    std::span<const std::vector<core::CycleRecord>> per_cpu_records,
+    std::size_t warmup = 0, std::size_t limit = 0);
+
+/// Exports the aggregates into `reg` as ppm-scaled histograms
+/// (`<prefix>per_cpu_mean_rms_ppm`, `<prefix>per_cpu_worst_rms_ppm`,
+/// `<prefix>per_cpu_rms_spread_ppm`, `<prefix>per_cpu_worst_complaint_ppm`)
+/// plus a `<prefix>per_cpu_cpus` counter — same merge-deterministic shapes
+/// as export_fairness.
+void export_fairness_per_cpu(const PerCpuFairnessReport& report,
+                             telemetry::MetricsRegistry& reg,
+                             const std::string& prefix = "fairness.");
 
 }  // namespace alps::metrics

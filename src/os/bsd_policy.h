@@ -54,6 +54,12 @@ public:
     void second_tick(std::span<Proc* const> procs, double loadavg,
                      util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override { return cfg_.round_robin; }
+    [[nodiscard]] std::size_t runnable() const override { return runnable_; }
+    /// estcpu/usrpri live on the Proc and must survive a migration — add()
+    /// would zero the usage history and hand a migrated hog a fresh top
+    /// priority. There is no per-instance state to adopt, so arriving is
+    /// just a priority recompute against this instance's config.
+    void on_migrate_in(Proc& p) override { recompute_priority(p); }
 
     [[nodiscard]] const BsdPolicyConfig& config() const { return cfg_; }
 

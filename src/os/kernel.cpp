@@ -14,19 +14,34 @@ using util::Duration;
 using util::TimePoint;
 
 Kernel::Kernel(sim::Engine& engine, std::unique_ptr<SchedPolicy> policy, KernelConfig cfg)
-    : engine_(engine),
-      // An unknown cfg.policy name throws here — a mistyped experiment config
-      // must fail loudly, never silently run under BSD.
-      policy_(policy ? std::move(policy)
-                     : policies::make_policy(cfg.policy, {.seed = cfg.policy_seed})),
-      cfg_(std::move(cfg)) {
+    : engine_(engine), cfg_(std::move(cfg)) {
     ALPS_EXPECT(cfg_.ncpus >= 1);
     ALPS_EXPECT(cfg_.schedcpu_period > Duration::zero());
     ALPS_EXPECT(cfg_.loadavg_tau > Duration::zero());
+    // A pre-constructed policy object is inherently single-instance, so it
+    // implies the shared global queue.
+    ALPS_EXPECT(policy == nullptr || !cfg_.percpu_queues);
+    if (policy != nullptr) {
+        domains_.push_back(std::move(policy));
+    } else {
+        // An unknown cfg.policy name throws here — a mistyped experiment
+        // config must fail loudly, never silently run under BSD. Under
+        // per-CPU domains each instance gets its own derived seed so the
+        // lottery domains draw decorrelated streams.
+        const std::size_t n = cfg_.percpu_queues ? static_cast<std::size_t>(cfg_.ncpus) : 1;
+        for (std::size_t d = 0; d < n; ++d) {
+            domains_.push_back(policies::make_policy(
+                cfg_.policy, {.seed = cfg_.policy_seed + static_cast<std::uint64_t>(d)}));
+        }
+    }
     running_.assign(static_cast<std::size_t>(cfg_.ncpus), nullptr);
     decision_events_.assign(static_cast<std::size_t>(cfg_.ncpus), 0);
     last_on_cpu_.assign(static_cast<std::size_t>(cfg_.ncpus), kNoPid);
     table_.push_back(nullptr);  // slot 0: kNoPid, never issued
+    soa_base_ns_.push_back(0);
+    soa_flags_.push_back(0);
+    soa_uid_.push_back(0);
+    if (cfg_.percpu_queues) tick_scratch_.resize(static_cast<std::size_t>(cfg_.ncpus));
     decision_kind_ = engine_.register_hot(&Kernel::on_decision_timer, this);
     wake_kind_ = engine_.register_hot(&Kernel::on_timer_wake, this);
     tick_kind_ = engine_.register_hot(&Kernel::on_second_tick, this);
@@ -56,8 +71,10 @@ void Kernel::on_second_tick(void* self, std::uint64_t) {
 // ----------------------------------------------------------------------------
 // Process table
 
-Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice) {
+Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice,
+                  int home_cpu) {
     ALPS_EXPECT(behavior != nullptr);
+    ALPS_EXPECT(home_cpu >= -1 && home_cpu < cfg_.ncpus);
     const Pid pid = next_pid_++;
     Proc* owned = engine_.arena().create<Proc>();
     Proc& p = *owned;
@@ -68,14 +85,22 @@ Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior,
     p.state = RunState::kRunnable;
     p.behavior = std::move(behavior);
     p.last_charge = now();
+    if (cfg_.percpu_queues) {
+        // Default placement: deal new pids round-robin across the domains.
+        p.home_cpu = home_cpu >= 0 ? home_cpu : (pid - 1) % cfg_.ncpus;
+    }
     ALPS_ENSURE(static_cast<std::size_t>(pid) == table_.size());
     table_.push_back(owned);
+    soa_base_ns_.push_back(0);
+    soa_flags_.push_back(0);
+    soa_uid_.push_back(0);
+    sync_soa(p);
     p.ordered_index = ordered_.size();
     ordered_.push_back(&p);
     std::vector<Proc*>& members = by_uid_[uid];
     p.uid_index = members.size();
     members.push_back(&p);
-    policy_->add(p);
+    dom(p).add(p);
 
     const Action first = p.behavior->next_action({*this, pid});
     apply_action(p, first);
@@ -98,6 +123,9 @@ void Kernel::reap(Pid pid) {
     }
     p.~Proc();  // arena-backed: destroy in place, the arena keeps the bytes
     table_[static_cast<std::size_t>(pid)] = nullptr;
+    soa_base_ns_[static_cast<std::size_t>(pid)] = 0;
+    soa_flags_[static_cast<std::size_t>(pid)] = 0;  // !kSoaAlive: never sampled again
+    soa_uid_[static_cast<std::size_t>(pid)] = 0;
 }
 
 const Proc* Kernel::lookup(Pid pid) const {
@@ -137,14 +165,41 @@ bool Kernel::is_blocked(Pid pid) const { return proc(pid).blocked(); }
 
 Kernel::SampleView Kernel::sample(Pid pid) const {
     SampleView s;
-    const Proc* p = lookup(pid);
-    if (p == nullptr || p->state == RunState::kZombie) return s;
-    s.cpu_time = p->cpu_consumed;
-    if (p->on_cpu >= 0) s.cpu_time += now() - p->last_charge;
-    s.blocked = p->blocked();
-    s.stopped = p->stopped;
+    if (pid <= 0 || static_cast<std::size_t>(pid) >= table_.size()) return s;
+    const std::size_t i = static_cast<std::size_t>(pid);
+    const std::uint8_t f = soa_flags_[i];
+    if ((f & kSoaAlive) == 0) return s;  // unknown, reaped, or zombie
+    s.cpu_time = Duration{soa_base_ns_[i] +
+                          ((f & kSoaOnCpu) != 0 ? now().since_epoch.count() : 0)};
+    s.blocked = (f & kSoaBlocked) != 0;
+    s.stopped = (f & kSoaStopped) != 0;
     s.alive = true;
     return s;
+}
+
+void Kernel::measure(std::span<const Pid> pids, SampleView* out) const {
+    ALPS_EXPECT(out != nullptr || pids.empty());
+    // One clock read for the whole batch: every on-CPU process is charged to
+    // the same instant, which is also what a sequence of sample() calls sees
+    // (simulated time cannot advance between them).
+    const std::int64_t now_ns = now().since_epoch.count();
+    const std::size_t table_size = table_.size();
+    for (std::size_t k = 0; k < pids.size(); ++k) {
+        const Pid pid = pids[k];
+        SampleView s;
+        if (pid > 0 && static_cast<std::size_t>(pid) < table_size) {
+            const std::size_t i = static_cast<std::size_t>(pid);
+            const std::uint8_t f = soa_flags_[i];
+            if ((f & kSoaAlive) != 0) {
+                s.cpu_time =
+                    Duration{soa_base_ns_[i] + ((f & kSoaOnCpu) != 0 ? now_ns : 0)};
+                s.blocked = (f & kSoaBlocked) != 0;
+                s.stopped = (f & kSoaStopped) != 0;
+                s.alive = true;
+            }
+        }
+        out[k] = s;
+    }
 }
 
 std::vector<Pid> Kernel::pids_of_uid(Uid uid) const {
@@ -183,15 +238,24 @@ util::Duration Kernel::busy_time() const {
 }
 
 Pid Kernel::running_pid_on(int cpu) const {
-    ALPS_EXPECT(cpu >= 0 && cpu < cfg_.ncpus);
+    // An out-of-range CPU index means the caller's topology bookkeeping is
+    // corrupt; indexing running_ with it would be UB. Abort, don't unwind.
+    ALPS_GUARD(cpu >= 0 && cpu < cfg_.ncpus);
     const Proc* p = running_[static_cast<std::size_t>(cpu)];
     return p != nullptr ? p->pid : kNoPid;
 }
 
+const SchedPolicy& Kernel::policy_on(int cpu) const {
+    ALPS_GUARD(cpu >= 0 && cpu < cfg_.ncpus);
+    return *domains_[cfg_.percpu_queues ? static_cast<std::size_t>(cpu) : 0];
+}
+
 std::size_t Kernel::eligible_count() const {
+    // Flags-only SoA scan (a contiguous byte per pid): the schedcpu loadavg
+    // input no longer walks the Proc records.
     std::size_t n = 0;
-    for (const Proc* p : ordered_) {
-        if (p->eligible()) ++n;
+    for (const std::uint8_t f : soa_flags_) {
+        if ((f & kSoaWantsCpu) != 0 && (f & kSoaStopped) == 0) ++n;
     }
     return n;
 }
@@ -231,13 +295,14 @@ void Kernel::send_signal(Pid pid, Signal sig) {
             }
             if (!p.stopped) return;
             p.stopped = false;
+            sync_soa(p);
             // 4.4BSD setrunnable(): estcpu was frozen while stopped (schedcpu
             // skips stopped processes); updatepri now credits whole seconds
             // of stop time, exactly like a long sleep.
-            policy_->on_wakeup(p, now() - p.stop_start);
+            dom(p).on_wakeup(p, now() - p.stop_start);
             if (p.state == RunState::kRunnable) {
                 p.enqueue_time = now();
-                policy_->enqueue(p);
+                dom(p).enqueue(p);
             }
             break;
         case Signal::kKill:
@@ -250,8 +315,9 @@ void Kernel::send_signal(Pid pid, Signal sig) {
 void Kernel::apply_stop(Proc& p) {
     p.stopped = true;
     p.stop_start = now();
+    sync_soa(p);
     if (p.state == RunState::kRunnable && p.on_cpu < 0) {
-        policy_->dequeue(p);
+        dom(p).dequeue(p);
     }
     // A running process is descheduled by the dispatcher (it is no longer
     // eligible()); a sleeper keeps sleeping, as under job control.
@@ -283,15 +349,16 @@ void Kernel::timer_wake(Pid pid) {
 void Kernel::do_wake(Proc& p) {
     ALPS_EXPECT(p.state == RunState::kSleeping);
     const Duration slept = now() - p.sleep_start;
-    policy_->on_wakeup(p, slept);
+    dom(p).on_wakeup(p, slept);
     p.state = RunState::kRunnable;
     p.wchan = nullptr;
+    sync_soa(p);
     if (!p.stopped) {
         // The waker leaves the kernel at its sleep priority: it preempts any
         // user-mode process until its own first dispatch.
         p.wake_boost = true;
         p.enqueue_time = now();
-        policy_->enqueue(p);
+        dom(p).enqueue(p);
     }
 }
 
@@ -301,7 +368,7 @@ void Kernel::do_exit(Proc& p) {
         charge_running(p.on_cpu);
         vacate(p.on_cpu);
     } else if (p.state == RunState::kRunnable && !p.stopped) {
-        policy_->dequeue(p);
+        dom(p).dequeue(p);
     }
     if (p.sleep_event != 0) {
         engine_.cancel(p.sleep_event);
@@ -313,6 +380,7 @@ void Kernel::do_exit(Proc& p) {
     }
     p.state = RunState::kZombie;
     p.wchan = nullptr;
+    sync_soa(p);
     // Zombies are invisible to pids_of_uid: drop the process from the per-uid
     // cache here (not at reap), keeping the survivors' creation order.
     std::vector<Proc*>& members = by_uid_[p.uid];
@@ -321,7 +389,7 @@ void Kernel::do_exit(Proc& p) {
     for (std::size_t i = p.uid_index; i < members.size(); ++i) {
         members[i]->uid_index = i;
     }
-    policy_->remove(p);
+    dom(p).remove(p);
 }
 
 // ----------------------------------------------------------------------------
@@ -347,7 +415,7 @@ void Kernel::apply_action(Proc& p, const Action& a) {
         if (p.on_cpu < 0) {
             ALPS_ENSURE(p.state == RunState::kRunnable && !p.stopped);
             p.enqueue_time = now();
-            policy_->enqueue(p);
+            dom(p).enqueue(p);
         }
         return;
     }
@@ -378,6 +446,7 @@ void Kernel::begin_sleep(Proc& p, bool timed, TimePoint wake_at, WaitChannel cha
     p.state = RunState::kSleeping;
     p.wchan = chan;
     p.sleep_start = now();
+    sync_soa(p);
     ++p.voluntary_sleeps;
     if (timed) {
         p.sleep_event =
@@ -400,9 +469,10 @@ void Kernel::charge_running(int cpu) {
             ALPS_ENSURE(p.run_remaining >= ran);
             p.run_remaining -= ran;
         }
-        policy_->charge(p, ran);
+        dom(p).charge(p, ran);
     }
     p.last_charge = now();
+    sync_soa(p);
 }
 
 void Kernel::resolve_phase(int cpu) {
@@ -436,8 +506,9 @@ void Kernel::dispatch(Proc& p, int cpu) {
     p.on_cpu = cpu;
     running_[static_cast<std::size_t>(cpu)] = &p;
     p.last_charge = now();
-    p.slice_end = now() + policy_->slice();
+    p.slice_end = now() + dom(p).slice();
     ++p.dispatches;
+    sync_soa(p);
     if (p.pid != last_on_cpu_[static_cast<std::size_t>(cpu)]) {
         ++context_switches_;
         last_on_cpu_[static_cast<std::size_t>(cpu)] = p.pid;
@@ -463,6 +534,7 @@ void Kernel::vacate(int cpu) {
     if (p->state == RunState::kRunning) p->state = RunState::kRunnable;
     p->on_cpu = -1;
     running_[static_cast<std::size_t>(cpu)] = nullptr;
+    sync_soa(*p);
     if (telemetry::active()) {
         telemetry::span_end_at(
             static_cast<std::uint64_t>(now().since_epoch.count()),
@@ -510,25 +582,35 @@ void Kernel::schedule() {
             if (p != nullptr && (p->stopped || p->state == RunState::kZombie)) {
                 const bool was_zombie = p->state == RunState::kZombie;
                 vacate(c);
-                if (was_zombie) p->state = RunState::kZombie;
+                if (was_zombie) {
+                    p->state = RunState::kZombie;
+                    sync_soa(*p);
+                }
             }
         }
 
-        // 2. Preemption and round-robin decisions, one queue head at a time.
-        Proc* cand = policy_->peek();
-        if (cand != nullptr) {
+        // 2. Preemption and round-robin decisions, one queue head per
+        // domain. With the shared queue there is one domain covering every
+        // CPU — exactly the pre-domain global pass; under percpu_queues each
+        // domain checks only its own CPU.
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            SchedPolicy& pol = *domains_[d];
+            Proc* cand = pol.peek();
+            if (cand == nullptr) continue;
+            const int c_begin = cfg_.percpu_queues ? static_cast<int>(d) : 0;
+            const int c_end = cfg_.percpu_queues ? static_cast<int>(d) + 1 : cfg_.ncpus;
             // Find the most preemptable runner: the one every other
             // preemptable runner would itself preempt.
             int victim = -1;
-            for (int c = 0; c < cfg_.ncpus; ++c) {
+            for (int c = c_begin; c < c_end; ++c) {
                 Proc* p = running_[static_cast<std::size_t>(c)];
                 if (p == nullptr) continue;
                 const bool slice_over = now() >= p->slice_end;
-                const bool takeable = policy_->preempts(*cand, *p) ||
-                                      (slice_over && policy_->yields_to(*p, *cand));
+                const bool takeable = pol.preempts(*cand, *p) ||
+                                      (slice_over && pol.yields_to(*p, *cand));
                 if (!takeable) continue;
                 if (victim < 0 ||
-                    policy_->preempts(*running_[static_cast<std::size_t>(victim)], *p)) {
+                    pol.preempts(*running_[static_cast<std::size_t>(victim)], *p)) {
                     victim = c;
                 }
             }
@@ -536,7 +618,7 @@ void Kernel::schedule() {
                 Proc* v = running_[static_cast<std::size_t>(victim)];
                 vacate(victim);
                 v->enqueue_time = now();
-                policy_->enqueue(*v);
+                pol.enqueue(*v);
                 resched_ = true;  // re-evaluate after the fill below
             }
         }
@@ -544,15 +626,22 @@ void Kernel::schedule() {
         for (int c = 0; c < cfg_.ncpus; ++c) {
             Proc* p = running_[static_cast<std::size_t>(c)];
             if (p != nullptr && now() >= p->slice_end) {
-                p->slice_end = now() + policy_->slice();
+                p->slice_end = now() + dom(*p).slice();
             }
         }
 
-        // 3. Fill idle CPUs.
+        // 3. Fill idle CPUs — from the CPU's own domain first, then (under
+        // percpu_queues) by stealing from the most-loaded peer.
         for (int c = 0; c < cfg_.ncpus; ++c) {
             if (running_[static_cast<std::size_t>(c)] != nullptr) continue;
-            Proc* next = policy_->pop();
-            if (next == nullptr) break;
+            SchedPolicy& pol =
+                *domains_[cfg_.percpu_queues ? static_cast<std::size_t>(c) : 0];
+            Proc* next = pol.pop();
+            if (next == nullptr && cfg_.percpu_queues) next = steal_for(c);
+            if (next == nullptr) {
+                if (!cfg_.percpu_queues) break;  // shared queue drained: done
+                continue;  // this domain idles; peers may still have work
+            }
             dispatch(*next, c);
         }
 
@@ -578,6 +667,73 @@ void Kernel::schedule() {
 }
 
 // ----------------------------------------------------------------------------
+// Cross-domain migration (percpu_queues only)
+
+void Kernel::migrate(Proc& p, int to) {
+    // Only a process that is off every queue and every CPU may move: the
+    // old domain's intrusive links must not dangle into the new one.
+    ALPS_GUARD(p.rq_index < 0 && p.on_cpu < 0);
+    dom(p).on_migrate_out(p);
+    p.home_cpu = to;
+    dom(p).on_migrate_in(p);
+    ++migrations_;
+}
+
+Proc* Kernel::steal_for(int cpu) {
+    // Victim: the peer domain with the most queued work; ties break to the
+    // lowest CPU index so the pick is deterministic.
+    int victim = -1;
+    std::size_t victim_load = 0;
+    for (int d = 0; d < cfg_.ncpus; ++d) {
+        if (d == cpu) continue;
+        const std::size_t load = domains_[static_cast<std::size_t>(d)]->runnable();
+        if (load > victim_load) {
+            victim_load = load;
+            victim = d;
+        }
+    }
+    if (victim < 0) return nullptr;
+    // The stolen process is the victim policy's own best pick (its pop()),
+    // i.e. the highest-priority stealable process, not an arbitrary one.
+    Proc* p = domains_[static_cast<std::size_t>(victim)]->pop();
+    if (p == nullptr) return nullptr;
+    migrate(*p, cpu);
+    ++steals_;
+    return p;
+}
+
+void Kernel::rebalance() {
+    // Bounded work per schedcpu tick: at most one pass of ncpus moves. Load
+    // counts the occupant too, so one spinning process per CPU is "balanced"
+    // and a (1 running + 1 queued) vs (idle) split triggers a move.
+    for (int moves = 0; moves < cfg_.ncpus; ++moves) {
+        int busiest = 0;
+        int idlest = 0;
+        std::size_t max_load = 0;
+        std::size_t min_load = 0;
+        for (int d = 0; d < cfg_.ncpus; ++d) {
+            const std::size_t load =
+                domains_[static_cast<std::size_t>(d)]->runnable() +
+                (running_[static_cast<std::size_t>(d)] != nullptr ? 1 : 0);
+            if (d == 0 || load > max_load) {
+                max_load = load;
+                busiest = d;
+            }
+            if (d == 0 || load < min_load) {
+                min_load = load;
+                idlest = d;
+            }
+        }
+        if (max_load - min_load < 2) return;  // spread of 1 is inherent
+        Proc* p = domains_[static_cast<std::size_t>(busiest)]->pop();
+        if (p == nullptr) return;  // all of busiest's load is on its CPU
+        migrate(*p, idlest);
+        p->enqueue_time = now();
+        dom(*p).enqueue(*p);
+    }
+}
+
+// ----------------------------------------------------------------------------
 // Housekeeping
 
 void Kernel::second_tick() {
@@ -591,10 +747,42 @@ void Kernel::second_tick() {
     for (int c = 0; c < cfg_.ncpus; ++c) {
         if (running_[static_cast<std::size_t>(c)] != nullptr) charge_running(c);
     }
-    policy_->second_tick(ordered_, loadavg_, now());
+    if (!cfg_.percpu_queues) {
+        domains_[0]->second_tick(ordered_, loadavg_, now());
+    } else {
+        // Each domain decays only its own processes: BSD's estcpu lives on
+        // the Proc, so handing every instance the whole machine would apply
+        // the decay ncpus times per tick. Rebuilt from ordered_ each tick —
+        // cheaper than maintaining per-domain membership lists through every
+        // migration, at one pointer append per live process per second.
+        for (std::vector<Proc*>& v : tick_scratch_) v.clear();
+        for (Proc* p : ordered_) {
+            tick_scratch_[static_cast<std::size_t>(domain_of(*p))].push_back(p);
+        }
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            domains_[d]->second_tick(tick_scratch_[d], loadavg_, now());
+        }
+        rebalance();
+    }
 
     engine_.schedule_after(cfg_.schedcpu_period, tick_kind_, 0);
     schedule();
+}
+
+void Kernel::sync_soa(const Proc& p) {
+    const std::size_t i = static_cast<std::size_t>(p.pid);
+    std::uint8_t f = 0;
+    if (p.state != RunState::kZombie) f |= kSoaAlive;
+    if (p.state == RunState::kSleeping) f |= kSoaBlocked;
+    if (p.state == RunState::kRunnable || p.state == RunState::kRunning) {
+        f |= kSoaWantsCpu;
+    }
+    if (p.stopped) f |= kSoaStopped;
+    if (p.on_cpu >= 0) f |= kSoaOnCpu;
+    soa_flags_[i] = f;
+    soa_base_ns_[i] = p.cpu_consumed.count() -
+                      (p.on_cpu >= 0 ? p.last_charge.since_epoch.count() : 0);
+    soa_uid_[i] = p.uid;
 }
 
 void Kernel::export_metrics(telemetry::MetricsRegistry& reg,
@@ -603,6 +791,8 @@ void Kernel::export_metrics(telemetry::MetricsRegistry& reg,
     reg.counter(prefix + "spawned").add(static_cast<std::uint64_t>(next_pid_ - 1));
     reg.counter(prefix + "busy_us")
         .add(static_cast<std::uint64_t>(busy_time().count() / 1000));
+    reg.counter(prefix + "migrations").add(migrations_);
+    reg.counter(prefix + "steals").add(steals_);
     reg.gauge(prefix + "loadavg").set(loadavg_);
 }
 

@@ -12,13 +12,19 @@
 //   * sleep until an instant                       -> SleepUntilAction (nanosleep)
 // Everything else — which process runs when — belongs to the kernel policy.
 //
-// SMP model (ncpus > 1): a single global run queue feeding all CPUs, exactly
-// like FreeBSD 4.x's SMP scheduler. The paper evaluates on a uniprocessor;
-// multi-CPU runs back the repository's SMP extension experiments.
+// SMP model (ncpus > 1): by default a single global run queue feeding all
+// CPUs, exactly like FreeBSD 4.x's SMP scheduler. The paper evaluates on a
+// uniprocessor; multi-CPU runs back the repository's SMP extension
+// experiments. KernelConfig::percpu_queues opts into per-CPU scheduling
+// domains — one policy instance (run queues + whichqs bitmap) per CPU with
+// Proc::home_cpu affinity, an idle-steal path, and a periodic rebalance
+// hung off schedcpu — the structure of every later SMP BSD/Linux kernel,
+// and what the 16/64/256-core experiments run on (see DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +64,14 @@ struct KernelConfig {
     std::string policy = "bsd";
     /// Seed for randomized policies built by name (the lottery draws).
     std::uint64_t policy_seed = 0xa1b5'5eedULL;
+    /// Per-CPU scheduling domains instead of the shared global run queue:
+    /// one policy instance per CPU (built by name from `policy`; domain d
+    /// seeds its policy with policy_seed + d), Proc::home_cpu affinity,
+    /// idle-steal, and a rebalance pass each schedcpu tick. Off by default —
+    /// the shared queue is the FreeBSD 4.x model the paper's experiments
+    /// assume, and its schedules are pinned by tests/golden/. Requires the
+    /// policy to be built by name (no pre-constructed policy object).
+    bool percpu_queues = false;
 };
 
 class Kernel {
@@ -79,8 +93,11 @@ public:
     // ----- process lifecycle -----
 
     /// Creates a process; its behaviour's first action takes effect
-    /// immediately. Returns the new pid.
-    Pid spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice = 0);
+    /// immediately. Returns the new pid. Under percpu_queues, `home_cpu`
+    /// pins the process to a scheduling domain (-1 = round-robin by pid, the
+    /// default placement); without per-CPU queues it is ignored.
+    Pid spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice = 0,
+              int home_cpu = -1);
 
     /// Removes a zombie from the process table.
     void reap(Pid pid);
@@ -116,6 +133,13 @@ public:
     };
     [[nodiscard]] SampleView sample(Pid pid) const;
 
+    /// Batched sampling: fills out[i] with sample(pids[i]) for the whole
+    /// span in one pass. This is the ALPS per-tick measurement entry point:
+    /// the clock is read once and the loop walks the SoA accounting arrays
+    /// (soa_* below) instead of chasing one Proc record per call. `out` must
+    /// have room for pids.size() entries.
+    void measure(std::span<const Pid> pids, SampleView* out) const;
+
     /// Live pids owned by `uid`, in creation order (kvm_getprocs analogue).
     [[nodiscard]] std::vector<Pid> pids_of_uid(Uid uid) const;
     /// Allocation-free variant for periodic sampling: clears and refills
@@ -133,13 +157,22 @@ public:
     [[nodiscard]] const Proc& proc(Pid pid) const;
     [[nodiscard]] util::TimePoint now() const { return engine_.now(); }
     [[nodiscard]] sim::Engine& engine() { return engine_; }
-    [[nodiscard]] const SchedPolicy& policy() const { return *policy_; }
-    [[nodiscard]] SchedPolicy& policy() { return *policy_; }
+    [[nodiscard]] const SchedPolicy& policy() const { return *domains_[0]; }
+    [[nodiscard]] SchedPolicy& policy() { return *domains_[0]; }
+    /// Domain `cpu`'s policy instance (== policy() without percpu_queues,
+    /// where all CPUs share domain 0).
+    [[nodiscard]] const SchedPolicy& policy_on(int cpu) const;
     [[nodiscard]] int ncpus() const { return cfg_.ncpus; }
+    [[nodiscard]] bool percpu_queues() const { return cfg_.percpu_queues; }
 
     /// Aggregate CPU busy time summed over CPUs, incl. in-progress.
     [[nodiscard]] util::Duration busy_time() const;
     [[nodiscard]] std::uint64_t context_switches() const { return context_switches_; }
+    /// Cross-domain process moves (idle-steal + rebalance); 0 without
+    /// percpu_queues.
+    [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+    /// The idle-steal subset of migrations().
+    [[nodiscard]] std::uint64_t steals() const { return steals_; }
     [[nodiscard]] double loadavg() const { return loadavg_; }
     /// Pid of the process on CPU 0 (kNoPid when idle).
     [[nodiscard]] Pid running_pid() const { return running_pid_on(0); }
@@ -187,6 +220,36 @@ private:
     void arm_decision_timer(int cpu);
     void second_tick();
 
+    // ----- per-CPU scheduling domains -----
+
+    /// The domain a process queues on: home_cpu under percpu_queues, else 0.
+    [[nodiscard]] int domain_of(const Proc& p) const {
+        return cfg_.percpu_queues ? p.home_cpu : 0;
+    }
+    [[nodiscard]] SchedPolicy& dom(const Proc& p) {
+        return *domains_[static_cast<std::size_t>(domain_of(p))];
+    }
+    [[nodiscard]] const SchedPolicy& dom(const Proc& p) const {
+        return *domains_[static_cast<std::size_t>(domain_of(p))];
+    }
+    /// Idle-steal: CPU `cpu` found its own domain empty; pull the best
+    /// runnable process from the most-loaded peer domain (ties: lowest CPU
+    /// index). Returns the migrated process ready to dispatch, or nullptr.
+    Proc* steal_for(int cpu);
+    /// Periodic load balance (schedcpu cadence): move queued processes from
+    /// the deepest domain to the shallowest until the spread is < 2, with a
+    /// bounded number of moves per tick.
+    void rebalance();
+    /// Moves `p` (already off `from`'s queues) into `to`'s domain.
+    void migrate(Proc& p, int to);
+
+    // ----- SoA sampling mirror -----
+
+    /// Refreshes `p`'s row in the SoA accounting arrays. Called from every
+    /// site that changes the fields sample()/measure() read (state, stopped,
+    /// on_cpu, cpu_consumed/last_charge, uid at spawn).
+    void sync_soa(const Proc& p);
+
     // Trampolines for the engine's devirtualized (hot) dispatch: the three
     // recurring timer kinds that dominate steady-state event traffic. They
     // fire with `this` as ctx, so the event loop never builds a std::function.
@@ -198,7 +261,10 @@ private:
     [[nodiscard]] std::size_t eligible_count() const;
 
     sim::Engine& engine_;
-    std::unique_ptr<SchedPolicy> policy_;
+    /// Scheduling domains: one policy instance per CPU under percpu_queues,
+    /// else a single shared instance (domains_[0]) feeding every CPU — the
+    /// FreeBSD 4.x model, bit-identical to the pre-domain kernel.
+    std::vector<std::unique_ptr<SchedPolicy>> domains_;
     KernelConfig cfg_;
 
     Pid next_pid_ = 1;
@@ -230,7 +296,29 @@ private:
 
     util::Duration busy_{0};
     std::uint64_t context_switches_ = 0;
+    std::uint64_t migrations_ = 0;  ///< cross-domain moves (steal + rebalance)
+    std::uint64_t steals_ = 0;      ///< idle-steal subset of migrations_
     double loadavg_ = 0.0;
+
+    // SoA mirror of the fields the sampling hot path reads, pid-indexed in
+    // lockstep with table_ (slot 0 unused, reaped slots zeroed). sample()
+    // and the batched measure() walk these contiguous arrays instead of
+    // chasing Proc records — the per-quantum ALPS scan touches 13 bytes per
+    // pid instead of a ~300-byte PCB spread across the arena.
+    static constexpr std::uint8_t kSoaAlive = 1u << 0;
+    static constexpr std::uint8_t kSoaBlocked = 1u << 1;
+    static constexpr std::uint8_t kSoaStopped = 1u << 2;
+    static constexpr std::uint8_t kSoaOnCpu = 1u << 3;
+    static constexpr std::uint8_t kSoaWantsCpu = 1u << 4;  ///< runnable|running
+    /// cpu_consumed, minus last_charge when on CPU — so the live reading is
+    /// base + now (one add, no branch on the charge timestamp).
+    std::vector<std::int64_t> soa_base_ns_;
+    std::vector<std::uint8_t> soa_flags_;
+    std::vector<Uid> soa_uid_;
+
+    /// Per-domain scratch for second_tick under percpu_queues (rebuilt from
+    /// ordered_ each tick; member to avoid per-tick allocation).
+    std::vector<std::vector<Proc*>> tick_scratch_;
 };
 
 }  // namespace alps::os

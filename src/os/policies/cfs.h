@@ -62,6 +62,9 @@ public:
     void second_tick(std::span<Proc* const> procs, double loadavg,
                      util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override;
+    [[nodiscard]] std::size_t runnable() const override {
+        return queue_.size() + boosted_size_;
+    }
 
     [[nodiscard]] double vruntime(const Proc& p) const;
     [[nodiscard]] double min_vruntime() const { return min_vruntime_; }

@@ -56,6 +56,7 @@ void LotteryPolicy::remove(Proc& p) {
     Ticketing& t = state(p);
     if (p.rq_index == kOnBoostQueue) {
         boosted_.remove(p);
+        --boosted_size_;
         p.rq_index = -1;
     } else if (p.rq_index == kOnPrimary) {
         pool_.remove(p);
@@ -85,6 +86,7 @@ void LotteryPolicy::enqueue(Proc& p) {
     }
     if (p.wake_boost) {
         boosted_.push_back(p);
+        ++boosted_size_;
         p.rq_index = kOnBoostQueue;
     } else {
         pool_.push_back(p);
@@ -97,6 +99,7 @@ void LotteryPolicy::enqueue(Proc& p) {
 void LotteryPolicy::dequeue(Proc& p) {
     if (p.rq_index == kOnBoostQueue) {
         boosted_.remove(p);
+        --boosted_size_;
     } else if (p.rq_index == kOnPrimary) {
         pool_.remove(p);
         --pool_size_;
@@ -144,6 +147,7 @@ Proc* LotteryPolicy::pop() {
     Ticketing& t = state(*p);
     if (p->rq_index == kOnBoostQueue) {
         boosted_.remove(*p);
+        --boosted_size_;
     } else {
         pool_.remove(*p);
         --pool_size_;

@@ -61,6 +61,9 @@ public:
     void second_tick(std::span<Proc* const> procs, double loadavg,
                      util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override { return cfg_.quantum; }
+    [[nodiscard]] std::size_t runnable() const override {
+        return pool_size_ + boosted_size_;
+    }
 
     // ----- ticket economy -----
 
@@ -107,6 +110,7 @@ private:
     std::vector<Ticketing> tickets_;  ///< pid-indexed
 
     IntrusiveFifo boosted_;  ///< wake_boost procs, FIFO, ahead of any draw
+    std::size_t boosted_size_ = 0;
     IntrusiveFifo pool_;     ///< runnable ticket holders, in enqueue order
     std::size_t pool_size_ = 0;
 

@@ -67,6 +67,9 @@ public:
     void on_wakeup(Proc& p, util::Duration slept) override;
     void second_tick(std::span<Proc* const> procs, double loadavg,
                      util::TimePoint now) override;
+    [[nodiscard]] std::size_t runnable() const override {
+        return queue_.size() + boosted_size_;
+    }
     [[nodiscard]] util::Duration slice() const override { return cfg_.quantum; }
 
     /// Reissues `p`'s tickets (> 0), rescaling remain by the stride ratio.

@@ -48,14 +48,36 @@ public:
     virtual void on_wakeup(Proc& p, util::Duration slept) = 0;
 
     /// Once-per-second housekeeping (4.4BSD schedcpu): decay usage estimates.
-    /// `procs` holds every live process; `loadavg` is the smoothed count of
-    /// eligible processes; `now` lets the policy skip processes idle for
-    /// more than a second (handled by on_wakeup instead, like p_slptime).
+    /// `procs` holds every live process this instance is responsible for
+    /// (the whole machine with one shared queue; one CPU's worth under
+    /// per-CPU domains); `loadavg` is the smoothed count of eligible
+    /// processes; `now` lets the policy skip processes idle for more than a
+    /// second (handled by on_wakeup instead, like p_slptime).
     virtual void second_tick(std::span<Proc* const> procs, double loadavg,
                              util::TimePoint now) = 0;
 
     /// Maximum contiguous run before a forced round-robin decision.
     [[nodiscard]] virtual util::Duration slice() const = 0;
+
+    // ----- per-CPU scheduling domains (idle-steal / rebalance) -----
+
+    /// Number of processes currently on this instance's run queues (primary
+    /// + wake-boost FIFO). The kernel's steal/rebalance passes use it as the
+    /// load metric when picking victim domains, so it must be O(1).
+    [[nodiscard]] virtual std::size_t runnable() const = 0;
+
+    /// A process is leaving this instance for another CPU's domain. The
+    /// kernel has already popped it off the run queues; drop any per-process
+    /// policy state. Default: remove() (every zoo policy's remove tolerates
+    /// an unqueued process).
+    virtual void on_migrate_out(Proc& p) { remove(p); }
+
+    /// A migrated process is joining this instance (the counterpart of
+    /// on_migrate_out; the kernel enqueues or dispatches it afterwards).
+    /// Default: add() — i.e. the process joins like a fresh spawn. Policies
+    /// whose usage state lives on the Proc itself (BSD's estcpu) override
+    /// this to carry that state across instead of resetting it.
+    virtual void on_migrate_in(Proc& p) { add(p); }
 };
 
 }  // namespace alps::os

@@ -49,6 +49,11 @@ struct Proc {
     std::uint64_t dispatches = 0;    ///< times placed on a CPU
     std::uint64_t voluntary_sleeps = 0;
     int on_cpu = -1;                 ///< CPU index while running, else -1
+    /// CPU affinity: the scheduling domain this process queues on when the
+    /// kernel runs per-CPU run queues (KernelConfig::percpu_queues). Always 0
+    /// under the shared global queue. Updated by the kernel when idle-steal
+    /// or the periodic rebalance migrates the process.
+    int home_cpu = 0;
 
     // --- current phase ---
     util::Duration run_remaining{0};  ///< CPU left in the current run phase

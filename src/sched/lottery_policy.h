@@ -32,6 +32,7 @@ public:
     void on_wakeup(os::Proc& p, util::Duration slept) override;
     void second_tick(std::span<os::Proc* const> procs, double loadavg, util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override { return quantum_; }
+    [[nodiscard]] std::size_t runnable() const override { return queued_.size(); }
 
 private:
     /// Draws a winner if none is cached. peek() must be stable until the

@@ -38,6 +38,7 @@ public:
     void on_wakeup(os::Proc& p, util::Duration slept) override;
     void second_tick(std::span<os::Proc* const> procs, double loadavg, util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override { return quantum_; }
+    [[nodiscard]] std::size_t runnable() const override { return queued_.size(); }
 
     [[nodiscard]] double pass_of(os::Pid pid) const;
 

@@ -35,6 +35,7 @@ public:
     void second_tick(std::span<os::Proc* const> procs, double loadavg,
                      util::TimePoint now) override;
     [[nodiscard]] util::Duration slice() const override { return quantum_; }
+    [[nodiscard]] std::size_t runnable() const override { return queued_.size(); }
 
 private:
     struct State {

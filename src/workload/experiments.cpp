@@ -433,4 +433,111 @@ FaultRunResult run_fault_experiment(const FaultRunConfig& cfg) {
     return res;
 }
 
+// ----------------------------------------------------------------------------
+// Many-core sweep (BENCH_many_core)
+
+ManyCoreResult run_many_core_experiment(const ManyCoreConfig& cfg) {
+    ALPS_EXPECT(cfg.ncpus > 0);
+    ALPS_EXPECT(cfg.procs_per_cpu > 0);
+    ALPS_EXPECT(cfg.measure_cycles > 0);
+
+    sim::Engine engine;
+    os::KernelConfig kcfg;
+    kcfg.ncpus = cfg.ncpus;
+    kcfg.percpu_queues = true;
+    kcfg.policy = cfg.kernel_policy;
+    kcfg.policy_seed = cfg.policy_seed;
+    os::Kernel kernel(engine, nullptr, kcfg);
+
+    core::SchedulerConfig scfg;
+    scfg.quantum = cfg.quantum;
+
+    const int instances = cfg.per_core_alps ? cfg.ncpus : 1;
+    std::vector<std::unique_ptr<core::SimAlps>> alps;
+    std::vector<std::unique_ptr<metrics::ExactCycleLog>> logs;
+    alps.reserve(static_cast<std::size_t>(instances));
+    logs.reserve(static_cast<std::size_t>(instances));
+    const auto reader = [&kernel](core::EntityId id) {
+        return kernel.cpu_time(static_cast<os::Pid>(id));
+    };
+
+    // Deploy: per-core mode pins each instance's driver *and* workers to
+    // that core's domain (the one-controller-per-CPU deployment); global
+    // mode leaves placement to the kernel's round-robin default. Shares
+    // cycle 1,2,3 per instance so proportionality is non-trivial.
+    Share shares_per_instance = 0;
+    for (int c = 0; c < instances; ++c) {
+        const int home = cfg.per_core_alps ? c : -1;
+        alps.push_back(std::make_unique<core::SimAlps>(
+            kernel, scfg, cfg.cost, "alps" + std::to_string(c), /*uid=*/0,
+            core::FaultPlan{}, home));
+        logs.push_back(std::make_unique<metrics::ExactCycleLog>(reader));
+        alps.back()->scheduler().set_cycle_observer(logs.back()->observer());
+        const int workers = cfg.per_core_alps ? cfg.procs_per_cpu
+                                              : cfg.ncpus * cfg.procs_per_cpu;
+        Share total = 0;
+        for (int j = 0; j < workers; ++j) {
+            const os::Pid pid = kernel.spawn(
+                "w" + std::to_string(c) + "_" + std::to_string(j),
+                /*uid=*/100 + static_cast<os::Uid>(c),
+                std::make_unique<os::CpuBoundBehavior>(), /*nice=*/0, home);
+            const Share share = j % 3 + 1;
+            alps.back()->manage(pid, share);
+            total += share;
+        }
+        shares_per_instance = total;
+    }
+
+    const auto total_cycles =
+        static_cast<std::size_t>(cfg.warmup_cycles + cfg.measure_cycles);
+    const Duration cycle_len = cfg.quantum * shares_per_instance;
+    const Duration max_wall =
+        cfg.max_wall > Duration::zero()
+            ? cfg.max_wall
+            : cycle_len * static_cast<std::int64_t>(3 * (total_cycles + 10));
+
+    const bool completed =
+        run_simulation_until(engine, TimePoint{} + max_wall, [&] {
+            for (const auto& log : logs) {
+                if (log->cycle_count() < total_cycles) return false;
+            }
+            return true;
+        });
+
+    ManyCoreResult res;
+    res.timed_out = !completed;
+    res.wall = engine.now() - TimePoint{};
+    Duration alps_cpu{0};
+    std::vector<std::vector<core::CycleRecord>> per_cpu_records;
+    per_cpu_records.reserve(logs.size());
+    for (int c = 0; c < instances; ++c) {
+        alps_cpu += alps[static_cast<std::size_t>(c)]->overhead_cpu();
+        res.cycles_completed += logs[static_cast<std::size_t>(c)]->cycle_count();
+        res.ticks += alps[static_cast<std::size_t>(c)]->scheduler().tick_count();
+        res.measurements +=
+            alps[static_cast<std::size_t>(c)]->scheduler().total_measurements();
+        res.boundaries_missed +=
+            alps[static_cast<std::size_t>(c)]->driver().boundaries_missed();
+        per_cpu_records.push_back(logs[static_cast<std::size_t>(c)]->records());
+    }
+    res.overhead_fraction =
+        util::to_sec(res.wall) > 0.0
+            ? util::to_sec(alps_cpu) / (util::to_sec(res.wall) * cfg.ncpus)
+            : 0.0;
+    res.migrations = kernel.migrations();
+    res.steals = kernel.steals();
+    res.per_cpu = metrics::analyze_fairness_per_cpu(
+        per_cpu_records, static_cast<std::size_t>(cfg.warmup_cycles),
+        static_cast<std::size_t>(cfg.measure_cycles));
+    res.mean_rms_error = res.per_cpu.mean_rms_share_error;
+    res.worst_rms_error = res.per_cpu.worst_rms_share_error;
+    if (cfg.metrics != nullptr) {
+        engine.export_metrics(*cfg.metrics);
+        kernel.export_metrics(*cfg.metrics);
+        for (const auto& a : alps) a->scheduler().export_metrics(*cfg.metrics);
+        metrics::export_fairness_per_cpu(res.per_cpu, *cfg.metrics);
+    }
+    return res;
+}
+
 }  // namespace alps::workload

@@ -183,4 +183,56 @@ struct FaultRunResult {
 /// liveness degrade.
 [[nodiscard]] FaultRunResult run_fault_experiment(const FaultRunConfig& cfg);
 
+// ----------------------------------------------------------------------------
+// Many-core sweep: one global ALPS vs one ALPS per core (the SMP extension)
+
+struct ManyCoreConfig {
+    /// Simulated cores; the kernel runs per-CPU scheduling domains
+    /// (KernelConfig::percpu_queues) with idle-steal and rebalance.
+    int ncpus = 16;
+    /// Compute-bound workers per core, shares cycling 1, 2, 3.
+    int procs_per_cpu = 2;
+    /// true: one ALPS instance per core, driver and workers pinned to that
+    /// core's domain. false: one global ALPS over all ncpus·procs_per_cpu
+    /// workers (its cycle is ncpus times longer — the scaling pain the
+    /// per-core deployment removes).
+    bool per_core_alps = false;
+    util::Duration quantum = util::msec(10);
+    /// Cycles measured *per instance* after `warmup_cycles`. The global
+    /// instance's cycles are ~ncpus times longer in wall time; holding the
+    /// cycle count (not the wall time) fixed keeps the accuracy statistics
+    /// comparable per the §3.1 per-cycle metric.
+    int measure_cycles = 20;
+    int warmup_cycles = 3;
+    core::CostModel cost{};
+    std::string kernel_policy = "bsd";
+    std::uint64_t policy_seed = 0xa1b5'5eedULL;
+    /// Hard stop; zero = derived from the longest instance cycle.
+    util::Duration max_wall{0};
+    /// When set, exports engine/kernel/scheduler totals plus the per-CPU
+    /// fairness breakdown ("fairness.per_cpu_*") here.
+    telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+struct ManyCoreResult {
+    double mean_rms_error = 0.0;   ///< mean over instances (fraction)
+    double worst_rms_error = 0.0;  ///< worst instance (== mean when global)
+    /// Total ALPS CPU over total machine capacity (wall · ncpus).
+    double overhead_fraction = 0.0;
+    std::uint64_t cycles_completed = 0;   ///< summed over instances
+    std::uint64_t ticks = 0;              ///< summed over instances
+    std::uint64_t measurements = 0;       ///< summed over instances
+    std::uint64_t boundaries_missed = 0;  ///< summed (a breakdown symptom)
+    std::uint64_t migrations = 0;  ///< kernel cross-domain moves (incl. steals)
+    std::uint64_t steals = 0;      ///< idle-steal pulls
+    util::Duration wall{0};
+    bool timed_out = false;
+    /// Per-instance fairness breakdown (one entry when global).
+    metrics::PerCpuFairnessReport per_cpu;
+};
+
+/// Builds an ncpus-core machine with per-CPU run queues, deploys ALPS as
+/// configured, and measures share accuracy, overhead, and balancing traffic.
+[[nodiscard]] ManyCoreResult run_many_core_experiment(const ManyCoreConfig& cfg);
+
 }  // namespace alps::workload

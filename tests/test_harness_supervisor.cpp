@@ -29,6 +29,8 @@
 #include "harness/sink.h"
 #include "harness/supervisor.h"
 #include "harness/wire.h"
+#include "os/kernel.h"
+#include "sim/engine.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
 #include "telemetry/recorder.h"
@@ -480,6 +482,17 @@ Experiment faulty_experiment(const std::string& mode) {
                     if (mode == "flaky" && attempt == 0) std::abort();
                     if (mode == "always" && attempt >= 0) std::abort();
                     if (mode == "guard" && attempt >= 0) ALPS_GUARD(1 + 1 == 3);
+                    if (mode == "cpu_guard" && attempt >= 0) {
+                        // A real corruption guard, not a synthetic condition:
+                        // the kernel's per-CPU accessors bounds-check their
+                        // cpu index under ALPS_GUARD, and a chaos task that
+                        // trips one must be classified exactly like any other
+                        // SIGABRT.
+                        sim::Engine engine;
+                        os::Kernel kernel(engine, nullptr,
+                                          os::KernelConfig{.ncpus = 2});
+                        (void)kernel.running_pid_on(2);
+                    }
                     if (mode == "throw") {
                         throw std::invalid_argument("bad chaos input");
                     }
@@ -546,6 +559,26 @@ TEST(SupervisorIsolated, GuardAbortIsClassifiedAsCrash) {
     EXPECT_FALSE(victim.ok);
     EXPECT_EQ(victim.disposition, "crashed");
     EXPECT_EQ(victim.attempts, 2);
+}
+
+TEST(SupervisorIsolated, KernelCpuBoundsGuardIsQuarantinedWithRepro) {
+    ALPS_SKIP_UNDER_TSAN();
+    // End-to-end forensics on the kernel's own cpu-index guard: a task that
+    // reads running_pid_on(ncpus) aborts via ALPS_GUARD in the worker
+    // process, the supervisor quarantines it after max_attempts, siblings
+    // survive, and the outcome carries the signal-death evidence a repro
+    // command needs.
+    TempDir dir("iso_cpu_guard");
+    const SweepReport report = run_faulty("cpu_guard", dir, /*max_attempts=*/2);
+    ASSERT_EQ(report.tasks.size(), 4u);
+    const TaskOutcome& victim = report.tasks[1];
+    EXPECT_FALSE(victim.ok);
+    EXPECT_EQ(victim.disposition, "crashed");
+    EXPECT_EQ(victim.attempts, 2);
+    EXPECT_NE(victim.error.find("signal"), std::string::npos) << victim.error;
+    for (const std::size_t i : {0u, 2u, 3u}) {
+        EXPECT_TRUE(report.tasks[i].ok) << "sibling " << i << " poisoned";
+    }
 }
 
 TEST(SupervisorIsolated, DeterministicExceptionIsNotRetried) {

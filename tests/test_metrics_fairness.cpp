@@ -143,5 +143,56 @@ TEST(Fairness, ExportRecordsPpmHistograms) {
     EXPECT_EQ(reg.counter("fairness.cycles").value(), 14u);
 }
 
+TEST(PerCpuFairness, HandComputedBreakdownAcrossThreeCpus) {
+    // CPU 0: perfectly proportional (RMS 0); CPU 1: equal shares at 30:10 ms
+    // (RMS 0.5, complaint 0.5 — the EqualSharesSkewedConsumption fixture);
+    // CPU 2: no analyzable cycles (idle). Aggregates cover CPUs 0 and 1:
+    // mean RMS = (0 + 0.5)/2 = 0.25, worst = 0.5, spread = 0.5 - 0 = 0.5,
+    // worst complaint = 0.5, cpus_with_cycles = 2.
+    std::vector<std::vector<core::CycleRecord>> per_cpu(3);
+    per_cpu[0].push_back(rec({1, 3}, {10, 30}));
+    per_cpu[1].push_back(rec({1, 1}, {30, 10}));
+    per_cpu[2].push_back(rec({1, 1}, {0, 0}));  // idle cycle: skipped
+
+    const auto report = analyze_fairness_per_cpu(per_cpu);
+    ASSERT_EQ(report.per_cpu.size(), 3u);
+    EXPECT_EQ(report.cpus_with_cycles, 2u);
+    EXPECT_DOUBLE_EQ(report.per_cpu[0].rms_share_error, 0.0);
+    EXPECT_DOUBLE_EQ(report.per_cpu[1].rms_share_error, 0.5);
+    EXPECT_EQ(report.per_cpu[2].cycles, 0u);
+    EXPECT_DOUBLE_EQ(report.mean_rms_share_error, 0.25);
+    EXPECT_DOUBLE_EQ(report.worst_rms_share_error, 0.5);
+    EXPECT_DOUBLE_EQ(report.rms_error_spread, 0.5);
+    EXPECT_DOUBLE_EQ(report.worst_max_complaint, 0.5);
+}
+
+TEST(PerCpuFairness, SingleInstanceMeansEqualWorstWithZeroSpread) {
+    // The one-global-ALPS row: one stream, so mean == worst and spread == 0.
+    std::vector<std::vector<core::CycleRecord>> per_cpu(1);
+    per_cpu[0].push_back(rec({1, 1}, {30, 10}));
+    const auto report = analyze_fairness_per_cpu(per_cpu);
+    EXPECT_EQ(report.cpus_with_cycles, 1u);
+    EXPECT_DOUBLE_EQ(report.mean_rms_share_error, 0.5);
+    EXPECT_DOUBLE_EQ(report.worst_rms_share_error, 0.5);
+    EXPECT_DOUBLE_EQ(report.rms_error_spread, 0.0);
+}
+
+TEST(PerCpuFairness, ExportRecordsPpmHistograms) {
+    PerCpuFairnessReport report;
+    report.mean_rms_share_error = 0.25;
+    report.worst_rms_share_error = 0.5;
+    report.rms_error_spread = 0.125;
+    report.worst_max_complaint = 0.75;
+    report.cpus_with_cycles = 64;
+
+    telemetry::MetricsRegistry reg;
+    export_fairness_per_cpu(report, reg);
+    EXPECT_EQ(reg.histogram("fairness.per_cpu_mean_rms_ppm").sum(), 250000u);
+    EXPECT_EQ(reg.histogram("fairness.per_cpu_worst_rms_ppm").sum(), 500000u);
+    EXPECT_EQ(reg.histogram("fairness.per_cpu_rms_spread_ppm").sum(), 125000u);
+    EXPECT_EQ(reg.histogram("fairness.per_cpu_worst_complaint_ppm").sum(), 750000u);
+    EXPECT_EQ(reg.counter("fairness.per_cpu_cpus").value(), 64u);
+}
+
 }  // namespace
 }  // namespace alps::metrics

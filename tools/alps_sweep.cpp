@@ -3,9 +3,9 @@
 //   alps-sweep --list
 //   alps-sweep --list-policies
 //   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
-//              [--no-json] [--quiet] [--kernel-policy NAME] [--isolate]
-//              [--run-timeout S] [--max-attempts N] [--journal] [--resume]
-//              [--only-task I] [--json-payload-only]
+//              [--no-json] [--quiet] [--kernel-policy NAME] [--ncpus N]
+//              [--isolate] [--run-timeout S] [--max-attempts N] [--journal]
+//              [--resume] [--only-task I] [--json-payload-only]
 //   alps-sweep --all [sweep flags]
 //
 // Runs registered experiments (see bench/experiments.h) across a thread pool
@@ -48,6 +48,8 @@ void print_usage(std::ostream& out) {
            "               it (fig4: swaps the kernel under the whole figure;\n"
            "               policy_zoo: narrows the zoo to one row); see\n"
            "               --list-policies\n"
+           "  --ncpus N    simulated core count for machine-size sweeps\n"
+           "               (many_core: runs only that grid column)\n"
            "supervision (see DESIGN.md §10):\n"
            "  --isolate    fork one worker process per task execution; crashes\n"
            "               and hangs are classified per task, retried, and\n"
