@@ -23,6 +23,10 @@
 #include "os/kernel.h"
 #include "os/proc.h"
 #include "sim/engine.h"
+#include "traffic/arrival.h"
+#include "traffic/latency.h"
+#include "traffic/table.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "workload/experiments.h"
 
@@ -229,6 +233,76 @@ harness::Result kernel_scan_task(bool full) {
     return res;
 }
 
+// Traffic-subsystem hot path: thinning-sampled arrival draws through a full
+// envelope (diurnal x MMPP x flash spike — every branch of rate_at) and the
+// request-table churn the web_scale sweep rides on (create, timestamp,
+// release through the freelist, record into the per-site reservoir). A
+// thousand-site machine draws and churns these millions of times per run,
+// so both paths are gated in check.sh like the kernel scan.
+harness::Result web_arrivals_task(bool full) {
+    using util::usec;
+    harness::Result res;
+    const std::int64_t draws = full ? 2'000'000 : 400'000;
+    {
+        traffic::ArrivalConfig cfg;
+        cfg.base_rps = 50.0;
+        cfg.diurnal.amplitude = 0.4;
+        cfg.diurnal.period = util::sec(60);
+        cfg.burst.multiplier = 4.0;
+        cfg.burst.mean_normal = util::sec(5);
+        cfg.burst.mean_burst = util::sec(1);
+        traffic::FlashCrowd spike;
+        spike.start = util::TimePoint{} + util::sec(30);
+        spike.ramp = util::sec(2);
+        spike.hold = util::sec(20);
+        spike.decay = util::sec(5);
+        spike.multiplier = 8.0;
+        cfg.spikes.push_back(spike);
+        traffic::ArrivalProcess proc(cfg, util::Rng(0xbeef));
+        util::TimePoint t{};
+        const auto t0 = Clock::now();
+        for (std::int64_t i = 0; i < draws; ++i) t = proc.next(t);
+        const double wall = seconds_since(t0);
+        res.metric("web_arrival_draws_per_sec", static_cast<double>(draws) / wall);
+        // Fold the final arrival time in so the loop cannot be elided.
+        res.metric("web_arrival_final_ms", util::to_ms(t.since_epoch));
+    }
+    {
+        constexpr std::size_t kSites = 256;
+        constexpr std::int64_t kDepth = 64;  ///< live rows churned against
+        traffic::RequestTable table;
+        table.reserve(kSites);
+        traffic::LatencyRecorder recorder(kSites);
+        std::vector<traffic::ReqId> live;
+        live.reserve(kDepth);
+        const std::int64_t churn = full ? 2'000'000 : 400'000;
+        util::TimePoint t{};
+        const auto t0 = Clock::now();
+        for (std::int64_t i = 0; i < churn; ++i) {
+            t += usec(37);
+            if (live.size() == kDepth) {
+                // Retire the oldest: timestamp, record, release (the full
+                // completion pipeline a web worker drives per request).
+                const traffic::ReqId id = live.front();
+                live.erase(live.begin());
+                table.set_dispatch(id, t);
+                table.add_db_wait(id, usec(250));
+                recorder.record(table.site(id) % kSites, t - table.arrival(id),
+                                table.dispatch(id) - table.arrival(id),
+                                table.db_wait(id));
+                table.release(id);
+            }
+            live.push_back(table.create(static_cast<std::uint32_t>(i) % kSites,
+                                        static_cast<std::uint16_t>(i % 3), t));
+        }
+        const double wall = seconds_since(t0);
+        // One create + one retire pipeline per iteration at steady state.
+        res.metric("web_table_ops_per_sec", 2.0 * static_cast<double>(churn) / wall);
+        res.metric("web_table_rows", static_cast<double>(table.rows()));
+    }
+    return res;
+}
+
 // End-to-end: a fig8_fig9-style run (equal shares, Q=10ms) timed on the host.
 harness::Result e2e_task(int n, bool full) {
     workload::SimRunConfig cfg;
@@ -264,6 +338,7 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
     push("timer_ops", [](bool full) { return timer_ops_task(full); });
     push("policy", [](bool full) { return policy_task(full); });
     push("kernel_scan", [](bool full) { return kernel_scan_task(full); });
+    push("web_arrivals", [](bool full) { return web_arrivals_task(full); });
     push("e2e_n40", [](bool full) { return e2e_task(40, full); });
     push("e2e_n120", [](bool full) { return e2e_task(120, full); });
     return tasks;
@@ -289,6 +364,10 @@ void present(const harness::SweepReport& report, std::ostream& out) {
                util::fmt(report.metric_mean("kernel_scan", "kernel_scan_samples_per_sec"), 0)});
     t.add_row({"kernel_scan", "samples/sec (batched measure)",
                util::fmt(report.metric_mean("kernel_scan", "kernel_scan_batch_samples_per_sec"), 0)});
+    t.add_row({"web_arrivals", "arrival draws/sec",
+               util::fmt(report.metric_mean("web_arrivals", "web_arrival_draws_per_sec"), 0)});
+    t.add_row({"web_arrivals", "request-table ops/sec",
+               util::fmt(report.metric_mean("web_arrivals", "web_table_ops_per_sec"), 0)});
     t.add_row({"e2e_n40", "wall ms/run",
                util::fmt(report.metric_mean("e2e_n40", "wall_ms"), 2)});
     t.add_row({"e2e_n120", "wall ms/run",

@@ -12,6 +12,7 @@ void register_all_experiments() {
         register_sim_perf_experiment();
         register_policy_zoo_experiment();
         register_many_core_experiment();
+        register_web_scale_experiment();
         return true;
     }();
     (void)once;

@@ -38,6 +38,11 @@ void register_policy_zoo_experiment();
 /// run queues ("many_core"). Honors --ncpus to run a single machine size.
 void register_many_core_experiment();
 
+/// Open-loop hosting under a flash crowd: share-protected latency
+/// percentiles across kernel/global/per-core deployments ("web_scale").
+/// Honors --ncpus, --sites, and --flash-crowd to narrow the grid.
+void register_web_scale_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

@@ -55,6 +55,22 @@ if [[ "${ALPS_MANY_CORE_SKIP:-0}" != "1" ]]; then
     --jobs 4 --quiet --no-json
 fi
 
+# --- web_scale smoke: the hosting sweep survives supervision + TSan ---
+# The cell-scale web_scale grid (open-loop traffic, shared request table,
+# one-global and one-per-core ALPS with pinned drivers) under --isolate:
+# every point runs in a forked worker with a watchdog, exercising the
+# supervisor on the newest experiment while TSan watches the harness pool.
+# ALPS_WEB_SCALE_SKIP=1 skips the leg.
+if [[ "${ALPS_WEB_SCALE_SKIP:-0}" != "1" ]]; then
+  cmake -B build-tsan-bench -S . \
+    -DALPS_SANITIZE=thread \
+    -DALPS_BUILD_BENCH=ON \
+    -DALPS_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan-bench -j "$JOBS" --target alps-sweep
+  build-tsan-bench/tools/alps-sweep --experiment web_scale --sites 96 \
+    --flash-crowd 8 --isolate --run-timeout 300 --jobs 4 --quiet --no-json
+fi
+
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 run_suite build-asan address,undefined "$@"
@@ -143,6 +159,10 @@ gate("timer ops (far-future)", "timer_ops", "timer_far_future_ops_per_sec", tol_
 # measurement tick got slower machine-wide.
 gate("kernel scan (per-pid)", "kernel_scan", "kernel_scan_samples_per_sec", tol_pct)
 gate("kernel scan (batched)", "kernel_scan", "kernel_scan_batch_samples_per_sec", tol_pct)
+# The traffic subsystem's hot paths: thinning-sampled arrival draws and
+# request-table churn. web_scale drives both millions of times per run.
+gate("web arrivals (draws)", "web_arrivals", "web_arrival_draws_per_sec", tol_pct)
+gate("web arrivals (table ops)", "web_arrivals", "web_table_ops_per_sec", tol_pct)
 if failed:
     raise SystemExit(1)
 PY

@@ -108,14 +108,18 @@ os::Action AlpsDriverBehavior::next_action(os::ProcContext ctx) {
     }
 #ifdef ALPS_TRACE_DRIVER
     if (due - next_boundary_ - 1 > 0) {
-        std::fprintf(stderr, "[driver late] now=%.3fms boundary=%lld due=%lld\n",
-                     util::to_ms(now.since_epoch),
+        const os::Proc& self = ctx.kernel.proc(ctx.pid);
+        std::fprintf(stderr,
+                     "[driver late] pid=%d home=%d now=%.3fms boundary=%lld due=%lld\n",
+                     ctx.pid, self.home_cpu, util::to_ms(now.since_epoch),
                      static_cast<long long>(next_boundary_),
                      static_cast<long long>(due));
         for (os::Pid pid : ctx.kernel.live_pids()) {
             const os::Proc& p = ctx.kernel.proc(pid);
-            std::fprintf(stderr, "  pid %d %s estcpu %.1f usrpri %.1f %s%s\n", pid,
-                         p.name.c_str(), p.estcpu, p.usrpri,
+            if (p.home_cpu != self.home_cpu) continue;
+            std::fprintf(stderr,
+                         "  pid %d %s nice %d estcpu %.1f usrpri %.1f cpu %d %s%s\n",
+                         pid, p.name.c_str(), p.nice, p.estcpu, p.usrpri, p.on_cpu,
                          std::string(to_string(p.state)).c_str(),
                          p.stopped ? " stopped" : "");
         }
@@ -141,7 +145,7 @@ Duration AlpsDriverBehavior::lazy_run_duration(os::ProcContext) {
 
 SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
                  std::string name, os::Uid uid, FaultPlan faults,
-                 int driver_home_cpu)
+                 int driver_home_cpu, bool driver_pinned, int driver_nice)
     : kernel_(kernel) {
     host_ = std::make_unique<SimProcessHost>(kernel_);
     control_ = std::make_unique<PidProcessControl>(*host_);
@@ -153,7 +157,7 @@ SimAlps::SimAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
     auto behavior = std::make_unique<AlpsDriverBehavior>(*scheduler_, cost);
     driver_ = behavior.get();
     driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior),
-                                /*nice=*/0, driver_home_cpu);
+                                driver_nice, driver_home_cpu, driver_pinned);
 }
 
 SimAlps::~SimAlps() {
@@ -219,7 +223,8 @@ void SimAdaptiveQuantum::on_window() {
 // SimGroupAlps
 
 SimGroupAlps::SimGroupAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost,
-                           Duration refresh_period, std::string name, os::Uid uid)
+                           Duration refresh_period, std::string name, os::Uid uid,
+                           int driver_home_cpu, bool driver_pinned, int driver_nice)
     : kernel_(kernel), cost_(cost), refresh_period_(refresh_period) {
     ALPS_EXPECT(refresh_period > Duration::zero());
     host_ = std::make_unique<SimProcessHost>(kernel_);
@@ -240,7 +245,9 @@ SimGroupAlps::SimGroupAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel co
     };
     auto behavior =
         std::make_unique<AlpsDriverBehavior>(*scheduler_, cost_, std::move(pre_tick));
-    driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior));
+    driver_ = behavior.get();
+    driver_pid_ = kernel_.spawn(std::move(name), uid, std::move(behavior),
+                                driver_nice, driver_home_cpu, driver_pinned);
 }
 
 SimGroupAlps::~SimGroupAlps() {

@@ -88,12 +88,19 @@ public:
     /// scheduler and the per-pid control. It starts *disabled* — enable it
     /// via faults().set_enabled(true) once setup is done — so construction
     /// and manage() always see a clean channel.
-    /// `driver_home_cpu` pins the ALPS driver process to a scheduling domain
-    /// when the kernel runs per-CPU queues (one-ALPS-per-core deployments);
-    /// -1 (default) leaves placement to the kernel.
+    /// `driver_home_cpu` places the ALPS driver process on a scheduling
+    /// domain when the kernel runs per-CPU queues (one-ALPS-per-core
+    /// deployments); -1 (default) leaves placement to the kernel.
+    /// `driver_pinned` additionally exempts the driver from idle-steal and
+    /// rebalance so the placement is hard (Proc::pinned).
+    /// `driver_nice` is the driver process's kernel nice value: a real ALPS
+    /// daemon runs at elevated priority so its ticks are not queued behind
+    /// the very workload it schedules (a nice-0 driver on a saturated host
+    /// misses quantum boundaries wholesale).
     explicit SimAlps(os::Kernel& kernel, SchedulerConfig cfg = {}, CostModel cost = {},
                      std::string name = "alps", os::Uid uid = 0, FaultPlan faults = {},
-                     int driver_home_cpu = -1);
+                     int driver_home_cpu = -1, bool driver_pinned = false,
+                     int driver_nice = 0);
     ~SimAlps();
 
     SimAlps(const SimAlps&) = delete;
@@ -165,9 +172,14 @@ private:
 /// `refresh_period`.
 class SimGroupAlps {
 public:
+    /// `driver_home_cpu` / `driver_pinned` place (and optionally hard-pin)
+    /// the driver process on a per-CPU-queue kernel, exactly as for SimAlps
+    /// — the one-group-ALPS-per-core web deployments use this.
     SimGroupAlps(os::Kernel& kernel, SchedulerConfig cfg, CostModel cost = {},
                  util::Duration refresh_period = util::sec(1),
-                 std::string name = "alps-group", os::Uid uid = 0);
+                 std::string name = "alps-group", os::Uid uid = 0,
+                 int driver_home_cpu = -1, bool driver_pinned = false,
+                 int driver_nice = 0);
     ~SimGroupAlps();
 
     SimGroupAlps(const SimGroupAlps&) = delete;
@@ -180,6 +192,7 @@ public:
     [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
     [[nodiscard]] GroupProcessControl& groups() { return *control_; }
     [[nodiscard]] os::Pid driver_pid() const { return driver_pid_; }
+    [[nodiscard]] const AlpsDriverBehavior& driver() const { return *driver_; }
     [[nodiscard]] util::Duration overhead_cpu() const;
     /// Scheduler channel-health counters (see HealthReport).
     [[nodiscard]] HealthReport health() const { return scheduler_->health(); }
@@ -189,6 +202,7 @@ private:
     std::unique_ptr<SimProcessHost> host_;
     std::unique_ptr<GroupProcessControl> control_;
     std::unique_ptr<Scheduler> scheduler_;
+    AlpsDriverBehavior* driver_ = nullptr;  // owned by the kernel's Proc
     CostModel cost_;
     util::Duration refresh_period_;
     util::TimePoint next_refresh_{};

@@ -36,8 +36,15 @@ struct SweepOptions {
     /// against --list-policies for a friendlier error).
     std::string kernel_policy;
     /// Simulated core count for experiments that sweep machine sizes
-    /// (many_core): restricts the grid to this one size. 0 = the full grid.
+    /// (many_core, web_scale): restricts the grid to this one size. 0 = the
+    /// full grid.
     int ncpus = 0;
+    /// Site count for experiments that sweep hosting scale (web_scale):
+    /// restricts the grid to this one cluster size. 0 = the full grid.
+    int sites = 0;
+    /// Flash-crowd intensity override for web_scale: restricts the grid to
+    /// points with this arrival multiplier. < 0 = the full grid.
+    double flash_crowd = -1.0;
     // ---- supervision (harness::RunSupervisor) --------------------------
     /// Fork one worker process per task execution so crashes and hangs are
     /// classified per task instead of killing the sweep.

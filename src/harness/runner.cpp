@@ -290,7 +290,8 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
                      " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]"
-                     " [--ncpus N] [--isolate] [--run-timeout SECONDS]"
+                     " [--ncpus N] [--sites N] [--flash-crowd X]"
+                     " [--isolate] [--run-timeout SECONDS]"
                      " [--max-attempts N] [--journal] [--resume]"
                      " [--only-task INDEX] [--json-payload-only]\n";
         return false;
@@ -342,6 +343,20 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             std::uint64_t n = 0;
             if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
             options.ncpus = static_cast<int>(n);
+        } else if (arg == "--sites") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
+            options.sites = static_cast<int>(n);
+        } else if (arg == "--flash-crowd") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            char* end = nullptr;
+            options.flash_crowd = std::strtod(v, &end);
+            if (end == v || *end != '\0' || options.flash_crowd < 0.0) {
+                std::cerr << arg << ": not a non-negative number: " << v << "\n";
+                return usage();
+            }
         } else if (arg == "--isolate") {
             options.isolate = true;
         } else if (arg == "--run-timeout") {

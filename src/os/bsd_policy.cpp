@@ -23,8 +23,11 @@ int BsdPolicy::queue_index(const Proc& p) const {
 }
 
 void BsdPolicy::recompute_priority(Proc& p) const {
+    // resetpriority() clamps only the upper bound: a negative nice drops
+    // below PUSER by design, so a privileged daemon outranks user-mode
+    // processes even after its wakeup boost is spent.
     const double pri = cfg_.puser + p.estcpu / 4.0 + 2.0 * p.nice;
-    p.usrpri = std::clamp(pri, cfg_.puser, cfg_.max_pri);
+    p.usrpri = std::clamp(pri, 0.0, cfg_.max_pri);
 }
 
 double BsdPolicy::decay_factor(double loadavg) {
@@ -164,8 +167,8 @@ void BsdPolicy::second_tick(std::span<Proc* const> procs, double loadavg,
         // The cached run-queue index is the ground truth for membership —
         // no scan, and requeueing below is O(1) unlink + append.
         const bool queued = p->rq_index >= 0;
-        const double new_estcpu =
-            std::min(d * p->estcpu + static_cast<double>(p->nice), cfg_.estcpu_limit);
+        const double new_estcpu = std::clamp(
+            d * p->estcpu + static_cast<double>(p->nice), 0.0, cfg_.estcpu_limit);
         if (new_estcpu == p->estcpu) continue;
         const int old_index = queue_index(*p);
         p->estcpu = new_estcpu;

@@ -7,8 +7,8 @@
 //     (1 tick = 10 ms here). Incremented while running; once per second
 //     schedcpu() applies  estcpu <- estcpu * 2L/(2L+1) + nice  where L is the
 //     1-minute load average; clamped to ESTCPULIM.
-//   * p_usrpri = PUSER + estcpu/4 + 2*nice, clamped to [PUSER, 127]; lower is
-//     better.
+//   * p_usrpri = PUSER + estcpu/4 + 2*nice, clamped from above only (so a
+//     negative nice sits below PUSER, like resetpriority()); lower is better.
 //   * Processes that slept >= 1 s get their estcpu decayed once per slept
 //     second at wakeup (updatepri) — this is the "interactive credit" the
 //     paper invokes to explain ALPS exceeding its theoretical scalability

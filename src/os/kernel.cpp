@@ -72,7 +72,7 @@ void Kernel::on_second_tick(void* self, std::uint64_t) {
 // Process table
 
 Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice,
-                  int home_cpu) {
+                  int home_cpu, bool pinned) {
     ALPS_EXPECT(behavior != nullptr);
     ALPS_EXPECT(home_cpu >= -1 && home_cpu < cfg_.ncpus);
     const Pid pid = next_pid_++;
@@ -88,6 +88,7 @@ Pid Kernel::spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior,
     if (cfg_.percpu_queues) {
         // Default placement: deal new pids round-robin across the domains.
         p.home_cpu = home_cpu >= 0 ? home_cpu : (pid - 1) % cfg_.ncpus;
+        p.pinned = pinned;
     }
     ALPS_ENSURE(static_cast<std::size_t>(pid) == table_.size());
     table_.push_back(owned);
@@ -693,13 +694,31 @@ Proc* Kernel::steal_for(int cpu) {
         }
     }
     if (victim < 0) return nullptr;
-    // The stolen process is the victim policy's own best pick (its pop()),
-    // i.e. the highest-priority stealable process, not an arbitrary one.
-    Proc* p = domains_[static_cast<std::size_t>(victim)]->pop();
-    if (p == nullptr) return nullptr;
+    // The stolen process is the victim policy's best *migratable* pick: pop
+    // in priority order, skipping pinned processes (they go straight back
+    // on the victim's queue with their original enqueue_time, so their
+    // round-robin age is preserved). With nothing pinned the first pop wins,
+    // exactly the old behavior.
+    SchedPolicy& vict = *domains_[static_cast<std::size_t>(victim)];
+    Proc* p = pop_migratable(vict);
+    if (p == nullptr) return nullptr;  // the victim's queue is all pinned
     migrate(*p, cpu);
     ++steals_;
     return p;
+}
+
+Proc* Kernel::pop_migratable(SchedPolicy& from) {
+    balance_scratch_.clear();
+    Proc* pick = nullptr;
+    while (Proc* cand = from.pop()) {
+        if (!cand->pinned) {
+            pick = cand;
+            break;
+        }
+        balance_scratch_.push_back(cand);
+    }
+    for (Proc* q : balance_scratch_) from.enqueue(*q);
+    return pick;
 }
 
 void Kernel::rebalance() {
@@ -725,8 +744,12 @@ void Kernel::rebalance() {
             }
         }
         if (max_load - min_load < 2) return;  // spread of 1 is inherent
-        Proc* p = domains_[static_cast<std::size_t>(busiest)]->pop();
-        if (p == nullptr) return;  // all of busiest's load is on its CPU
+        // Pinned processes don't move; if everything queued on the busiest
+        // domain is pinned, the imbalance is intentional and this tick's
+        // pass stops (the next-busiest domain is at most one move away from
+        // balanced anyway under the ncpus-moves bound).
+        Proc* p = pop_migratable(*domains_[static_cast<std::size_t>(busiest)]);
+        if (p == nullptr) return;  // all of busiest's load is on-CPU or pinned
         migrate(*p, idlest);
         p->enqueue_time = now();
         dom(*p).enqueue(*p);

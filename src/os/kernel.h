@@ -94,10 +94,12 @@ public:
 
     /// Creates a process; its behaviour's first action takes effect
     /// immediately. Returns the new pid. Under percpu_queues, `home_cpu`
-    /// pins the process to a scheduling domain (-1 = round-robin by pid, the
-    /// default placement); without per-CPU queues it is ignored.
+    /// places the process on a scheduling domain (-1 = round-robin by pid,
+    /// the default placement) and `pinned` makes that placement hard:
+    /// idle-steal and rebalance skip pinned processes (Proc::pinned).
+    /// Without per-CPU queues both are ignored.
     Pid spawn(std::string name, Uid uid, std::unique_ptr<Behavior> behavior, int nice = 0,
-              int home_cpu = -1);
+              int home_cpu = -1, bool pinned = false);
 
     /// Removes a zombie from the process table.
     void reap(Pid pid);
@@ -240,6 +242,9 @@ private:
     /// the deepest domain to the shallowest until the spread is < 2, with a
     /// bounded number of moves per tick.
     void rebalance();
+    /// Pops `from`'s best non-pinned process (re-enqueueing any pinned
+    /// processes popped along the way); nullptr when everything is pinned.
+    Proc* pop_migratable(SchedPolicy& from);
     /// Moves `p` (already off `from`'s queues) into `to`'s domain.
     void migrate(Proc& p, int to);
 
@@ -319,6 +324,10 @@ private:
     /// Per-domain scratch for second_tick under percpu_queues (rebuilt from
     /// ordered_ each tick; member to avoid per-tick allocation).
     std::vector<std::vector<Proc*>> tick_scratch_;
+    /// Pinned processes popped while steal_for/rebalance searched a victim
+    /// queue for a migratable pick; re-enqueued before the search returns
+    /// (member to avoid per-steal allocation).
+    std::vector<Proc*> balance_scratch_;
 };
 
 }  // namespace alps::os

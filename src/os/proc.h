@@ -54,6 +54,10 @@ struct Proc {
     /// under the shared global queue. Updated by the kernel when idle-steal
     /// or the periodic rebalance migrates the process.
     int home_cpu = 0;
+    /// Hard affinity: idle-steal and rebalance never migrate a pinned
+    /// process, so it stays on the domain it was spawned (or last
+    /// explicitly migrated) to. Meaningless without percpu_queues.
+    bool pinned = false;
 
     // --- current phase ---
     util::Duration run_remaining{0};  ///< CPU left in the current run phase

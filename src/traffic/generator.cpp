@@ -1,0 +1,64 @@
+#include "traffic/generator.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace alps::traffic {
+
+using util::Duration;
+using util::TimePoint;
+
+Generator::Generator(sim::Engine& engine, GeneratorConfig cfg, SubmitFn submit)
+    : state_(std::make_shared<State>(State{engine, cfg, util::Rng(cfg.seed),
+                                           std::nullopt, std::move(submit)})) {
+    State& st = *state_;
+    ALPS_EXPECT(st.submit != nullptr);
+    if (st.cfg.mode == GeneratorConfig::Mode::kOpenLoop) {
+        st.arrivals.emplace(st.cfg.arrival, util::Rng(st.cfg.seed));
+        const TimePoint first = st.arrivals->next(engine.now());
+        engine.schedule_at(first, [s = state_] { arrive(s); });
+    } else {
+        ALPS_EXPECT(st.cfg.population > 0);
+        ALPS_EXPECT(st.cfg.think_mean > Duration::zero());
+        // Same draw order as the seed ClientPool: one uniform offset per
+        // client at construction, one exponential think per completion.
+        for (int i = 0; i < st.cfg.population; ++i) {
+            think_then_submit(state_, st.rng.uniform_duration(Duration::zero(),
+                                                              st.cfg.think_mean));
+        }
+    }
+}
+
+Generator::~Generator() { stop(); }
+
+void Generator::stop() { state_->stopped = true; }
+
+std::uint64_t Generator::submitted() const { return state_->submitted; }
+
+const GeneratorConfig& Generator::config() const { return state_->cfg; }
+
+void Generator::arrive(const std::shared_ptr<State>& st) {
+    if (st->stopped) return;
+    ++st->submitted;
+    st->submit();
+    const TimePoint next = st->arrivals->next(st->engine.now());
+    st->engine.schedule_at(next, [st] { arrive(st); });
+}
+
+void Generator::think_then_submit(const std::shared_ptr<State>& st,
+                                  Duration delay) {
+    st->engine.schedule_after(delay, [st] {
+        if (st->stopped) return;
+        ++st->submitted;
+        st->submit();
+    });
+}
+
+void Generator::on_completion() {
+    State& st = *state_;
+    if (st.stopped || st.cfg.mode != GeneratorConfig::Mode::kClosedLoop) return;
+    think_then_submit(state_, st.rng.exponential(st.cfg.think_mean));
+}
+
+}  // namespace alps::traffic

@@ -1,0 +1,82 @@
+// The workload generator: turns an arrival model into submit() calls on a
+// request sink (a web site's listen queue).
+//
+// Two modes:
+//   * kOpenLoop — requests arrive per an ArrivalProcess, independent of how
+//     the server is doing (the production model: real users don't politely
+//     wait for the previous user's page before clicking).
+//   * kClosedLoop — a fixed population of simulated clients, each cycling
+//     think -> request -> response -> think (the paper's §5 325-client
+//     setup, kept as a compatibility mode; its rng draw order is exactly
+//     the seed web model's, which the §5 golden test pins).
+//
+// The generator is the only place the traffic subsystem touches the engine;
+// callbacks share state through a shared_ptr so the generator may be
+// destroyed while timers are still in flight (they become no-ops).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/engine.h"
+#include "traffic/arrival.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace alps::traffic {
+
+struct GeneratorConfig {
+    enum class Mode : std::uint8_t { kOpenLoop, kClosedLoop };
+    Mode mode = Mode::kOpenLoop;
+    /// Open-loop arrival model.
+    ArrivalConfig arrival{};
+    /// Closed-loop population and mean (exponential) think time.
+    int population = 0;
+    util::Duration think_mean{0};
+    std::uint64_t seed = 11;
+};
+
+class Generator {
+public:
+    using SubmitFn = std::function<void()>;
+
+    /// Starts generating immediately: open-loop schedules the first arrival;
+    /// closed-loop starts each client at a uniform offset within one think
+    /// time (no synchronized stampede).
+    Generator(sim::Engine& engine, GeneratorConfig cfg, SubmitFn submit);
+    ~Generator();  ///< stop()s; in-flight timers become no-ops
+
+    Generator(const Generator&) = delete;
+    Generator& operator=(const Generator&) = delete;
+
+    void stop();
+
+    /// Closed-loop: the sink must call this once per completed request; the
+    /// client thinks, then submits again. No-op in open-loop mode.
+    void on_completion();
+
+    /// Requests submitted so far.
+    [[nodiscard]] std::uint64_t submitted() const;
+    [[nodiscard]] const GeneratorConfig& config() const;
+
+private:
+    struct State {
+        sim::Engine& engine;
+        GeneratorConfig cfg;
+        util::Rng rng;                           ///< closed-loop think draws
+        std::optional<ArrivalProcess> arrivals;  ///< open-loop sample path
+        SubmitFn submit;
+        std::uint64_t submitted = 0;
+        bool stopped = false;
+    };
+
+    static void arrive(const std::shared_ptr<State>& st);
+    static void think_then_submit(const std::shared_ptr<State>& st,
+                                  util::Duration delay);
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace alps::traffic

@@ -41,4 +41,18 @@ private:
     std::uint64_t s_[4];
 };
 
+/// Derives a decorrelated child seed from (seed, key) — one splitmix64 step,
+/// the same mixer Rng seeds from and harness::derive_task_seed uses for
+/// per-task streams. This is the per-lane stream discipline: give every
+/// site/client lane `Rng(derive_stream_seed(master, lane_key))` and the
+/// lanes stay independent of each other and of construction order, so a
+/// simulation is bit-identical however its lanes are interleaved.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                                         std::uint64_t key) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (key + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 }  // namespace alps::util

@@ -4,40 +4,28 @@
 
 namespace alps::web {
 
-struct ClientPool::State {
-    sim::Engine& engine;
-    WebSite& site;
-    ClientConfig cfg;
-    util::Rng rng;
-    bool stopped = false;
-};
-
 ClientPool::ClientPool(sim::Engine& engine, WebSite& site, ClientConfig cfg)
-    : state_(std::make_shared<State>(State{engine, site, cfg, util::Rng(cfg.seed)})) {
+    : site_(site), cfg_(cfg) {
     ALPS_EXPECT(cfg.count > 0);
     ALPS_EXPECT(cfg.think_mean > util::Duration::zero());
-    for (int i = 0; i < cfg.count; ++i) {
-        think_then_submit(state_, state_->rng.uniform_duration(util::Duration::zero(),
-                                                               cfg.think_mean));
-    }
+    traffic::GeneratorConfig gcfg;
+    gcfg.mode = traffic::GeneratorConfig::Mode::kClosedLoop;
+    gcfg.population = cfg.count;
+    gcfg.think_mean = cfg.think_mean;
+    gcfg.seed = cfg.seed;
+    generator_ = std::make_unique<traffic::Generator>(
+        engine, gcfg, [&site] { site.submit(); });
+    // The completion hook runs inside a worker's phase transition; it only
+    // schedules the next think timer, never touches the kernel.
+    site_.set_completion_hook(
+        [gen = generator_.get()](util::Duration) { gen->on_completion(); });
 }
 
-ClientPool::~ClientPool() { state_->stopped = true; }
-
-const ClientConfig& ClientPool::config() const { return state_->cfg; }
-
-void ClientPool::think_then_submit(const std::shared_ptr<State>& st, util::Duration delay) {
-    st->engine.schedule_after(delay, [st] { submit(st); });
-}
-
-void ClientPool::submit(const std::shared_ptr<State>& st) {
-    if (st->stopped) return;
-    // The completion callback runs inside a worker's phase transition; it
-    // only schedules the next think timer, never touches the kernel.
-    st->site.submit([st](util::Duration) {
-        if (st->stopped) return;
-        think_then_submit(st, st->rng.exponential(st->cfg.think_mean));
-    });
+ClientPool::~ClientPool() {
+    // Detach before the generator dies: a still-running site must not call
+    // into a destroyed pool's generator.
+    site_.set_completion_hook(nullptr);
+    generator_->stop();
 }
 
 }  // namespace alps::web

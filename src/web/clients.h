@@ -1,13 +1,18 @@
 // Closed-loop client population for one site (the paper's 325 simultaneous
 // clients per bulletin-board site, driven from separate workstations — so
 // they consume no CPU on the web host; they exist purely as events).
+//
+// A thin wrapper over traffic::Generator's closed-loop compatibility mode:
+// the pool installs itself as the site's completion hook, so each response
+// triggers one think-time draw and the next request — the seed web model's
+// exact rng draw order, which the §5 golden test pins bit-identically.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "sim/engine.h"
-#include "util/rng.h"
+#include "traffic/generator.h"
 #include "web/site.h"
 
 namespace alps::web {
@@ -24,6 +29,7 @@ class ClientPool {
 public:
     /// Starts `count` clients; each submits its first request at a random
     /// offset within one think time (avoids a synchronized stampede).
+    /// Installs the site's completion hook (replacing any previous one).
     ClientPool(sim::Engine& engine, WebSite& site, ClientConfig cfg);
 
     /// Stops the loop: pending timers and completions become no-ops, so the
@@ -33,16 +39,12 @@ public:
     ClientPool(const ClientPool&) = delete;
     ClientPool& operator=(const ClientPool&) = delete;
 
-    [[nodiscard]] const ClientConfig& config() const;
+    [[nodiscard]] const ClientConfig& config() const { return cfg_; }
 
 private:
-    // Shared with the in-flight callbacks so destruction is safe while
-    // requests/timers are pending.
-    struct State;
-    static void think_then_submit(const std::shared_ptr<State>& st, util::Duration delay);
-    static void submit(const std::shared_ptr<State>& st);
-
-    std::shared_ptr<State> state_;
+    WebSite& site_;
+    ClientConfig cfg_;
+    std::unique_ptr<traffic::Generator> generator_;
 };
 
 }  // namespace alps::web

@@ -1,7 +1,6 @@
 #include "web/site.h"
 
 #include <memory>
-#include <optional>
 #include <utility>
 
 #include "os/behaviors.h"
@@ -9,6 +8,8 @@
 
 namespace alps::web {
 
+using traffic::kNoRequest;
+using traffic::ReqId;
 using util::Duration;
 using util::TimePoint;
 
@@ -24,7 +25,7 @@ public:
 
     os::Action next_action(os::ProcContext ctx) override {
         for (;;) {
-            if (!request_) {
+            if (req_ == kNoRequest) {
                 // Between requests: the master's retirement point, and the
                 // only place a worker goes idle.
                 if (site_.retire_pending_ > 0) {
@@ -36,25 +37,48 @@ public:
                     site_.idle_.push_back(this);
                     return os::BlockAction{this};
                 }
-                request_ = std::move(site_.queue_.front());
-                site_.queue_.pop_front();
+                const TimePoint now = ctx.kernel.now();
+                ReqId id = site_.queue_.pop();
+                // Queue-deadline shedding happens at pickup: the overloaded
+                // path is exactly the path with a worker already here, and
+                // a shed costs no timer. Disabled (the default) this block
+                // never touches a request.
+                if (site_.cfg_.queue_timeout > Duration::zero()) {
+                    while (now - site_.table_->arrival(id) > site_.cfg_.queue_timeout) {
+                        site_.recorder_->timeout(site_.cfg_.site_index);
+                        site_.table_->release(id);
+                        if (site_.queue_.empty()) {
+                            id = kNoRequest;
+                            break;
+                        }
+                        id = site_.queue_.pop();
+                    }
+                    if (id == kNoRequest) continue;
+                }
+                site_.table_->set_dispatch(id, now);
+                req_ = id;
                 phase_index_ = 0;
             }
-            const auto& phases = site_.classes_[request_->klass].phases;
+            const auto& phases =
+                site_.classes_[site_.table_->klass(req_)].phases;
             if (phase_index_ < phases.size()) {
                 const RequestPhase& ph = phases[phase_index_++];
-                if (ph.db) return os::SleepAction{site_.draw(ph.mean), this};
-                return os::RunAction{site_.draw(ph.mean)};
+                const Duration d = site_.draw(ph.mean);
+                if (ph.db) {
+                    site_.table_->add_db_wait(req_, d);
+                    return os::SleepAction{d, this};
+                }
+                return os::RunAction{d};
             }
-            site_.record_completion(ctx.kernel.now(), *request_);
-            request_.reset();
+            site_.record_completion(ctx.kernel.now(), req_);
+            req_ = kNoRequest;
         }
     }
 
 private:
     WebSite& site_;
     std::size_t phase_index_ = 0;
-    std::optional<Request> request_;
+    ReqId req_ = kNoRequest;
 };
 
 // ----------------------------------------------------------------------------
@@ -100,11 +124,27 @@ std::vector<RequestClass> bulletin_board_mix(double submission_fraction) {
     return mix;
 }
 
-WebSite::WebSite(os::Kernel& kernel, SiteConfig cfg)
+WebSite::WebSite(os::Kernel& kernel, SiteConfig cfg,
+                 traffic::RequestTable* table, traffic::LatencyRecorder* recorder)
     : kernel_(kernel), cfg_(std::move(cfg)), rng_(cfg_.seed) {
     ALPS_EXPECT(cfg_.max_workers >= 1);
     ALPS_EXPECT(cfg_.initial_workers >= 1);
     ALPS_EXPECT(cfg_.initial_workers <= cfg_.max_workers);
+
+    if (table != nullptr) {
+        table_ = table;
+    } else {
+        owned_table_ = std::make_unique<traffic::RequestTable>();
+        table_ = owned_table_.get();
+    }
+    if (recorder != nullptr) {
+        ALPS_EXPECT(cfg_.site_index < recorder->sites());
+        recorder_ = recorder;
+    } else {
+        owned_recorder_ =
+            std::make_unique<traffic::LatencyRecorder>(cfg_.site_index + 1);
+        recorder_ = owned_recorder_.get();
+    }
 
     if (cfg_.classes.empty()) {
         classes_.push_back({"request", 1.0,
@@ -126,7 +166,8 @@ WebSite::WebSite(os::Kernel& kernel, SiteConfig cfg)
 
     for (int i = 0; i < cfg_.initial_workers; ++i) spawn_worker();
     master_pid_ = kernel_.spawn(cfg_.name + "-master", cfg_.uid,
-                                std::make_unique<MasterBehavior>(*this));
+                                std::make_unique<MasterBehavior>(*this),
+                                /*nice=*/0, cfg_.home_cpu, cfg_.pinned);
 }
 
 WebSite::~WebSite() = default;
@@ -135,7 +176,8 @@ void WebSite::spawn_worker() {
     ++workers_alive_;
     ++workers_spawned_;
     kernel_.spawn(cfg_.name + "-w" + std::to_string(workers_spawned_), cfg_.uid,
-                  std::make_unique<WorkerBehavior>(*this));
+                  std::make_unique<WorkerBehavior>(*this), /*nice=*/0,
+                  cfg_.home_cpu, cfg_.pinned);
 }
 
 void WebSite::regulate() {
@@ -158,9 +200,7 @@ void WebSite::regulate() {
 
 util::Duration WebSite::draw(Duration mean) {
     if (!cfg_.jitter) return mean;
-    // Exponential service/latency with the configured mean, floored so a
-    // request never costs literally nothing.
-    return std::max(rng_.exponential(mean), util::usec(10));
+    return cfg_.service.draw(rng_, mean);
 }
 
 std::size_t WebSite::draw_class() {
@@ -173,29 +213,48 @@ std::size_t WebSite::draw_class() {
     return classes_.size() - 1;
 }
 
-void WebSite::submit(std::function<void(Duration)> on_complete) {
-    ALPS_EXPECT(on_complete != nullptr);
-    Request req;
-    req.submitted = kernel_.now();
-    req.klass = draw_class();
-    req.on_complete = std::move(on_complete);
-    queue_.push_back(std::move(req));
+bool WebSite::submit() {
+    if (cfg_.max_backlog != 0 && queue_.size() >= cfg_.max_backlog) {
+        recorder_->drop(cfg_.site_index);
+        return false;
+    }
+    const std::size_t klass = draw_class();
+    const ReqId id = table_->create(cfg_.site_index,
+                                    static_cast<std::uint16_t>(klass),
+                                    kernel_.now());
+    queue_.push(id);
+    recorder_->note_queue_depth(cfg_.site_index, queue_.size());
     if (!idle_.empty()) {
         const os::WaitChannel chan = idle_.back();
         idle_.pop_back();
         kernel_.wakeup_channel(chan);
     }
+    return true;
 }
 
-void WebSite::record_completion(TimePoint now, const Request& req) {
+void WebSite::set_completion_hook(std::function<void(Duration)> hook) {
+    on_complete_ = std::move(hook);
+}
+
+std::uint64_t WebSite::drops() const { return recorder_->drops(cfg_.site_index); }
+
+std::uint64_t WebSite::timeouts() const {
+    return recorder_->timeouts(cfg_.site_index);
+}
+
+void WebSite::record_completion(TimePoint now, ReqId id) {
     ++completed_;
-    ++completed_by_class_[req.klass];
-    const Duration response = now - req.submitted;
+    ++completed_by_class_[table_->klass(id)];
+    const Duration response = now - table_->arrival(id);
     total_response_ += response;
     const auto second = static_cast<std::size_t>(now.since_epoch / util::sec(1));
     if (per_second_.size() <= second) per_second_.resize(second + 1, 0);
     ++per_second_[second];
-    if (req.on_complete) req.on_complete(response);
+    recorder_->record(cfg_.site_index, response,
+                      table_->dispatch(id) - table_->arrival(id),
+                      table_->db_wait(id));
+    if (on_complete_) on_complete_(response);
+    table_->release(id);
 }
 
 }  // namespace alps::web

@@ -8,15 +8,26 @@
 //   * a listen queue feeding the workers.
 // Clients and the database live off-host (separate machines in the paper),
 // so they cost no CPU here: the DB is a latency, the clients are events.
+//
+// Requests are rows in a traffic::RequestTable — a flat SoA table shared by
+// every site of a cluster, so production-scale runs (thousands of sites,
+// hundreds of thousands of in-flight requests) allocate nothing per
+// request. Each row carries the end-to-end latency pipeline's timestamps
+// (arrival / dispatch / DB wait / completion), landed per site in a
+// traffic::LatencyRecorder. A standalone site (tests, the §5 experiment)
+// owns a private table and recorder.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "os/kernel.h"
+#include "traffic/latency.h"
+#include "traffic/service.h"
+#include "traffic/table.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -46,7 +57,7 @@ struct SiteConfig {
     int max_spare = 20;  ///< shrink when more than this many sit idle
     int spawn_batch = 4;
     /// CPU demand per request: script parse/db-query marshalling, then page
-    /// rendering (means; actual draws are exponential unless jitter=false).
+    /// rendering (means; actual draws follow `service` unless jitter=false).
     /// Used to synthesize a single request class when `classes` is empty.
     util::Duration parse_cpu = util::msec(4);
     util::Duration render_cpu = util::msec(6);
@@ -55,10 +66,31 @@ struct SiteConfig {
     /// Explicit request mix; empty = one class from the three fields above.
     std::vector<RequestClass> classes;
     bool jitter = true;
+    /// Distribution the phase means are drawn through when jitter is on.
+    /// The default (exponential, 10 µs floor) is the seed model's draw,
+    /// bit-identically; production runs use the heavy-tailed kinds.
+    traffic::ServiceModel service{};
     /// Master housekeeping cadence and its (small) CPU cost.
     util::Duration master_period = util::sec(1);
     util::Duration master_cpu = util::usec(200);
     std::uint64_t seed = 7;
+    // ---- cluster placement (per-CPU-queue kernels) ----
+    /// Scheduling domain for this site's master and workers; -1 = kernel
+    /// default placement.
+    int home_cpu = -1;
+    /// Hard-pin the processes there (Proc::pinned: exempt from
+    /// steal/rebalance) — the one-ALPS-per-core deployments.
+    bool pinned = false;
+    // ---- open-loop overload controls ----
+    /// Listen-queue cap: submissions beyond it are dropped at the door
+    /// (counted per site). 0 = unbounded.
+    std::size_t max_backlog = 0;
+    /// Shed requests that outwait this in the listen queue (checked at
+    /// dispatch). 0 = never.
+    util::Duration queue_timeout{0};
+    /// Row index in the shared table/recorder (a cluster sets this; a
+    /// standalone site keeps 0).
+    std::uint32_t site_index = 0;
 };
 
 /// The RUBBoS-like bulletin-board mix: mostly story reads (parse, one DB
@@ -69,15 +101,24 @@ struct SiteConfig {
 /// One hosted site: master + worker pool + listen queue + statistics.
 class WebSite {
 public:
-    WebSite(os::Kernel& kernel, SiteConfig cfg);
+    /// `table` / `recorder` may be shared across a cluster's sites; nullptr
+    /// gives the site a private one (recorder sized site_index + 1).
+    WebSite(os::Kernel& kernel, SiteConfig cfg,
+            traffic::RequestTable* table = nullptr,
+            traffic::LatencyRecorder* recorder = nullptr);
     ~WebSite();
 
     WebSite(const WebSite&) = delete;
     WebSite& operator=(const WebSite&) = delete;
 
-    /// Submits one request; `on_complete` fires (with the response time) when
-    /// a worker finishes it. Callable from event context.
-    void submit(std::function<void(util::Duration)> on_complete);
+    /// Submits one request; returns false when the backlog cap dropped it.
+    /// Callable from event context.
+    bool submit();
+
+    /// One per-site hook invoked (with the response time) as each request
+    /// completes — the closed-loop client pool's feedback path. May be
+    /// empty. Replaces any previous hook.
+    void set_completion_hook(std::function<void(util::Duration)> hook);
 
     [[nodiscard]] const SiteConfig& config() const { return cfg_; }
     [[nodiscard]] os::Uid uid() const { return cfg_.uid; }
@@ -98,6 +139,10 @@ public:
     [[nodiscard]] const std::vector<std::uint64_t>& per_second_completions() const {
         return per_second_;
     }
+    [[nodiscard]] std::uint64_t drops() const;
+    [[nodiscard]] std::uint64_t timeouts() const;
+    [[nodiscard]] traffic::RequestTable& table() { return *table_; }
+    [[nodiscard]] traffic::LatencyRecorder& recorder() { return *recorder_; }
 
 private:
     class WorkerBehavior;
@@ -105,15 +150,9 @@ private:
     friend class WorkerBehavior;
     friend class MasterBehavior;
 
-    struct Request {
-        util::TimePoint submitted;
-        std::size_t klass = 0;  ///< index into classes_
-        std::function<void(util::Duration)> on_complete;
-    };
-
     void spawn_worker();
     void regulate();  ///< master's housekeeping step
-    void record_completion(util::TimePoint now, const Request& req);
+    void record_completion(util::TimePoint now, traffic::ReqId id);
     util::Duration draw(util::Duration mean);
     std::size_t draw_class();
 
@@ -123,7 +162,12 @@ private:
     std::vector<RequestClass> classes_;  ///< effective mix
     double weight_total_ = 0.0;
 
-    std::deque<Request> queue_;
+    std::unique_ptr<traffic::RequestTable> owned_table_;
+    std::unique_ptr<traffic::LatencyRecorder> owned_recorder_;
+    traffic::RequestTable* table_ = nullptr;
+    traffic::LatencyRecorder* recorder_ = nullptr;
+
+    traffic::IdRing queue_;              ///< listen queue (request ids)
     std::vector<os::WaitChannel> idle_;  ///< idle workers' wait channels
     int workers_alive_ = 0;
     int workers_spawned_ = 0;
@@ -133,6 +177,7 @@ private:
     std::vector<std::uint64_t> completed_by_class_;
     util::Duration total_response_{0};
     std::vector<std::uint64_t> per_second_;
+    std::function<void(util::Duration)> on_complete_;
 
     os::Pid master_pid_ = os::kNoPid;
 };

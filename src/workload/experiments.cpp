@@ -461,16 +461,18 @@ ManyCoreResult run_many_core_experiment(const ManyCoreConfig& cfg) {
         return kernel.cpu_time(static_cast<os::Pid>(id));
     };
 
-    // Deploy: per-core mode pins each instance's driver *and* workers to
-    // that core's domain (the one-controller-per-CPU deployment); global
-    // mode leaves placement to the kernel's round-robin default. Shares
-    // cycle 1,2,3 per instance so proportionality is non-trivial.
+    // Deploy: per-core mode homes each instance's driver *and* workers on
+    // that core's domain (the one-controller-per-CPU deployment), hard-pinned
+    // when cfg.pin_workers so steal/rebalance cannot undo the placement;
+    // global mode leaves placement to the kernel's round-robin default.
+    // Shares cycle 1,2,3 per instance so proportionality is non-trivial.
     Share shares_per_instance = 0;
+    const bool pin = cfg.per_core_alps && cfg.pin_workers;
     for (int c = 0; c < instances; ++c) {
         const int home = cfg.per_core_alps ? c : -1;
         alps.push_back(std::make_unique<core::SimAlps>(
             kernel, scfg, cfg.cost, "alps" + std::to_string(c), /*uid=*/0,
-            core::FaultPlan{}, home));
+            core::FaultPlan{}, home, pin));
         logs.push_back(std::make_unique<metrics::ExactCycleLog>(reader));
         alps.back()->scheduler().set_cycle_observer(logs.back()->observer());
         const int workers = cfg.per_core_alps ? cfg.procs_per_cpu
@@ -480,7 +482,7 @@ ManyCoreResult run_many_core_experiment(const ManyCoreConfig& cfg) {
             const os::Pid pid = kernel.spawn(
                 "w" + std::to_string(c) + "_" + std::to_string(j),
                 /*uid=*/100 + static_cast<os::Uid>(c),
-                std::make_unique<os::CpuBoundBehavior>(), /*nice=*/0, home);
+                std::make_unique<os::CpuBoundBehavior>(), /*nice=*/0, home, pin);
             const Share share = j % 3 + 1;
             alps.back()->manage(pid, share);
             total += share;

@@ -192,11 +192,17 @@ struct ManyCoreConfig {
     int ncpus = 16;
     /// Compute-bound workers per core, shares cycling 1, 2, 3.
     int procs_per_cpu = 2;
-    /// true: one ALPS instance per core, driver and workers pinned to that
+    /// true: one ALPS instance per core, driver and workers homed on that
     /// core's domain. false: one global ALPS over all ncpus·procs_per_cpu
     /// workers (its cycle is ncpus times longer — the scaling pain the
     /// per-core deployment removes).
     bool per_core_alps = false;
+    /// Per-core mode only: hard-pin each instance's driver and workers
+    /// (Proc::pinned) so idle-steal/rebalance cannot migrate them off their
+    /// controller's domain. Before this exemption existed, such migrations
+    /// were the dominant per-core error source (worst instance ~28% RMS);
+    /// set false to reproduce that failure mode.
+    bool pin_workers = true;
     util::Duration quantum = util::msec(10);
     /// Cycles measured *per instance* after `warmup_cycles`. The global
     /// instance's cycles are ~ncpus times longer in wall time; holding the

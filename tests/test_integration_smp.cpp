@@ -16,6 +16,7 @@
 #include "os/behaviors.h"
 #include "os/kernel.h"
 #include "sim/engine.h"
+#include "workload/experiments.h"
 
 namespace alps::core {
 namespace {
@@ -129,6 +130,33 @@ TEST(SmpAlps, GroupPrincipalExploitsParallelism) {
     const double d_solo = to_sec(kernel.cpu_time(solo));
     const double d_pair = to_sec(kernel.cpu_time(p1)) + to_sec(kernel.cpu_time(p2));
     EXPECT_NEAR(d_pair / (d_solo + d_pair), 0.5, 0.05);
+}
+
+TEST(SmpAlps, PinningProtectsPerCoreControllersFromMigration) {
+    // The per-core deployment's correctness rests on the pinned-process
+    // exemption: idle-steal and rebalance must not move a worker off the
+    // domain whose controller measures it. With the exemption (pin_workers,
+    // the default) no cross-domain migration happens at all; without it the
+    // kernel shuffles workers between domains and the worst instance's
+    // share error degrades by an order of magnitude.
+    const auto run = [](bool pin) {
+        workload::ManyCoreConfig cfg;
+        cfg.ncpus = 8;
+        cfg.procs_per_cpu = 2;
+        cfg.per_core_alps = true;
+        cfg.pin_workers = pin;
+        cfg.quantum = util::msec(10);
+        cfg.measure_cycles = 20;
+        cfg.warmup_cycles = 3;
+        return workload::run_many_core_experiment(cfg);
+    };
+    const auto pinned = run(true);
+    EXPECT_EQ(pinned.migrations, 0u);
+    EXPECT_EQ(pinned.steals, 0u);
+
+    const auto unpinned = run(false);
+    EXPECT_GT(unpinned.migrations + unpinned.steals, 0u);
+    EXPECT_GT(unpinned.worst_rms_error, 2.0 * pinned.worst_rms_error);
 }
 
 }  // namespace

@@ -47,16 +47,25 @@ TEST(WebSite, ServesOneRequest) {
     h.run_for(msec(10));
     bool done = false;
     util::Duration response{};
-    site.submit([&](util::Duration r) {
+    site.set_completion_hook([&](util::Duration r) {
         done = true;
         response = r;
     });
+    EXPECT_TRUE(site.submit());
     h.run_for(sec(1));
     EXPECT_TRUE(done);
     EXPECT_EQ(site.completed(), 1u);
     // parse 4 ms + db 50 ms + render 6 ms = 60 ms on an idle host.
     EXPECT_GE(response, msec(60));
     EXPECT_LT(response, msec(80));
+    // The latency pipeline saw the same request: dispatched immediately
+    // (no queue wait), one DB round trip, full response recorded.
+    EXPECT_EQ(site.recorder().completed(0), 1u);
+    EXPECT_EQ(site.recorder().mean_queue_wait(0), util::Duration::zero());
+    const util::Duration p50 = site.recorder().quantile(0, 0.5);
+    EXPECT_GE(p50, response - util::usec(1));  // µs-resolution sample
+    EXPECT_LE(p50, response + util::usec(1));
+    EXPECT_EQ(site.table().in_flight(), 0u);  // row released at completion
 }
 
 TEST(WebSite, RequestsQueueWhenWorkersBusy) {
@@ -67,12 +76,48 @@ TEST(WebSite, RequestsQueueWhenWorkersBusy) {
     WebSite site(h.kernel, cfg);
     h.run_for(msec(10));
     int done = 0;
-    for (int i = 0; i < 5; ++i) {
-        site.submit([&](util::Duration) { ++done; });
-    }
+    site.set_completion_hook([&](util::Duration) { ++done; });
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(site.submit());
     EXPECT_GE(site.queue_length(), 4u);  // one taken by the lone worker
+    EXPECT_EQ(site.table().in_flight(), 5u);
     h.run_for(sec(2));
     EXPECT_EQ(done, 5);  // all served sequentially
+    // Queued requests waited measurably longer than the first.
+    EXPECT_GT(site.recorder().quantile(0, 0.99), site.recorder().quantile(0, 0.01));
+}
+
+TEST(WebSite, BacklogCapDropsAtTheDoor) {
+    Host h;
+    SiteConfig cfg = small_site();
+    cfg.initial_workers = 1;
+    cfg.min_spare = 0;
+    cfg.max_backlog = 3;
+    WebSite site(h.kernel, cfg);
+    h.run_for(msec(10));
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) accepted += site.submit() ? 1 : 0;
+    // 1 in service + 3 queued; the rest bounced.
+    EXPECT_EQ(accepted, 4);
+    EXPECT_EQ(site.drops(), 6u);
+    h.run_for(sec(2));
+    EXPECT_EQ(site.completed(), 4u);
+}
+
+TEST(WebSite, QueueDeadlineShedsStaleRequests) {
+    Host h;
+    SiteConfig cfg = small_site();
+    cfg.initial_workers = 1;
+    cfg.min_spare = 0;
+    cfg.queue_timeout = msec(80);  // ~one 60 ms request deep
+    WebSite site(h.kernel, cfg);
+    h.run_for(msec(10));
+    for (int i = 0; i < 6; ++i) EXPECT_TRUE(site.submit());
+    h.run_for(sec(2));
+    // The head-of-line request and its immediate successor clear the 80 ms
+    // deadline; deeper ones are shed at pickup and released from the table.
+    EXPECT_GT(site.timeouts(), 0u);
+    EXPECT_EQ(site.completed() + site.timeouts(), 6u);
+    EXPECT_EQ(site.table().in_flight(), 0u);
 }
 
 TEST(WebSite, MasterGrowsPoolUnderLoad) {
@@ -189,7 +234,8 @@ TEST(WebSite, MultiPhaseRequestServiceTime) {
     WebSite site(h.kernel, cfg);
     h.run_for(msec(10));
     util::Duration response{};
-    site.submit([&](util::Duration r) { response = r; });
+    site.set_completion_hook([&](util::Duration r) { response = r; });
+    EXPECT_TRUE(site.submit());
     h.run_for(sec(1));
     EXPECT_EQ(site.completed(), 1u);
     // 2+1+1 ms CPU + 2x20 ms DB = 44 ms on an idle host.
@@ -210,11 +256,15 @@ TEST(WebSite, InvalidMixViolatesContract) {
 
 TEST(WebSite, ContractViolations) {
     Host h;
-    WebSite site(h.kernel, small_site());
-    EXPECT_THROW(site.submit(nullptr), util::ContractViolation);
     SiteConfig bad = small_site();
     bad.initial_workers = 0;
     EXPECT_THROW(WebSite(h.kernel, bad), util::ContractViolation);
+    // A shared recorder must be sized past the site's row index.
+    traffic::LatencyRecorder tiny(1);
+    SiteConfig shared = small_site();
+    shared.site_index = 3;
+    EXPECT_THROW(WebSite(h.kernel, shared, nullptr, &tiny),
+                 util::ContractViolation);
 }
 
 // ----------------------------------------------------------------------------

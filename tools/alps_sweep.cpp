@@ -4,6 +4,7 @@
 //   alps-sweep --list-policies
 //   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
 //              [--no-json] [--quiet] [--kernel-policy NAME] [--ncpus N]
+//              [--sites N] [--flash-crowd X]
 //              [--isolate] [--run-timeout S] [--max-attempts N] [--journal]
 //              [--resume] [--only-task I] [--json-payload-only]
 //   alps-sweep --all [sweep flags]
@@ -49,7 +50,13 @@ void print_usage(std::ostream& out) {
            "               policy_zoo: narrows the zoo to one row); see\n"
            "               --list-policies\n"
            "  --ncpus N    simulated core count for machine-size sweeps\n"
-           "               (many_core: runs only that grid column)\n"
+           "               (many_core, web_scale: runs only that grid column)\n"
+           "  --sites N    hosted-site count for web_scale: runs only that\n"
+           "               cluster size\n"
+           "  --flash-crowd X\n"
+           "               flash-crowd arrival multiplier for web_scale: runs\n"
+           "               only points with that intensity (0 disables the\n"
+           "               spike in the points it selects)\n"
            "supervision (see DESIGN.md §10):\n"
            "  --isolate    fork one worker process per task execution; crashes\n"
            "               and hangs are classified per task, retried, and\n"
