@@ -7,6 +7,7 @@
 // ALPS, and how much is the kernel underneath it? The paper only had BSD; the
 // zoo holds the workload, quantum, costs, and measurement constant and swaps
 // the kernel policy (and, for the A/B row, the user-level mechanism).
+#include <algorithm>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -27,6 +28,13 @@ using workload::ShareModel;
 /// The A/B row: ALPS machinery replaced by an application-level stride
 /// engine, still on the stock BSD kernel. Not a kernel policy name.
 constexpr std::string_view kStrideEngineRow = "stride-engine";
+/// The same A/B with lazy measurement off — isolates how much of the
+/// stride engine's overhead row is the §2.3-style skip optimization.
+constexpr std::string_view kStrideEngineEagerRow = "stride-engine-eager";
+/// Suffix for the per-CPU rows: the same policy underneath a 4-core
+/// machine with per-CPU run queues and one ALPS per core.
+constexpr std::string_view kPerCpuSuffix = "-percpu4";
+constexpr int kPerCpuCores = 4;
 
 constexpr int kQuantumMs = 10;
 constexpr ShareModel kModels[] = {ShareModel::kLinear, ShareModel::kSkewed};
@@ -43,18 +51,66 @@ std::string point_name(std::string_view policy, ShareModel model, int n) {
     return std::string(policy) + "/" + workload_name(model, n);
 }
 
-/// Row labels: the four kernel policies, then the stride-engine A/B.
+/// Row labels: the four kernel policies (uniprocessor, then the same policy
+/// on the 4-core per-CPU-queue machine), then the stride-engine A/Bs.
 std::vector<std::string> all_rows() {
     std::vector<std::string> rows;
     for (const auto& info : os::policies::known_policies()) {
         rows.emplace_back(info.name);
     }
+    for (const auto& info : os::policies::known_policies()) {
+        rows.emplace_back(std::string(info.name) + std::string(kPerCpuSuffix));
+    }
     rows.emplace_back(kStrideEngineRow);
+    rows.emplace_back(kStrideEngineEagerRow);
     return rows;
+}
+
+/// "<policy>-percpu4" -> "<policy>"; empty when not a per-CPU row.
+std::string percpu_base(std::string_view row) {
+    if (row.size() > kPerCpuSuffix.size() &&
+        row.substr(row.size() - kPerCpuSuffix.size()) == kPerCpuSuffix) {
+        return std::string(row.substr(0, row.size() - kPerCpuSuffix.size()));
+    }
+    return {};
 }
 
 harness::Result run_point(const harness::TaskContext& ctx, std::string_view policy,
                           ShareModel model, int n, int rep) {
+    // The per-CPU rows go through the many-core machinery: same policy,
+    // same share model per instance, but 4 cores with per-CPU run queues
+    // and one ALPS per core.
+    if (const std::string base = percpu_base(policy); !base.empty()) {
+        workload::ManyCoreConfig mcfg;
+        mcfg.ncpus = kPerCpuCores;
+        mcfg.per_core_alps = true;
+        mcfg.shares_per_instance = workload::make_shares(model, n);
+        mcfg.quantum = util::msec(kQuantumMs);
+        mcfg.measure_cycles = measure_cycles(ctx.full_scale);
+        mcfg.warmup_cycles = 3 + rep;
+        mcfg.metrics = ctx.metrics;
+        mcfg.kernel_policy = base;
+        mcfg.policy_seed = ctx.seed;
+        const auto r = workload::run_many_core_experiment(mcfg);
+        double ratio_sum = 0.0, complaint = 0.0;
+        std::size_t with_cycles = 0;
+        for (const auto& inst : r.per_cpu.per_cpu) {
+            if (inst.cycles == 0) continue;
+            ratio_sum += inst.time_ratio;
+            complaint = std::max(complaint, inst.max_complaint);
+            ++with_cycles;
+        }
+        return harness::Result{}
+            .metric("rms_error_pct", 100.0 * r.mean_rms_error)
+            .metric("time_ratio",
+                    with_cycles > 0 ? ratio_sum / static_cast<double>(with_cycles)
+                                    : 0.0)
+            .metric("max_complaint_pct", 100.0 * complaint)
+            .metric("overhead_pct", 100.0 * r.overhead_fraction)
+            .metric("worst_rms_error_pct", 100.0 * r.worst_rms_error)
+            .metric("migrations", static_cast<double>(r.migrations));
+    }
+
     workload::SimRunConfig cfg;
     cfg.shares = workload::make_shares(model, n);
     cfg.quantum = util::msec(kQuantumMs);
@@ -64,7 +120,9 @@ harness::Result run_point(const harness::TaskContext& ctx, std::string_view poli
     // The lottery's draw stream derives from the task seed, which the harness
     // derives from (sweep seed, task index) — bit-identical for any --jobs.
     cfg.policy_seed = ctx.seed;
-    const bool engine = policy == kStrideEngineRow;
+    const bool engine =
+        policy == kStrideEngineRow || policy == kStrideEngineEagerRow;
+    cfg.lazy_measurement = policy != kStrideEngineEagerRow;
     cfg.kernel_policy = engine ? "bsd" : std::string(policy);
     const auto r = engine ? workload::run_stride_engine_experiment(cfg)
                           : workload::run_cpu_bound_experiment(cfg);
@@ -72,7 +130,8 @@ harness::Result run_point(const harness::TaskContext& ctx, std::string_view poli
         .metric("rms_error_pct", 100.0 * r.mean_rms_error)
         .metric("time_ratio", r.fairness.time_ratio)
         .metric("max_complaint_pct", 100.0 * r.fairness.max_complaint)
-        .metric("overhead_pct", 100.0 * r.overhead_fraction);
+        .metric("overhead_pct", 100.0 * r.overhead_fraction)
+        .metric("measurements", static_cast<double>(r.measurements));
 }
 
 std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
@@ -133,8 +192,11 @@ void print_metric_table(const harness::SweepReport& report, std::ostream& out,
 
 void present(const harness::SweepReport& report, std::ostream& out) {
     out << "\nPolicy zoo: ALPS share accuracy per kernel policy (Q=" << kQuantumMs
-        << "ms). 'stride-engine' is the A/B: stride pass/stride as the\n"
-           "application-level controller, BSD kernel underneath.\n";
+        << "ms). '<policy>-percpu4' runs the same policy on a 4-core\n"
+           "machine with per-CPU run queues and one ALPS per core.\n"
+           "'stride-engine' is the A/B: stride pass/stride as the\n"
+           "application-level controller, BSD kernel underneath\n"
+           "('-eager' = its lazy measurement switched off).\n";
     out << "\nMean RMS relative share error (%)\n";
     print_metric_table(report, out, "rms_error_pct", 2);
     out << "\nChapter-9 time-ratio fairness (1.0 = exact proportional share)\n";
@@ -151,8 +213,8 @@ void register_policy_zoo_experiment() {
     harness::Experiment e;
     e.name = "policy_zoo";
     e.description =
-        "ALPS share accuracy on each kernel policy (bsd|lottery|stride|cfs) "
-        "+ stride-engine A/B";
+        "ALPS share accuracy on each kernel policy (bsd|lottery|stride|cfs), "
+        "uni- and per-CPU 4-core, + stride-engine A/B (lazy and eager)";
     e.make_tasks = make_tasks;
     e.present = present;
     harness::ExperimentRegistry::instance().add(std::move(e));

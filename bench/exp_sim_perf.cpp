@@ -9,6 +9,7 @@
 // still are). scripts/check.sh runs this experiment single-job in Release
 // and compares engine_events_per_sec against the checked-in baseline to
 // catch substrate performance regressions.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -23,6 +24,7 @@
 #include "os/kernel.h"
 #include "os/proc.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "traffic/arrival.h"
 #include "traffic/latency.h"
 #include "traffic/table.h"
@@ -303,6 +305,91 @@ harness::Result web_arrivals_task(bool full) {
     return res;
 }
 
+// Sharded-engine churn: per shard, a bank of self-rearming hot timers (the
+// kernel's decision-timer pattern on the devirtualized dispatch path) plus a
+// trickle of cross-shard posts at every epoch boundary, run in lockstep at
+// 1/2/8 shards in both modes. scripts/check.sh gates the serial-multiplexed
+// aggregate at 8 shards (sharded_mux_events_per_sec): it exercises the full
+// lockstep protocol — barrier degeneration, channel drain, boundary
+// bookkeeping — yet is single-threaded, so it is stable on any host core
+// count. The threaded rows show real-parallel scaling where cores exist.
+struct ShardChurn {
+    sim::Engine* eng = nullptr;
+    sim::Engine::HotKind kind = 0;
+};
+
+void shard_churn_fire(void* ctx, std::uint64_t arg) {
+    auto* c = static_cast<ShardChurn*>(ctx);
+    // Deterministic pseudo-period, 1-8 µs: dense enough that hot dispatch
+    // dominates, sparse enough that same-tick FIFO ordering stays cheap.
+    c->eng->schedule_after(util::usec(1 + static_cast<std::int64_t>((arg * 7919) % 8)),
+                           c->kind, arg + 1);
+}
+
+harness::Result sharded_engine_task(bool full, int only_shards) {
+    constexpr unsigned kTimers = 64;       ///< self-rearming timers per shard
+    constexpr unsigned kPostsPerEpoch = 2; ///< cross-shard trickle per boundary
+    // ~142k events per shard-epoch (64 timers at a 4.5 µs mean period over a
+    // 10 ms epoch); pick the epoch count to hit a fixed event budget.
+    const std::int64_t target_events = full ? 8'000'000 : 2'000'000;
+
+    harness::Result res;
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+        if (only_shards > 0 && shards != static_cast<unsigned>(only_shards)) {
+            continue;
+        }
+        for (const bool threaded : {false, true}) {
+            if (threaded && shards == 1) continue;
+            sim::ShardedEngine::Config cfg;
+            cfg.shards = shards;
+            cfg.epoch = util::msec(10);
+            sim::ShardedEngine sharded(cfg);
+            std::vector<ShardChurn> churn(shards);
+            for (unsigned s = 0; s < shards; ++s) {
+                sim::Engine& eng = sharded.engine(s);
+                churn[s] = {&eng, 0};
+                churn[s].kind = eng.register_hot(shard_churn_fire, &churn[s]);
+                for (unsigned t = 0; t < kTimers; ++t) {
+                    eng.schedule_after(util::usec(1 + t % 8), churn[s].kind,
+                                       s * kTimers + t);
+                }
+                if (shards > 1) {
+                    // Keep the channel path in the timed loop: each boundary,
+                    // post a few hot events to the next shard.
+                    sharded.set_publish_hook(
+                        s, [&sharded, &churn, s, shards](unsigned, sim::TimePoint) {
+                            const unsigned to = (s + 1) % shards;
+                            for (unsigned k = 0; k < kPostsPerEpoch; ++k) {
+                                sharded.post(s, to,
+                                             {sharded.produce_boundary(s),
+                                              churn[to].kind, 1'000'000 + k, {}});
+                            }
+                        });
+                }
+            }
+            const std::int64_t per_epoch = 142'000 * static_cast<std::int64_t>(shards);
+            const auto epochs =
+                std::max<std::int64_t>(3, target_events / per_epoch);
+            const auto mode = threaded ? sim::ShardedEngine::RunMode::kThreaded
+                                       : sim::ShardedEngine::RunMode::kSerial;
+            const auto t0 = Clock::now();
+            sharded.run_lockstep(sim::TimePoint{} + cfg.epoch * epochs, mode);
+            const double wall = seconds_since(t0);
+            const double rate =
+                static_cast<double>(sharded.total_events_fired()) / wall;
+            const std::string tag =
+                "s" + std::to_string(shards) + (threaded ? "_threaded" : "");
+            res.metric("sharded_" + tag + "_events_per_sec", rate);
+            if (shards == 8 && !threaded) {
+                res.metric("sharded_mux_events_per_sec", rate);
+                res.metric("sharded_mux_messages",
+                           static_cast<double>(sharded.stats().messages));
+            }
+        }
+    }
+    return res;
+}
+
 // End-to-end: a fig8_fig9-style run (equal shares, Q=10ms) timed on the host.
 harness::Result e2e_task(int n, bool full) {
     workload::SimRunConfig cfg;
@@ -339,6 +426,9 @@ std::vector<harness::Task> make_tasks(const harness::SweepOptions& options) {
     push("policy", [](bool full) { return policy_task(full); });
     push("kernel_scan", [](bool full) { return kernel_scan_task(full); });
     push("web_arrivals", [](bool full) { return web_arrivals_task(full); });
+    push("sharded_engine", [shards = options.shards](bool full) {
+        return sharded_engine_task(full, shards);
+    });
     push("e2e_n40", [](bool full) { return e2e_task(40, full); });
     push("e2e_n120", [](bool full) { return e2e_task(120, full); });
     return tasks;
@@ -368,6 +458,14 @@ void present(const harness::SweepReport& report, std::ostream& out) {
                util::fmt(report.metric_mean("web_arrivals", "web_arrival_draws_per_sec"), 0)});
     t.add_row({"web_arrivals", "request-table ops/sec",
                util::fmt(report.metric_mean("web_arrivals", "web_table_ops_per_sec"), 0)});
+    for (const char* tag : {"s1", "s2", "s2_threaded", "s4", "s4_threaded",
+                            "s8", "s8_threaded"}) {
+        const std::string metric = std::string("sharded_") + tag + "_events_per_sec";
+        const double v = report.metric_mean("sharded_engine", metric);
+        if (v == 0.0) continue;  // narrowed by --shards
+        t.add_row({"sharded_engine", std::string(tag) + " events/sec",
+                   util::fmt(v, 0)});
+    }
     t.add_row({"e2e_n40", "wall ms/run",
                util::fmt(report.metric_mean("e2e_n40", "wall_ms"), 2)});
     t.add_row({"e2e_n120", "wall ms/run",

@@ -13,6 +13,7 @@ void register_all_experiments() {
         register_policy_zoo_experiment();
         register_many_core_experiment();
         register_web_scale_experiment();
+        register_sharded_run_experiment();
         return true;
     }();
     (void)once;

@@ -43,6 +43,11 @@ void register_many_core_experiment();
 /// Honors --ncpus, --sites, and --flash-crowd to narrow the grid.
 void register_web_scale_experiment();
 
+/// Sharded-engine determinism gate: the 8-group machine bit-identical at
+/// 1/2/8 shards, serial and threaded, per kernel policy ("sharded_run").
+/// Honors --shards and --kernel-policy to narrow the grid.
+void register_sharded_run_experiment();
+
 /// Registers everything above exactly once (safe to call repeatedly).
 void register_all_experiments();
 

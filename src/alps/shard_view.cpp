@@ -1,0 +1,68 @@
+#include "alps/shard_view.h"
+
+#include <span>
+
+#include "util/assert.h"
+
+namespace alps::core {
+
+util::Duration ShardSampleBoard::Slice::total_cpu() const {
+    util::Duration sum{0};
+    for (const auto& v : views) {
+        if (v.alive) sum += v.cpu_time;
+    }
+    return sum;
+}
+
+std::size_t ShardSampleBoard::Slice::alive_count() const {
+    std::size_t n = 0;
+    for (const auto& v : views) n += v.alive ? 1 : 0;
+    return n;
+}
+
+ShardSampleBoard::ShardSampleBoard(unsigned groups) {
+    ALPS_EXPECT(groups >= 1);
+    slices_.reserve(groups);
+    for (unsigned g = 0; g < groups; ++g) {
+        slices_.push_back(std::make_unique<AlignedEntry>());
+    }
+}
+
+void ShardSampleBoard::track(unsigned group, os::Kernel& kernel, os::Uid uid) {
+    ALPS_EXPECT(group < slices_.size());
+    slices_[group]->kernel = &kernel;
+    slices_[group]->uid = uid;
+}
+
+void ShardSampleBoard::publish(unsigned group, util::TimePoint t) {
+    ALPS_EXPECT(group < slices_.size());
+    Entry& e = *slices_[group];
+    ALPS_EXPECT(e.kernel != nullptr);  // track() first
+    // Membership then one batched SoA pass — both allocation-free once the
+    // vectors have grown to the group's working-set size.
+    e.kernel->pids_of_uid(e.uid, e.slice.pids);
+    e.slice.views.resize(e.slice.pids.size());
+    e.kernel->measure(std::span<const os::Pid>(e.slice.pids),
+                      e.slice.views.data());
+    e.slice.at = t;
+    ++e.slice.epoch;
+}
+
+const ShardSampleBoard::Slice& ShardSampleBoard::slice(unsigned group) const {
+    ALPS_EXPECT(group < slices_.size());
+    return slices_[group]->slice;
+}
+
+util::Duration ShardSampleBoard::machine_cpu() const {
+    util::Duration sum{0};
+    for (const auto& e : slices_) sum += e->slice.total_cpu();
+    return sum;
+}
+
+std::size_t ShardSampleBoard::machine_alive() const {
+    std::size_t n = 0;
+    for (const auto& e : slices_) n += e->slice.alive_count();
+    return n;
+}
+
+}  // namespace alps::core

@@ -1,0 +1,82 @@
+// Cross-shard sample board: the sharded engine's answer to "one ALPS driver
+// reads the whole machine".
+//
+// Each kernel group owns one slice of the board. During its shard's publish
+// hook (after run_until, before barrier A) the owning thread refreshes the
+// slice with one batched Kernel::measure() pass over the group's tracked
+// uid — the same SoA walk the per-tick measurement uses, so a slice costs
+// one table scan, not one lookup per process. During the boundary hook
+// (after barrier A, before barrier B) *any* shard may read *any* slice: the
+// epoch barrier is the happens-before edge, so readers see complete,
+// unchanging slices without any locking, and every reader sees the same
+// epoch-consistent snapshot of all groups.
+//
+// Slices are cache-line aligned so two shards publishing concurrently never
+// write the same line (the telemetry rings' padding discipline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/types.h"
+#include "sim/spsc.h"
+#include "util/time.h"
+
+namespace alps::core {
+
+class ShardSampleBoard {
+public:
+    /// One group's epoch-boundary snapshot. `pids[i]` pairs with `views[i]`.
+    struct Slice {
+        util::TimePoint at{};  ///< the boundary this snapshot describes
+        std::uint64_t epoch = 0;  ///< publishes so far (0 = never published)
+        std::vector<os::Pid> pids;
+        std::vector<os::Kernel::SampleView> views;
+
+        /// Sum of cpu_time over the snapshot (alive entries only).
+        [[nodiscard]] util::Duration total_cpu() const;
+        [[nodiscard]] std::size_t alive_count() const;
+    };
+
+    explicit ShardSampleBoard(unsigned groups);
+
+    ShardSampleBoard(const ShardSampleBoard&) = delete;
+    ShardSampleBoard& operator=(const ShardSampleBoard&) = delete;
+
+    [[nodiscard]] unsigned groups() const {
+        return static_cast<unsigned>(slices_.size());
+    }
+
+    /// Declares what group `group` publishes: the live processes of `uid`
+    /// on `kernel` (the ALPS "my workload" membership rule). Call from the
+    /// owning shard's thread (or before the run starts).
+    void track(unsigned group, os::Kernel& kernel, os::Uid uid);
+
+    /// Refreshes group `group`'s slice at boundary `t`. Call ONLY from the
+    /// owning shard's publish hook — it writes the slice in place.
+    void publish(unsigned group, util::TimePoint t);
+
+    /// Reads a slice. Safe from any shard's boundary hook (and from the
+    /// caller between run_lockstep calls); never safe during produce.
+    [[nodiscard]] const Slice& slice(unsigned group) const;
+
+    /// Whole-machine aggregate over every published slice — what a global
+    /// controller reads at the boundary.
+    [[nodiscard]] util::Duration machine_cpu() const;
+    [[nodiscard]] std::size_t machine_alive() const;
+
+private:
+    struct Entry {
+        os::Kernel* kernel = nullptr;
+        os::Uid uid = 0;
+        Slice slice;
+    };
+    /// unique_ptr keeps each aligned Entry stable; the vector itself is
+    /// never resized after construction.
+    struct alignas(sim::kCacheLine) AlignedEntry : Entry {};
+    std::vector<std::unique_ptr<AlignedEntry>> slices_;
+};
+
+}  // namespace alps::core

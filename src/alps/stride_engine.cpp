@@ -1,6 +1,8 @@
 #include "alps/stride_engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "alps/host.h"
@@ -48,6 +50,7 @@ void StrideEngine::add(EntityId id, Share share) {
                                       }),
                      {id, e});
     total_shares_ += share;
+    next_measure_ = 0;  // membership changed: the skip window is stale
 }
 
 void StrideEngine::remove(EntityId id) {
@@ -57,6 +60,7 @@ void StrideEngine::remove(EntityId id) {
     if (current_ != id) control_.resume(id);  // relinquish control
     if (current_ == id) current_ = -1;
     entities_.erase(entities_.begin() + static_cast<std::ptrdiff_t>(i));
+    next_measure_ = 0;  // membership changed: the skip window is stale
 }
 
 TickStats StrideEngine::tick() {
@@ -64,9 +68,22 @@ TickStats StrideEngine::tick() {
     ++count_;
     if (entities_.empty()) return stats;
 
+    // 0. Lazy measurement (§2.3 in stride terms): while the runner provably
+    // holds the minimum pass, the tick is a pure timer event — no read, no
+    // signals. Cycle boundaries always measure so cycle records stay exact.
+    const bool cycle_edge =
+        ticks_in_cycle_ + 1 >= static_cast<std::uint64_t>(total_shares_);
+    if (cfg_.lazy_measurement && current_ >= 0 && !cycle_edge &&
+        count_ < next_measure_) {
+        ++lazy_skips_;
+        ++ticks_in_cycle_;
+        return stats;
+    }
+
     // 1. Measure the incumbent and advance its pass. An entity that blocked
-    // through (part of) its quantum is still charged a full stride —
-    // use-it-or-lose-it, the stride analogue of ALPS's §2.4 blocked charge.
+    // through (part of) its quantum is still charged a full stride per tick
+    // of its measurement window — use-it-or-lose-it, the stride analogue of
+    // ALPS's §2.4 blocked charge.
     if (current_ >= 0) {
         const std::size_t i = find(current_);
         if (i < entities_.size()) {
@@ -82,12 +99,17 @@ TickStats StrideEngine::tick() {
                 e.last_cpu = s.cpu_time;
                 e.cycle_consumed += delta;
                 const double quanta = util::to_sec(delta) / util::to_sec(cfg_.quantum);
-                e.pass += e.stride * std::max(1.0, quanta);
+                // Ticks since the runner was last measured — 1 when eager,
+                // the whole skipped window when lazy.
+                const double window = static_cast<double>(
+                    count_ > runner_since_ ? count_ - runner_since_ : 1);
+                e.pass += e.stride * std::max(window, quanta);
             }
         } else {
             current_ = -1;  // removed behind our back
         }
     }
+    runner_since_ = count_;
 
     // 2. Cycle accounting on the same S·Q grid as ALPS.
     if (++ticks_in_cycle_ >= static_cast<std::uint64_t>(total_shares_)) {
@@ -110,6 +132,28 @@ TickStats StrideEngine::tick() {
         }
         if (control_.resume(next) == ControlResult::kOk) ++stats.resumed;
         current_ = next;
+        runner_since_ = count_;
+    }
+
+    // 4. Open the next skip window: each tick charges >= one stride, so the
+    // runner cannot rise past the field's second-minimum pass in fewer than
+    // ceil((second_min - pass) / stride) ticks.
+    if (cfg_.lazy_measurement) {
+        double second = std::numeric_limits<double>::infinity();
+        for (const auto& [id, e] : entities_) {
+            if (id != current_) second = std::min(second, e.pass);
+        }
+        const Entity& runner = entities_[best].second;
+        std::uint64_t window = 1;
+        if (!std::isfinite(second)) {
+            // Sole entity: nothing can overtake it; the cycle edge is the
+            // only forced measurement.
+            window = static_cast<std::uint64_t>(std::max<Share>(total_shares_, 1));
+        } else if (second > runner.pass) {
+            window = static_cast<std::uint64_t>(
+                std::max(1.0, std::ceil((second - runner.pass) / runner.stride)));
+        }
+        next_measure_ = count_ + window;
     }
     return stats;
 }

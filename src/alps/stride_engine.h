@@ -15,11 +15,19 @@
 // most one suspend/resume pair, priced through the same Table-1 CostModel,
 // so BENCH_policy_zoo's A/B point compares mechanisms, not implementations.
 //
-// Deliberately minimal relative to core::Scheduler — no lazy measurement
-// (stride must measure its one runner every tick anyway), no fault
-// degradation, no mid-flight share or quantum changes. It exists to answer
-// one question: how much of ALPS's share error is the allowance loop, and
-// how much is the application-level control channel.
+// Lazy measurement carries over from ALPS §2.3 in stride terms: every tick
+// charges the runner at least one full stride, so the runner provably keeps
+// the minimum pass for ⌈(second_min_pass − pass) / stride⌉ ticks — those
+// ticks skip the progress read and all signals, costing only the timer
+// event. A skipped window settles at the next real measurement (the
+// cumulative CPU delta spans the window, charged max(window, quanta)
+// strides), and cycle boundaries force an eager tick so the S·Q cycle
+// records stay exact.
+//
+// Deliberately minimal relative to core::Scheduler — no fault degradation,
+// no mid-flight share or quantum changes. It exists to answer one question:
+// how much of ALPS's share error is the allowance loop, and how much is the
+// application-level control channel.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +47,9 @@ struct StrideEngineConfig {
     Duration quantum = util::msec(10);
     /// stride1: the stride of a single share (2^20, as in the paper).
     double stride1 = 1048576.0;
+    /// §2.3 mapped onto stride: skip measuring while the runner provably
+    /// holds the minimum pass (off = the eager ablation, one read per tick).
+    bool lazy_measurement = true;
 };
 
 class StrideEngine {
@@ -74,6 +85,8 @@ public:
     [[nodiscard]] std::uint64_t total_measurements() const {
         return total_measurements_;
     }
+    /// Ticks that skipped the progress read under lazy measurement.
+    [[nodiscard]] std::uint64_t lazy_ticks_skipped() const { return lazy_skips_; }
 
 private:
     struct Entity {
@@ -99,6 +112,12 @@ private:
     std::uint64_t ticks_in_cycle_ = 0;
     std::uint64_t cycles_done_ = 0;
     std::uint64_t total_measurements_ = 0;
+    /// Lazy-measurement window: the runner is provably still the minimum
+    /// pass until tick next_measure_; runner_since_ is when it was last
+    /// measured (the window length settles the pass charge).
+    std::uint64_t next_measure_ = 0;
+    std::uint64_t runner_since_ = 0;
+    std::uint64_t lazy_skips_ = 0;
     CycleObserver observer_;
 };
 

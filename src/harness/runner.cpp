@@ -290,7 +290,7 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
         std::cerr << "usage: " << argv[0]
                   << " [--jobs N] [--seed S] [--full] [--out DIR] [--no-json]"
                      " [--quiet] [--trace FILE.alpstrace] [--kernel-policy NAME]"
-                     " [--ncpus N] [--sites N] [--flash-crowd X]"
+                     " [--ncpus N] [--sites N] [--shards N] [--flash-crowd X]"
                      " [--isolate] [--run-timeout SECONDS]"
                      " [--max-attempts N] [--journal] [--resume]"
                      " [--only-task INDEX] [--json-payload-only]\n";
@@ -348,6 +348,11 @@ bool parse_sweep_args(int argc, char** argv, SweepOptions& options) {
             std::uint64_t n = 0;
             if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
             options.sites = static_cast<int>(n);
+        } else if (arg == "--shards") {
+            const char* v = next();
+            std::uint64_t n = 0;
+            if (v == nullptr || !parse_u64(v, n) || n == 0) return usage();
+            options.shards = static_cast<int>(n);
         } else if (arg == "--flash-crowd") {
             const char* v = next();
             if (v == nullptr) return usage();

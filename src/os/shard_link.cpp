@@ -1,0 +1,61 @@
+#include "os/shard_link.h"
+
+#include <memory>
+#include <utility>
+
+#include "os/kernel.h"
+#include "telemetry/recorder.h"
+#include "util/assert.h"
+
+namespace alps::os {
+
+ShardLink::ShardLink(sim::ShardedEngine& sharded, unsigned groups)
+    : sharded_(sharded), kernels_(groups, nullptr) {
+    ALPS_EXPECT(groups >= 1);
+}
+
+void ShardLink::bind(unsigned group, Kernel& kernel) {
+    ALPS_EXPECT(group < kernels_.size());
+    ALPS_EXPECT(&kernel.engine() == &sharded_.engine(shard_of(group)));
+    kernels_[group] = &kernel;
+}
+
+Kernel& ShardLink::kernel(unsigned group) {
+    ALPS_EXPECT(group < kernels_.size());
+    ALPS_EXPECT(kernels_[group] != nullptr);
+    return *kernels_[group];
+}
+
+void ShardLink::migrate(unsigned from, unsigned to, Pid pid, int home_cpu) {
+    ALPS_EXPECT(from < kernels_.size() && to < kernels_.size());
+    Kernel* src = kernels_[from];
+    Kernel* dst = kernels_[to];
+    ALPS_EXPECT(src != nullptr && dst != nullptr);
+    const unsigned from_shard = shard_of(from);
+    const unsigned to_shard = shard_of(to);
+
+    // Extradite now (on the source shard's thread), ship the handle, adopt
+    // when the message fires at the boundary. shared_ptr because
+    // sim::Engine::Callback is a std::function, which requires a copyable
+    // capture; the handle itself is move-only.
+    auto handle = std::make_shared<MigratedProc>(src->extradite(pid));
+    ++started_;
+
+    sim::ShardMessage msg;
+    msg.at = sharded_.produce_boundary(from_shard);
+    msg.cb = [this, dst, to, handle, home_cpu] {
+        const Pid new_pid = dst->adopt(std::move(*handle), home_cpu);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::active()) {
+            // Fires on the destination shard's thread with its engine clock
+            // ambient (the boundary the handoff landed on); track = target
+            // group so a merged trace shows each nomad's itinerary.
+            telemetry::instant(telemetry::kNameHop, to,
+                               static_cast<std::uint64_t>(new_pid));
+        }
+        if (on_adopt) on_adopt(to, new_pid);
+    };
+    sharded_.post(from_shard, to_shard, std::move(msg));
+}
+
+}  // namespace alps::os

@@ -1,0 +1,89 @@
+// Kernel-domain → shard binding for the sharded simulation engine.
+//
+// A ShardLink wires a set of kernel "groups" (independent os::Kernel
+// machines, each running on one shard's engine) onto a sim::ShardedEngine,
+// and carries process migrations between them: extradite on the source
+// kernel during its shard's produce phase, hand the MigratedProc over the
+// cross-shard channel, adopt on the destination kernel when the message
+// fires at the epoch boundary.
+//
+// Group → shard placement is fixed modulo arithmetic (group g lives on shard
+// g % S), so the same logical machine runs unchanged at any shard count —
+// the property the differential tests exploit: per-group trajectories are a
+// function of the group topology only, never of S.
+//
+// Determinism note: adoptions into a group are ordered by the sharded
+// engine's boundary drain (source-shard order, then channel FIFO). Workloads
+// that need bit-identical results across *different shard counts* must not
+// send two same-boundary migrations into one group from different source
+// groups — the drain interleaving of co-located vs separated sources is what
+// changes with S (see DESIGN.md §13). The sharded_run experiment staggers
+// migrations one source group per boundary for exactly this reason.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "os/types.h"
+#include "sim/shard.h"
+
+namespace alps::os {
+
+class Kernel;
+
+class ShardLink {
+public:
+    /// `groups` kernel slots over `sharded`'s shards. Bind each group before
+    /// migrating through it.
+    ShardLink(sim::ShardedEngine& sharded, unsigned groups);
+
+    ShardLink(const ShardLink&) = delete;
+    ShardLink& operator=(const ShardLink&) = delete;
+
+    [[nodiscard]] unsigned groups() const {
+        return static_cast<unsigned>(kernels_.size());
+    }
+    [[nodiscard]] unsigned shard_of(unsigned group) const {
+        return group % sharded_.shards();
+    }
+
+    /// Binds group `group` to `kernel`. Contract: the kernel runs on
+    /// engine(shard_of(group)) — migrations schedule adoption events there.
+    void bind(unsigned group, Kernel& kernel);
+
+    [[nodiscard]] Kernel& kernel(unsigned group);
+
+    /// Moves `pid` from group `from` to group `to`. Must be called on shard
+    /// shard_of(from)'s thread during its produce/publish phase (the post()
+    /// window); the process is extradited immediately and adopted when the
+    /// hand-off fires at the epoch boundary. The extradite() contract
+    /// applies: runnable, off-CPU, not stopped. `home_cpu` places the
+    /// process on the destination machine (-1 = round-robin).
+    void migrate(unsigned from, unsigned to, Pid pid, int home_cpu = -1);
+
+    /// Called after every adoption with (destination group, new pid) — on
+    /// the destination shard's thread, during its produce phase. Workloads
+    /// use it to keep tracking a process across its pid changes.
+    std::function<void(unsigned, Pid)> on_adopt;
+
+    /// Hand-offs initiated / completed through this link.
+    [[nodiscard]] std::uint64_t migrations_started() const {
+        return started_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t migrations_completed() const {
+        return completed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    sim::ShardedEngine& sharded_;
+    std::vector<Kernel*> kernels_;
+    /// started_ is bumped from source-shard threads, completed_ from
+    /// destination-shard threads — atomics because different shards migrate
+    /// concurrently under the threaded mode.
+    std::atomic<std::uint64_t> started_{0};
+    std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace alps::os

@@ -1,0 +1,79 @@
+// Epoch barrier for the sharded engine's conservative lockstep.
+//
+// A centralized sense-reversing barrier: arrivals count up on an atomic; the
+// last arriver resets the count and publishes a new generation; earlier
+// arrivers wait for the generation to change. Two properties matter here:
+//
+//  * Happens-before: every arriver's pre-barrier writes are ordered before
+//    every waiter's post-barrier reads. The fetch_add(acq_rel) chain on
+//    `waiting_` orders all arrivals against the last arriver, and the
+//    release-store / acquire-load pair on `generation_` orders the last
+//    arriver against everyone it releases. This is what lets shards read each
+//    other's published state after the barrier with plain loads (TSan-clean).
+//
+//  * No busy-burn: shards may be oversubscribed onto fewer cores than shards
+//    (including a single core). After a brief spin the waiters park in
+//    C++20 atomic::wait, so an oversubscribed lockstep degrades to scheduler
+//    latency, not to N-1 cores of spinning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/spsc.h"  // kCacheLine
+#include "util/assert.h"
+
+namespace alps::sim {
+
+class EpochBarrier {
+public:
+    explicit EpochBarrier(unsigned parties) : parties_(parties) {
+        ALPS_EXPECT(parties >= 1);
+    }
+
+    EpochBarrier(const EpochBarrier&) = delete;
+    EpochBarrier& operator=(const EpochBarrier&) = delete;
+
+    [[nodiscard]] unsigned parties() const { return parties_; }
+
+    /// Blocks until all `parties` threads have arrived. Returns true on the
+    /// serial thread (the last arriver) — callers can hang per-epoch
+    /// bookkeeping off it, mirroring std::barrier's completion step.
+    bool arrive_and_wait() {
+        const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+        // acq_rel: acquire pairs with earlier arrivers' releases (their
+        // pre-barrier writes become visible to the last arriver); release
+        // publishes this thread's writes into the chain.
+        const unsigned arrived =
+            1 + waiting_.fetch_add(1, std::memory_order_acq_rel);
+        ALPS_GUARD(arrived <= parties_);
+        if (arrived == parties_) {
+            waiting_.store(0, std::memory_order_relaxed);
+            generation_.store(gen + 1, std::memory_order_release);
+            generation_.notify_all();
+            return true;
+        }
+        // Brief spin covers the common case of shards arriving within a few
+        // hundred ns of each other; then park so oversubscribed hosts (cores
+        // < shards) don't burn the core the straggler needs.
+        for (int i = 0; i < 256; ++i) {
+            if (generation_.load(std::memory_order_acquire) != gen) return false;
+        }
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            generation_.wait(gen, std::memory_order_acquire);
+        }
+        return false;
+    }
+
+    /// Epochs completed (generation counter). Test/introspection only.
+    [[nodiscard]] std::uint64_t generation() const {
+        return generation_.load(std::memory_order_acquire);
+    }
+
+private:
+    const unsigned parties_;
+    alignas(kCacheLine) std::atomic<unsigned> waiting_{0};
+    alignas(kCacheLine) std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace alps::sim

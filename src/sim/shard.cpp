@@ -1,0 +1,224 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "harness/thread_pool.h"
+#include "sim/barrier.h"
+#include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
+#include "util/assert.h"
+
+namespace alps::sim {
+
+ShardedEngine::ShardedEngine(const Config& cfg) : cfg_(cfg) {
+    ALPS_EXPECT(cfg.shards >= 1);
+    ALPS_EXPECT(cfg.epoch > Duration::zero());
+    shards_.reserve(cfg.shards);
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+    channels_.resize(static_cast<std::size_t>(cfg.shards) * cfg.shards);
+    for (auto& ch : channels_) {
+        ch = std::make_unique<ShardChannel<ShardMessage>>(cfg.channel_capacity);
+    }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+Engine& ShardedEngine::engine(unsigned shard) {
+    ALPS_EXPECT(shard < shards_.size());
+    return shards_[shard]->engine;
+}
+
+const Engine& ShardedEngine::engine(unsigned shard) const {
+    ALPS_EXPECT(shard < shards_.size());
+    return shards_[shard]->engine;
+}
+
+void ShardedEngine::set_publish_hook(unsigned shard, Hook hook) {
+    ALPS_EXPECT(shard < shards_.size());
+    shards_[shard]->publish = std::move(hook);
+}
+
+void ShardedEngine::set_boundary_hook(unsigned shard, Hook hook) {
+    ALPS_EXPECT(shard < shards_.size());
+    shards_[shard]->boundary = std::move(hook);
+}
+
+void ShardedEngine::post(unsigned from, unsigned to, ShardMessage msg) {
+    ALPS_EXPECT(from < shards_.size());
+    ALPS_EXPECT(to < shards_.size());
+    // A post from the drain/boundary phase would belong to no epoch: its
+    // siblings were already delivered, so it would arrive one boundary late
+    // on some shards and on time on others depending on drain order.
+    ALPS_EXPECT(!shards_[from]->in_drain);
+    channel(from, to).push(std::move(msg));
+}
+
+void ShardedEngine::deliver(unsigned s, ShardMessage&& msg) {
+    Engine& e = shards_[s]->engine;
+    // The lookahead contract: a message produced during epoch e is due no
+    // earlier than the boundary ending e, which is the consumer clock at
+    // drain time.
+    ALPS_EXPECT(msg.at >= e.now());
+    if (msg.hot != 0) {
+        e.schedule_at(msg.at, msg.hot, msg.arg);
+    } else {
+        ALPS_EXPECT(static_cast<bool>(msg.cb));
+        e.schedule_at(msg.at, std::move(msg.cb));
+    }
+}
+
+void ShardedEngine::run_epoch_phase1(unsigned s, TimePoint boundary) {
+    Shard& sh = *shards_[s];
+    const unsigned n = static_cast<unsigned>(shards_.size());
+    // Barrier B of the previous epoch guarantees every consumer drained; the
+    // overflow slow path (if any) may re-arm.
+    for (unsigned to = 0; to < n; ++to) channel(s, to).reset_overflow_phase();
+    sh.produce_boundary = boundary;
+    sh.engine.run_until(boundary);
+    if (sh.publish) sh.publish(s, boundary);
+}
+
+void ShardedEngine::run_epoch_phase2(unsigned s, TimePoint boundary) {
+    Shard& sh = *shards_[s];
+    sh.in_drain = true;
+    const unsigned n = static_cast<unsigned>(shards_.size());
+    // Fixed source order makes the local seq assignment — and therefore the
+    // shard's entire future event order — independent of thread timing.
+    for (unsigned from = 0; from < n; ++from) {
+        sh.drained += channel(from, s).drain_all(
+            [this, s](ShardMessage&& msg) { deliver(s, std::move(msg)); });
+    }
+    if (sh.boundary) sh.boundary(s, boundary);
+    sh.in_drain = false;
+    ++sh.epochs;
+    if (telemetry::active()) {
+        // Explicit timestamp: every shard's clock is pinned to the boundary
+        // here, so one session's rings merge into a single (scope, ts)-ordered
+        // epoch grid regardless of run mode and thread registration order.
+        telemetry::emit_event(
+            telemetry::EventType::kInstant, telemetry::kNameEpoch, s,
+            static_cast<std::uint64_t>(boundary.since_epoch.count()), sh.epochs);
+    }
+}
+
+void ShardedEngine::run_lockstep(TimePoint t, RunMode mode,
+                                 harness::ThreadPool* pool) {
+    const unsigned n = static_cast<unsigned>(shards_.size());
+    const TimePoint start = shards_[0]->engine.now();
+    for (auto& sh : shards_) ALPS_EXPECT(sh->engine.now() == start);
+    if (t <= start) return;
+
+    bool threaded = false;
+    switch (mode) {
+        case RunMode::kSerial: threaded = false; break;
+        case RunMode::kThreaded: threaded = n > 1; break;
+        case RunMode::kAuto:
+            threaded = n > 1 && pool != nullptr && pool->size() >= n;
+            break;
+    }
+
+    if (!threaded) {
+        ++serial_runs_;
+        TimePoint cur = start;
+        while (cur < t) {
+            const TimePoint next = std::min(cur + cfg_.epoch, t);
+            // Program order substitutes for the barriers: all shards finish
+            // phase 1 (every post of this epoch is in its channel) before
+            // any shard drains.
+            for (unsigned s = 0; s < n; ++s) run_epoch_phase1(s, next);
+            for (unsigned s = 0; s < n; ++s) run_epoch_phase2(s, next);
+            cur = next;
+        }
+        return;
+    }
+
+    ++threaded_runs_;
+    std::unique_ptr<harness::ThreadPool> own_pool;
+    if (pool == nullptr || pool->size() < n) {
+        ALPS_EXPECT(mode == RunMode::kThreaded);
+        own_pool = std::make_unique<harness::ThreadPool>(n);
+        pool = own_pool.get();
+    }
+
+    EpochBarrier barrier_a(n);
+    EpochBarrier barrier_b(n);
+    // A shard that throws must keep arriving at the barriers (its siblings
+    // run the same deterministic epoch count) or the lockstep deadlocks; it
+    // just stops doing work. The first exception is rethrown on the caller.
+    std::atomic<bool> abort{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    for (unsigned s = 0; s < n; ++s) {
+        pool->submit([this, s, t, start, &barrier_a, &barrier_b, &abort,
+                      &error_mu, &first_error] {
+            TimePoint cur = start;
+            while (cur < t) {
+                const TimePoint next = std::min(cur + cfg_.epoch, t);
+                try {
+                    if (!abort.load(std::memory_order_acquire)) {
+                        run_epoch_phase1(s, next);
+                    }
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error) first_error = std::current_exception();
+                    abort.store(true, std::memory_order_release);
+                }
+                barrier_a.arrive_and_wait();
+                try {
+                    if (!abort.load(std::memory_order_acquire)) {
+                        run_epoch_phase2(s, next);
+                    }
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error) first_error = std::current_exception();
+                    abort.store(true, std::memory_order_release);
+                }
+                barrier_b.arrive_and_wait();
+                cur = next;
+            }
+        });
+    }
+    pool->wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+ShardedEngine::Stats ShardedEngine::stats() const {
+    Stats st;
+    st.epochs = shards_[0]->epochs;
+    for (const auto& sh : shards_) st.messages += sh->drained;
+    for (const auto& ch : channels_) st.overflows += ch->overflow_count();
+    st.threaded_runs = threaded_runs_;
+    st.serial_runs = serial_runs_;
+    return st;
+}
+
+std::uint64_t ShardedEngine::total_events_fired() const {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->engine.events_fired();
+    return total;
+}
+
+std::uint64_t ShardedEngine::total_events_scheduled() const {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->engine.events_scheduled();
+    return total;
+}
+
+void ShardedEngine::export_metrics(telemetry::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+    const Stats st = stats();
+    reg.counter(prefix + "shards").add(shards_.size());
+    reg.counter(prefix + "epochs").add(st.epochs);
+    reg.counter(prefix + "messages").add(st.messages);
+    reg.counter(prefix + "message_overflows").add(st.overflows);
+    reg.counter(prefix + "events_fired").add(total_events_fired());
+}
+
+}  // namespace alps::sim

@@ -1,0 +1,161 @@
+// Single-producer/single-consumer channels for cross-shard event traffic.
+//
+// ShardChannel reuses the telemetry rings' lock-free idiom (one atomic head,
+// one atomic tail, acquire/release pairing, power-of-two capacity) but — unlike
+// telemetry, which may drop on overflow — simulation messages are load-bearing:
+// a dropped migration would silently change the run. So the ring is backed by
+// a mutex-protected overflow list that preserves global FIFO order:
+//
+//  * the fast path is the wait-free ring (no lock on either side);
+//  * when the ring fills, the producer diverts to the overflow list and keeps
+//    diverting until its next produce phase begins (by which point the
+//    lockstep protocol guarantees the consumer drained everything), so a
+//    message can never overtake one that overflowed before it;
+//  * drain_all() empties the ring first, then the overflow — which is exactly
+//    arrival order by the rule above.
+//
+// Thread contract: exactly one producer thread and one consumer thread per
+// channel at any moment (the sharded engine's fixed shard-pair wiring). The
+// lockstep barriers provide the cross-epoch happens-before edges; the channel
+// itself provides the intra-epoch ones.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace alps::sim {
+
+/// Destructive-interference distance for the head/tail pair. A fixed 64
+/// rather than std::hardware_destructive_interference_size: the constant
+/// participates in struct layout, and the stdlib value varies with -mtune
+/// (gcc warns about exactly this under -Winterference-size).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wait-free SPSC ring over move-assignable T. Capacity is rounded up to a
+/// power of two; one slot is never wasted (head/tail are free-running
+/// indices, masked on access).
+template <typename T>
+class SpscRing {
+public:
+    explicit SpscRing(std::size_t capacity) {
+        ALPS_EXPECT(capacity > 0);
+        std::size_t cap = 1;
+        while (cap < capacity) cap <<= 1;
+        mask_ = cap - 1;
+        buffer_.resize(cap);
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+    /// Producer side. Returns false (without consuming `v`) when full.
+    bool try_push(T& v) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_) return false;
+        buffer_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. Returns false when empty.
+    bool try_pop(T& out) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) return false;
+        out = std::move(buffer_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer-side size estimate (exact when the producer is quiescent).
+    [[nodiscard]] std::size_t size() const {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+private:
+    std::vector<T> buffer_;
+    std::size_t mask_ = 0;
+    alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+    alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+};
+
+/// SPSC channel with lossless backpressure: ring fast path, mutex-protected
+/// overflow slow path, global FIFO preserved.
+template <typename T>
+class ShardChannel {
+public:
+    explicit ShardChannel(std::size_t ring_capacity = 1024) : ring_(ring_capacity) {}
+
+    /// Producer: enqueue unconditionally. Returns true when the fast path was
+    /// taken, false when the message went to overflow (stats, not an error).
+    bool push(T v) {
+        // Once one message overflows, all later ones must too until the
+        // consumer has provably drained (reset_overflow_phase), or FIFO
+        // breaks: a ring message would overtake the parked one.
+        if (!overflowing_ && ring_.try_push(v)) return true;
+        overflowing_ = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        overflow_.push_back(std::move(v));
+        ++overflow_count_;
+        return false;
+    }
+
+    /// Producer: call at the start of a produce phase, after the lockstep
+    /// protocol has guaranteed the consumer drained everything from the
+    /// previous epoch. Re-arms the fast path.
+    void reset_overflow_phase() { overflowing_ = false; }
+
+    /// Consumer: drain everything visible, in arrival order, into `out`.
+    /// Returns the number of messages drained.
+    template <typename Sink>
+    std::size_t drain_all(Sink&& out) {
+        std::size_t n = 0;
+        T v{};
+        while (ring_.try_pop(v)) {
+            out(std::move(v));
+            ++n;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        while (!overflow_.empty()) {
+            // Ring entries pushed before an overflow divert were already
+            // popped above, so overflow entries are now oldest-first.
+            out(std::move(overflow_.front()));
+            overflow_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    /// Lifetime count of messages that took the overflow slow path.
+    [[nodiscard]] std::uint64_t overflow_count() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return overflow_count_;
+    }
+
+    [[nodiscard]] std::size_t ring_capacity() const { return ring_.capacity(); }
+
+private:
+    SpscRing<T> ring_;
+    /// Producer-owned: only the producer thread reads/writes it, so it needs
+    /// no synchronization (the consumer learns of overflow via mu_).
+    bool overflowing_ = false;
+    mutable std::mutex mu_;
+    std::deque<T> overflow_;
+    std::uint64_t overflow_count_ = 0;
+};
+
+}  // namespace alps::sim

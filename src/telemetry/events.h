@@ -35,7 +35,9 @@ enum WellKnownName : std::uint16_t {
     kNameCycle = 5,       ///< cycle completion; value = cycles completed
     kNameQuarantine = 6,  ///< entity entered quarantine
     kNameDrop = 7,        ///< entity dropped after repeated failures
-    kWellKnownNameCount = 8,
+    kNameEpoch = 8,       ///< sharded engine: lockstep boundary; track = shard
+    kNameHop = 9,         ///< cross-shard migration adopted; value = new pid
+    kWellKnownNameCount = 10,
 };
 
 /// Spelling of a well-known id ("" for kNameNone / out-of-range).

@@ -123,6 +123,7 @@ SimRunResult run_stride_engine_experiment(const SimRunConfig& cfg) {
 
     core::StrideEngineConfig ecfg;
     ecfg.quantum = cfg.quantum;
+    ecfg.lazy_measurement = cfg.lazy_measurement;
     core::SimStrideAlps alps(kernel, ecfg, cfg.cost);
 
     metrics::ExactCycleLog log([&kernel](core::EntityId id) {
@@ -475,15 +476,21 @@ ManyCoreResult run_many_core_experiment(const ManyCoreConfig& cfg) {
             core::FaultPlan{}, home, pin));
         logs.push_back(std::make_unique<metrics::ExactCycleLog>(reader));
         alps.back()->scheduler().set_cycle_observer(logs.back()->observer());
-        const int workers = cfg.per_core_alps ? cfg.procs_per_cpu
-                                              : cfg.ncpus * cfg.procs_per_cpu;
+        const auto& custom = cfg.shares_per_instance;
+        const int per_instance = custom.empty()
+                                     ? cfg.procs_per_cpu
+                                     : static_cast<int>(custom.size());
+        const int workers =
+            cfg.per_core_alps ? per_instance : cfg.ncpus * per_instance;
         Share total = 0;
         for (int j = 0; j < workers; ++j) {
             const os::Pid pid = kernel.spawn(
                 "w" + std::to_string(c) + "_" + std::to_string(j),
                 /*uid=*/100 + static_cast<os::Uid>(c),
                 std::make_unique<os::CpuBoundBehavior>(), /*nice=*/0, home, pin);
-            const Share share = j % 3 + 1;
+            const Share share =
+                custom.empty() ? j % 3 + 1
+                               : custom[static_cast<std::size_t>(j) % custom.size()];
             alps.back()->manage(pid, share);
             total += share;
         }

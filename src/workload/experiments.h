@@ -192,6 +192,11 @@ struct ManyCoreConfig {
     int ncpus = 16;
     /// Compute-bound workers per core, shares cycling 1, 2, 3.
     int procs_per_cpu = 2;
+    /// When non-empty, overrides procs_per_cpu and the 1,2,3 cycle: each
+    /// instance runs exactly these shares (global mode repeats the vector
+    /// once per core). Lets the policy-zoo run its linear/skewed share
+    /// models on the per-CPU machine.
+    std::vector<util::Share> shares_per_instance;
     /// true: one ALPS instance per core, driver and workers homed on that
     /// core's domain. false: one global ALPS over all ncpus·procs_per_cpu
     /// workers (its cycle is ncpus times longer — the scaling pain the

@@ -1,0 +1,146 @@
+// Lazy measurement on the stride A/B engine: skipped ticks must be free of
+// backend traffic yet leave the schedule and the cycle records exactly as
+// the eager engine produces them (the skip window is provably safe — every
+// tick charges at least one stride).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "alps/stride_engine.h"
+#include "mock_control.h"
+#include "util/time.h"
+#include "workload/experiments.h"
+
+namespace alps::core {
+namespace {
+
+using util::Duration;
+
+constexpr Duration kQuantum = util::msec(10);
+
+struct Rig {
+    testing::MockControl control;
+    StrideEngine engine;
+
+    explicit Rig(bool lazy)
+        : engine(control, [&] {
+              StrideEngineConfig cfg;
+              cfg.quantum = kQuantum;
+              cfg.lazy_measurement = lazy;
+              return cfg;
+          }()) {}
+
+    void add(EntityId id, Share share) {
+        control.ensure(id);
+        engine.add(id, share);
+    }
+
+    /// One quantum of simulated machine time: the engine decides, then the
+    /// "kernel" grants CPU to whatever it left runnable.
+    void step() {
+        engine.tick();
+        control.run_kernel_quantum(kQuantum);
+    }
+
+    [[nodiscard]] EntityId runnable() const {
+        for (const auto& [id, e] : control.entities) {
+            if (!e.suspended) return id;
+        }
+        return -1;
+    }
+};
+
+TEST(StrideLazy, ScheduleAndConsumptionMatchEagerExactly) {
+    Rig eager(false);
+    Rig lazy(true);
+    // Power-of-two shares keep every stride and pass exactly representable,
+    // so the two engines must agree bit-for-bit (a lazy window charges
+    // window × stride in one add; an inexact stride would round that
+    // differently than eager's per-tick adds and flip pass ties).
+    for (Rig* r : {&eager, &lazy}) {
+        r->add(1, 1);
+        r->add(2, 4);
+        r->add(3, 2);
+    }
+
+    // ~17 full cycles (total shares = 7); the runnable entity must agree at
+    // every single quantum, and the per-entity CPU must agree at the end.
+    for (int t = 0; t < 120; ++t) {
+        eager.step();
+        lazy.step();
+        ASSERT_EQ(eager.runnable(), lazy.runnable()) << "tick " << t;
+    }
+    for (const auto& [id, e] : eager.control.entities) {
+        EXPECT_EQ(e.cpu, lazy.control.entities.at(id).cpu) << "entity " << id;
+    }
+    EXPECT_EQ(eager.engine.cycles_completed(), lazy.engine.cycles_completed());
+}
+
+TEST(StrideLazy, SkipsMostReadsAndAllSignalsOnSkippedTicks) {
+    Rig lazy(true);
+    lazy.add(1, 1);
+    lazy.add(2, 4);
+    for (int t = 0; t < 120; ++t) lazy.step();
+
+    EXPECT_GT(lazy.engine.lazy_ticks_skipped(), 0u);
+    // Every tick either measured or skipped (the first has no incumbent).
+    EXPECT_EQ(lazy.engine.total_measurements() + lazy.engine.lazy_ticks_skipped() + 1,
+              lazy.engine.tick_count());
+    // The eager engine reads once per tick; lazy must do materially better.
+    EXPECT_LT(lazy.engine.total_measurements(), lazy.engine.tick_count() / 2);
+
+    Rig eager(false);
+    eager.add(1, 1);
+    eager.add(2, 4);
+    for (int t = 0; t < 120; ++t) eager.step();
+    EXPECT_EQ(eager.engine.lazy_ticks_skipped(), 0u);
+    EXPECT_LT(lazy.control.reads, eager.control.reads / 2);
+    // Signal traffic is schedule changes only — identical either way.
+    EXPECT_EQ(lazy.control.suspends, eager.control.suspends);
+    EXPECT_EQ(lazy.control.resumes, eager.control.resumes);
+}
+
+TEST(StrideLazy, MembershipChangeInvalidatesTheSkipWindow) {
+    Rig lazy(true);
+    lazy.add(1, 1);
+    lazy.add(2, 8);  // after tick 2 the runner holds a 7-tick window
+    for (int t = 0; t < 3; ++t) lazy.step();
+    ASSERT_GT(lazy.engine.lazy_ticks_skipped(), 0u);
+
+    // The cached window is unsound the moment membership changes: the next
+    // tick must measure again even though the old window said "skip".
+    lazy.add(3, 50);
+    auto before = lazy.engine.total_measurements();
+    lazy.step();
+    EXPECT_GT(lazy.engine.total_measurements(), before);
+
+    lazy.engine.remove(3);
+    before = lazy.engine.total_measurements();
+    lazy.step();
+    EXPECT_GT(lazy.engine.total_measurements(), before);
+}
+
+TEST(StrideLazy, FullSimExperimentKeepsAccuracyWithFarFewerReads) {
+    workload::SimRunConfig cfg;
+    // Like ALPS §2.3, the savings scale with how long one entity can hold
+    // the CPU: a skewed ratio gives the big-share runner long windows.
+    cfg.shares = {1, 15};
+    cfg.warmup_cycles = 2;
+    cfg.measure_cycles = 30;
+
+    cfg.lazy_measurement = false;
+    const auto eager = workload::run_stride_engine_experiment(cfg);
+    cfg.lazy_measurement = true;
+    const auto lazy = workload::run_stride_engine_experiment(cfg);
+
+    ASSERT_FALSE(eager.timed_out);
+    ASSERT_FALSE(lazy.timed_out);
+    EXPECT_LT(lazy.measurements, eager.measurements / 2);
+    EXPECT_LT(lazy.mean_rms_error, 0.05);
+    // Fewer reads -> cheaper ticks -> the driver burns no more CPU.
+    EXPECT_LE(lazy.alps_cpu, eager.alps_cpu);
+}
+
+}  // namespace
+}  // namespace alps::core

@@ -1,0 +1,187 @@
+// Cross-kernel migration: Kernel::extradite/adopt directly, and the full
+// ShardLink hand-off over a ShardedEngine's channels — accounting
+// continuity, phase continuity, and serial/threaded mode equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/behaviors.h"
+#include "os/kernel.h"
+#include "os/shard_link.h"
+#include "sim/engine.h"
+#include "sim/shard.h"
+#include "util/assert.h"
+#include "util/time.h"
+
+namespace alps::os {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(ExtraditeAdopt, MovesAccountingAndPhaseBetweenKernels) {
+    sim::Engine ea;
+    sim::Engine eb;
+    Kernel ka(ea);
+    Kernel kb(eb);
+
+    // Two compute-bound processes on A: one to keep the CPU busy, one (the
+    // emigrant) queued behind it.
+    const Pid stayer = ka.spawn("stayer", 1, std::make_unique<CpuBoundBehavior>());
+    const Pid emigrant =
+        ka.spawn("emigrant", 2, std::make_unique<FiniteCpuBehavior>(util::msec(250)));
+    ASSERT_EQ(ka.running_pid(), stayer);
+
+    // Let the round-robin (100 ms slices) hand the emigrant some CPU, then
+    // catch it queued off-CPU.
+    TimePoint t{};
+    while (ka.cpu_time(emigrant) == Duration::zero() ||
+           ka.running_pid() == emigrant) {
+        t += util::msec(25);
+        ASSERT_LT(t.since_epoch.count(), util::sec(2).count());
+        ea.run_until(t);
+    }
+    ASSERT_NE(ka.running_pid(), emigrant);
+    const Duration consumed_before = ka.cpu_time(emigrant);
+    EXPECT_GT(consumed_before, Duration::zero());
+    EXPECT_LT(consumed_before, util::msec(250));
+
+    MigratedProc handle = ka.extradite(emigrant);
+    EXPECT_FALSE(ka.exists(emigrant));
+    EXPECT_TRUE(ka.pids_of_uid(2).empty());
+    EXPECT_EQ(ka.extraditions(), 1u);
+    EXPECT_EQ(handle.uid, 2u);
+    EXPECT_EQ(handle.cpu_consumed, consumed_before);
+
+    // B's clock is independent; adopt and let the rest of the finite
+    // budget run out there.
+    const Pid immigrant = kb.adopt(std::move(handle));
+    EXPECT_EQ(kb.adoptions(), 1u);
+    EXPECT_TRUE(kb.alive(immigrant));
+    EXPECT_EQ(kb.proc(immigrant).name, "emigrant");
+    EXPECT_EQ(kb.cpu_time(immigrant), consumed_before);
+
+    eb.run_until(TimePoint{util::msec(400)});
+    // The interrupted run phase resumed on B: total CPU across both kernels
+    // is exactly the 250 ms budget the process was born with.
+    EXPECT_FALSE(kb.alive(immigrant));  // exited after its budget
+    EXPECT_EQ(kb.cpu_time(immigrant), util::msec(250));
+}
+
+TEST(ExtraditeAdopt, ContractRejectsRunningAndSleeping) {
+    sim::Engine engine;
+    Kernel kernel(engine);
+    const Pid running = kernel.spawn("r", 1, std::make_unique<CpuBoundBehavior>());
+    EXPECT_THROW((void)kernel.extradite(running), util::ContractViolation);
+
+    const Pid sleeper = kernel.spawn(
+        "s", 1, std::make_unique<PhasedIoBehavior>(util::msec(1), util::msec(100)));
+    // The hog holds its 100 ms round-robin slice first; the sleeper runs its
+    // 1 ms burst right after slice expiry and then blocks.
+    engine.run_until(TimePoint{util::msec(105)});
+    ASSERT_TRUE(kernel.is_blocked(sleeper));
+    EXPECT_THROW((void)kernel.extradite(sleeper), util::ContractViolation);
+}
+
+// The full hand-off: 4 kernel groups on a sharded engine, a nomad process
+// hopping group to group at staggered boundaries. Runs at 1, 2, and 4 shards
+// in both modes; the nomad's consumed-CPU trajectory and every kernel's
+// counters must be identical everywhere.
+struct HopResult {
+    std::vector<std::int64_t> consumed_at_hop;  ///< nomad rusage at each hop
+    std::uint64_t completed = 0;
+    bool operator==(const HopResult&) const = default;
+};
+
+HopResult run_nomad(unsigned nshards, sim::ShardedEngine::RunMode mode) {
+    constexpr unsigned kGroups = 4;
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = nshards;
+    cfg.epoch = util::msec(10);
+    sim::ShardedEngine sharded(cfg);
+
+    std::vector<std::unique_ptr<Kernel>> kernels;
+    for (unsigned g = 0; g < kGroups; ++g) {
+        kernels.push_back(
+            std::make_unique<Kernel>(sharded.engine(g % nshards)));
+    }
+    ShardLink link(sharded, kGroups);
+    for (unsigned g = 0; g < kGroups; ++g) link.bind(g, *kernels[g]);
+
+    // Each group gets a resident hog; group 0 additionally gets the nomad,
+    // queued behind the hog so it is migratable at boundaries.
+    for (unsigned g = 0; g < kGroups; ++g) {
+        kernels[g]->spawn("hog", 1, std::make_unique<CpuBoundBehavior>());
+    }
+    // Which group currently hosts the nomad, and under what pid. Each entry
+    // is read and written only by its group's shard thread (migrate runs on
+    // the source shard, on_adopt on the destination shard), so ownership
+    // crosses threads through the adoption message itself — no shared
+    // mutable location, no race under the threaded mode.
+    std::vector<char> hosts(kGroups, 0);
+    std::vector<Pid> nomad_pid(kGroups, kNoPid);
+    hosts[0] = 1;
+    nomad_pid[0] = kernels[0]->spawn("nomad", 7, std::make_unique<CpuBoundBehavior>());
+
+    HopResult result;
+    link.on_adopt = [&](unsigned group, Pid pid) {
+        hosts[group] = 1;
+        nomad_pid[group] = pid;
+    };
+    // Publish hook: every 3rd boundary, the hosting group hands the nomad to
+    // the next group (if it is migratable right now). Successive hops are at
+    // least 3 epochs apart while adoption lands after 1, so at most one
+    // group ever hosts.
+    for (unsigned s = 0; s < nshards; ++s) {
+        sharded.set_publish_hook(s, [&, s](unsigned, TimePoint t) {
+            const auto boundary_index =
+                static_cast<std::uint64_t>(t.since_epoch.count() / 10'000'000);
+            if (boundary_index % 3 != 0) return;
+            for (unsigned g = s; g < kGroups; g += nshards) {
+                if (hosts[g] == 0) continue;
+                Kernel& k = link.kernel(g);
+                const Pid pid = nomad_pid[g];
+                ALPS_ENSURE(k.alive(pid));
+                const Proc& p = k.proc(pid);
+                if (p.on_cpu >= 0 || p.state != RunState::kRunnable) continue;
+                result.consumed_at_hop.push_back(k.cpu_time(pid).count());
+                hosts[g] = 0;
+                link.migrate(g, (g + 1) % kGroups, pid);
+            }
+        });
+    }
+
+    sharded.run_lockstep(TimePoint{util::msec(240)}, mode);
+    result.completed = link.migrations_completed();
+    EXPECT_EQ(result.completed, link.migrations_started());
+    EXPECT_GT(result.completed, 0u);
+    // The nomad survived its journey and kept accumulating CPU somewhere.
+    unsigned host = kGroups;
+    for (unsigned g = 0; g < kGroups; ++g) {
+        if (hosts[g] != 0) host = g;
+    }
+    EXPECT_LT(host, kGroups);
+    if (host < kGroups) {
+        EXPECT_TRUE(link.kernel(host).alive(nomad_pid[host]));
+        EXPECT_GT(link.kernel(host).cpu_time(nomad_pid[host]), Duration::zero());
+    }
+    return result;
+}
+
+TEST(ShardLinkNomad, TrajectoryInvariantAcrossShardCountsAndModes) {
+    const HopResult baseline = run_nomad(1, sim::ShardedEngine::RunMode::kSerial);
+    ASSERT_FALSE(baseline.consumed_at_hop.empty());
+    for (const unsigned nshards : {2u, 4u}) {
+        EXPECT_EQ(run_nomad(nshards, sim::ShardedEngine::RunMode::kSerial),
+                  baseline)
+            << "serial, shards=" << nshards;
+        EXPECT_EQ(run_nomad(nshards, sim::ShardedEngine::RunMode::kThreaded),
+                  baseline)
+            << "threaded, shards=" << nshards;
+    }
+}
+
+}  // namespace
+}  // namespace alps::os

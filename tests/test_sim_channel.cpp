@@ -1,0 +1,164 @@
+// SPSC ring / ShardChannel in isolation: wraparound, backpressure (overflow
+// slow path with FIFO preservation), and lock-free churn across a real
+// producer/consumer thread pair (the TSan leg of scripts/check.sh runs this
+// file under -fsanitize=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/spsc.h"
+
+namespace alps::sim {
+namespace {
+
+TEST(SpscRing, FifoWithinCapacity) {
+    SpscRing<int> ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        int v = i;
+        EXPECT_TRUE(ring.try_push(v));
+    }
+    int rejected = 99;
+    EXPECT_FALSE(ring.try_push(rejected));  // full
+    EXPECT_EQ(rejected, 99);                // not consumed
+    for (int i = 0; i < 8; ++i) {
+        int out = -1;
+        ASSERT_TRUE(ring.try_pop(out));
+        EXPECT_EQ(out, i);
+    }
+    int out = -1;
+    EXPECT_FALSE(ring.try_pop(out));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+    SpscRing<int> ring(5);
+    EXPECT_EQ(ring.capacity(), 8u);
+    SpscRing<int> one(1);
+    EXPECT_EQ(one.capacity(), 1u);
+}
+
+// The head/tail indices are free-running 64-bit counters masked on access;
+// drive many fill/drain rounds through a tiny ring so the masked index wraps
+// the buffer hundreds of times and ordering still holds.
+TEST(SpscRing, WraparoundKeepsFifoOrder) {
+    SpscRing<std::uint64_t> ring(4);
+    std::uint64_t next_push = 0;
+    std::uint64_t next_pop = 0;
+    for (int round = 0; round < 500; ++round) {
+        const int burst = 1 + (round % 4);
+        for (int i = 0; i < burst; ++i) {
+            std::uint64_t v = next_push;
+            ASSERT_TRUE(ring.try_push(v));
+            ++next_push;
+        }
+        for (int i = 0; i < burst; ++i) {
+            std::uint64_t out = 0;
+            ASSERT_TRUE(ring.try_pop(out));
+            ASSERT_EQ(out, next_pop);
+            ++next_pop;
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, MovesValuesThrough) {
+    SpscRing<std::string> ring(2);
+    std::string in = "payload-that-defeats-sso-0123456789";
+    const char* data = in.data();
+    ASSERT_TRUE(ring.try_push(in));
+    std::string out;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out.data(), data);  // same heap buffer: moved, not copied
+}
+
+TEST(ShardChannel, FastPathOnly) {
+    ShardChannel<int> ch(16);
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(ch.push(i));
+    EXPECT_EQ(ch.overflow_count(), 0u);
+    std::vector<int> got;
+    EXPECT_EQ(ch.drain_all([&](int v) { got.push_back(v); }), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+// Backpressure: pushing past the ring diverts to the overflow list, and —
+// critically — *stays* diverted until the producer re-arms, so a later
+// message can never overtake an overflowed one.
+TEST(ShardChannel, OverflowPreservesGlobalFifo) {
+    ShardChannel<int> ch(4);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.push(i));   // ring now full
+    EXPECT_FALSE(ch.push(4));                              // overflow begins
+    // Even though popping would free ring space, the producer must keep
+    // overflowing within this phase:
+    EXPECT_FALSE(ch.push(5));
+    EXPECT_EQ(ch.overflow_count(), 2u);
+
+    std::vector<int> got;
+    EXPECT_EQ(ch.drain_all([&](int v) { got.push_back(v); }), 6u);
+    ASSERT_EQ(got.size(), 6u);
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+
+    // Next phase: the fast path is re-armed.
+    ch.reset_overflow_phase();
+    EXPECT_TRUE(ch.push(100));
+    EXPECT_EQ(ch.overflow_count(), 2u);  // lifetime count unchanged
+    got.clear();
+    ch.drain_all([&](int v) { got.push_back(v); });
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 100);
+}
+
+TEST(ShardChannel, DrainOnEmptyIsZero) {
+    ShardChannel<int> ch(4);
+    EXPECT_EQ(ch.drain_all([](int) {}), 0u);
+}
+
+// Concurrent churn: one producer thread, one consumer thread, values must
+// arrive exactly once, in order, with no loss — across both the lock-free
+// ring and the overflow slow path (the tiny ring forces overflow traffic).
+// TSan-relevant: this is the exact thread shape the sharded engine wires up.
+TEST(ShardChannel, ConcurrentChurnLosslessAndOrdered) {
+    constexpr std::uint64_t kCount = 200'000;
+    ShardChannel<std::uint64_t> ch(64);
+    std::atomic<bool> done{false};
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+            ch.push(i);
+            // Periodically simulate an epoch boundary from the producer
+            // side. Note: unlike the lockstep protocol, there is no
+            // guarantee the consumer drained — re-arming here merely races
+            // fast/slow path selection, which must still preserve per-path
+            // FIFO and lose nothing. Total order is checked in the
+            // single-threaded tests above where the protocol's drained
+            // guarantee holds.
+            if ((i & 0x3ff) == 0) ch.reset_overflow_phase();
+        }
+        done.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::uint64_t> got;
+    got.reserve(kCount);
+    while (!done.load(std::memory_order_acquire) || got.size() < kCount) {
+        ch.drain_all([&](std::uint64_t v) { got.push_back(v); });
+        if (got.size() >= kCount) break;
+        std::this_thread::yield();
+    }
+    producer.join();
+    ch.drain_all([&](std::uint64_t v) { got.push_back(v); });
+
+    ASSERT_EQ(got.size(), kCount);
+    std::vector<bool> seen(kCount, false);
+    for (const std::uint64_t v : got) {
+        ASSERT_LT(v, kCount);
+        ASSERT_FALSE(seen[v]) << "duplicate " << v;
+        seen[v] = true;
+    }
+}
+
+}  // namespace
+}  // namespace alps::sim

@@ -81,6 +81,8 @@ TEST(Recorder, SessionPreInternsWellKnownNames) {
     EXPECT_EQ(names[kNameCycle], "cycle");
     EXPECT_EQ(names[kNameQuarantine], "quarantine");
     EXPECT_EQ(names[kNameDrop], "drop");
+    EXPECT_EQ(names[kNameEpoch], "epoch");
+    EXPECT_EQ(names[kNameHop], "hop");
 }
 
 TEST(Recorder, InternIsStableAndDeduplicates) {

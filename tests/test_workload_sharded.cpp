@@ -1,0 +1,143 @@
+// The sharded-machine experiment's invariance contract: the same logical
+// machine must produce bit-identical results at every shard count, in both
+// run modes — the checksum digests per-process CPU and every cycle record.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "telemetry/recorder.h"
+#include "util/assert.h"
+#include "workload/sharded.h"
+
+namespace alps::workload {
+namespace {
+
+using sim::ShardedEngine;
+
+ShardedRunConfig small_config() {
+    ShardedRunConfig cfg;
+    cfg.groups = 4;
+    cfg.procs_per_group = 3;
+    cfg.measure_cycles = 8;
+    cfg.warmup_cycles = 2;
+    return cfg;
+}
+
+TEST(ShardedExperiment, CompletesAndExercisesCrossShardTraffic) {
+    ShardedRunConfig cfg = small_config();
+    cfg.shards = 2;
+    const ShardedRunResult r = run_sharded_experiment(cfg);
+    ASSERT_FALSE(r.timed_out);
+    // >= : lockstep advances in whole-cycle chunks, so a group can finish
+    // one extra cycle inside the final chunk.
+    EXPECT_GE(r.cycles_completed, 4u * 10u);
+    EXPECT_GT(r.epochs, 0u);
+    EXPECT_GT(r.migrations_completed, 0u);          // the nomad hopped
+    EXPECT_GT(r.cross_shard_messages, 0u);          // ... over the channels
+    EXPECT_GT(r.board_machine_cpu.count(), 0);      // shard 0 saw all slices
+    EXPECT_GT(r.events_fired, 0u);
+    EXPECT_LT(r.mean_rms_error, 0.25);
+    EXPECT_GT(r.overhead_fraction, 0.0);
+}
+
+TEST(ShardedExperiment, ChecksumInvariantAcrossShardCountsAndModes) {
+    ShardedRunConfig cfg = small_config();
+    cfg.shards = 1;
+    cfg.mode = ShardedEngine::RunMode::kSerial;
+    const ShardedRunResult baseline = run_sharded_experiment(cfg);
+    ASSERT_FALSE(baseline.timed_out);
+
+    for (const unsigned shards : {2u, 4u}) {
+        for (const auto mode : {ShardedEngine::RunMode::kSerial,
+                                ShardedEngine::RunMode::kThreaded}) {
+            cfg.shards = shards;
+            cfg.mode = mode;
+            const ShardedRunResult r = run_sharded_experiment(cfg);
+            ASSERT_FALSE(r.timed_out);
+            EXPECT_EQ(r.consumed_checksum, baseline.consumed_checksum)
+                << "shards=" << shards << " threaded="
+                << (mode == ShardedEngine::RunMode::kThreaded);
+            EXPECT_EQ(r.cycles_completed, baseline.cycles_completed);
+            EXPECT_EQ(r.ticks, baseline.ticks);
+            EXPECT_EQ(r.measurements, baseline.measurements);
+            EXPECT_EQ(r.migrations_completed, baseline.migrations_completed);
+            EXPECT_EQ(r.cross_shard_messages, baseline.cross_shard_messages);
+            EXPECT_EQ(r.mean_rms_error, baseline.mean_rms_error);
+            EXPECT_EQ(r.wall, baseline.wall);
+        }
+    }
+}
+
+TEST(ShardedExperiment, ChecksumSeparatesDifferentMachines) {
+    ShardedRunConfig a = small_config();
+    const ShardedRunResult ra = run_sharded_experiment(a);
+    ShardedRunConfig b = small_config();
+    b.policy_seed = a.policy_seed + 17;
+    b.kernel_policy = "lottery";  // a seeded policy, so the seed matters
+    const ShardedRunResult rb = run_sharded_experiment(b);
+    EXPECT_NE(ra.consumed_checksum, rb.consumed_checksum);
+}
+
+// The per-shard telemetry merge: under the threaded mode every shard thread
+// fills its own ring, and drain() folds them into one (scope, ts)-ordered
+// stream — the epoch grid must come out whole and the hop instants must match
+// the experiment's own migration count.
+TEST(ShardedExperiment, ThreadedShardsMergeIntoOneTrace) {
+    using namespace telemetry;
+    Session session;
+    attach(session);
+    ShardedRunConfig cfg = small_config();
+    cfg.shards = 2;
+    cfg.mode = sim::ShardedEngine::RunMode::kThreaded;
+    const ShardedRunResult r = run_sharded_experiment(cfg);
+    detach();
+    ASSERT_FALSE(r.timed_out);
+    ASSERT_GT(r.migrations_completed, 0u);
+
+    const std::vector<Record> records = session.drain();
+    EXPECT_TRUE(std::is_sorted(records.begin(), records.end(),
+                               [](const Record& a, const Record& b) {
+                                   return a.scope != b.scope ? a.scope < b.scope
+                                                             : a.ts_ns < b.ts_ns;
+                               }));
+    std::set<std::uint32_t> epoch_shards;
+    std::uint64_t epochs = 0, hops = 0, last_epoch_ts = 0;
+    bool epoch_grid_monotone_per_shard = true;
+    std::vector<std::uint64_t> last_per_shard(cfg.shards, 0);
+    for (const Record& rec : records) {
+        if (rec.name == kNameEpoch) {
+            ++epochs;
+            epoch_shards.insert(rec.track);
+            if (rec.track < cfg.shards) {
+                if (rec.ts_ns < last_per_shard[rec.track]) {
+                    epoch_grid_monotone_per_shard = false;
+                }
+                last_per_shard[rec.track] = rec.ts_ns;
+            }
+            last_epoch_ts = std::max(last_epoch_ts, rec.ts_ns);
+        } else if (rec.name == kNameHop) {
+            ++hops;
+        }
+    }
+    // Every shard contributed its whole epoch grid (2 shards x r.epochs).
+    EXPECT_EQ(epoch_shards.size(), cfg.shards);
+    EXPECT_EQ(epochs, static_cast<std::uint64_t>(cfg.shards) * r.epochs);
+    EXPECT_TRUE(epoch_grid_monotone_per_shard);
+    EXPECT_GT(last_epoch_ts, 0u);
+    EXPECT_EQ(hops, r.migrations_completed);
+}
+
+TEST(ShardedExperiment, HopsCanBeDisabled) {
+    ShardedRunConfig cfg = small_config();
+    cfg.shards = 2;
+    cfg.hop_period = 0;
+    const ShardedRunResult r = run_sharded_experiment(cfg);
+    ASSERT_FALSE(r.timed_out);
+    EXPECT_EQ(r.migrations_completed, 0u);
+    EXPECT_EQ(r.cross_shard_messages, 0u);
+}
+
+}  // namespace
+}  // namespace alps::workload

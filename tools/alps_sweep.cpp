@@ -4,7 +4,7 @@
 //   alps-sweep --list-policies
 //   alps-sweep --experiment fig4 [--jobs N] [--seed S] [--full] [--out DIR]
 //              [--no-json] [--quiet] [--kernel-policy NAME] [--ncpus N]
-//              [--sites N] [--flash-crowd X]
+//              [--sites N] [--shards N] [--flash-crowd X]
 //              [--isolate] [--run-timeout S] [--max-attempts N] [--journal]
 //              [--resume] [--only-task I] [--json-payload-only]
 //   alps-sweep --all [sweep flags]
@@ -19,6 +19,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "../bench/experiments.h"
@@ -53,6 +54,8 @@ void print_usage(std::ostream& out) {
            "               (many_core, web_scale: runs only that grid column)\n"
            "  --sites N    hosted-site count for web_scale: runs only that\n"
            "               cluster size\n"
+           "  --shards N   shard count for sharded-engine sweeps (sharded_run,\n"
+           "               sim_perf's sharded point): runs only that count\n"
            "  --flash-crowd X\n"
            "               flash-crowd arrival multiplier for web_scale: runs\n"
            "               only points with that intensity (0 disables the\n"
@@ -156,9 +159,17 @@ int main(int argc, char** argv) {
     }
     // The kernel factory would throw the same complaint from inside every
     // task; checking here fails once, up front, with the valid names.
-    // ("stride-engine" is a policy_zoo row, not a kernel policy.)
-    if (!options.kernel_policy.empty() &&
-        options.kernel_policy != "stride-engine" &&
+    // policy_zoo rows that are not kernel policy names are still legal
+    // --kernel-policy values: the stride-engine A/Bs and "<policy>-percpu4".
+    const auto is_zoo_row = [](const std::string& name) {
+        if (name == "stride-engine" || name == "stride-engine-eager") return true;
+        constexpr std::string_view suffix = "-percpu4";
+        return name.size() > suffix.size() &&
+               name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+               os::policies::is_known_policy(
+                   name.substr(0, name.size() - suffix.size()));
+    };
+    if (!options.kernel_policy.empty() && !is_zoo_row(options.kernel_policy) &&
         !os::policies::is_known_policy(options.kernel_policy)) {
         std::cerr << "unknown kernel policy: " << options.kernel_policy
                   << "\nvalid policies: " << known_policy_names()
